@@ -1,0 +1,100 @@
+// Ablation bench for ccNVMe's individual design choices (DESIGN.md §5):
+//
+//   1. transaction-aware MMIO & doorbell vs. the naive per-request mode
+//      (one persistence flush + ring per request) — §4.3;
+//   2. transaction-aware interrupt coalescing on the controller (§4.6):
+//      one MSI-X per transaction instead of one per request.
+//
+// Reported per transaction size: atomicity latency, durable latency, and
+// the MMIO / IRQ counts on the critical path.
+#include <cstdio>
+#include <vector>
+
+#include "src/harness/stack.h"
+
+namespace ccnvme {
+namespace {
+
+struct AblationResult {
+  double atomic_us = 0;
+  double durable_us = 0;
+  double mmio_per_tx = 0;
+  double irq_per_tx = 0;
+};
+
+AblationResult Run(bool tx_aware_mmio, bool irq_coalescing, int n) {
+  StackConfig cfg;
+  cfg.ssd = SsdConfig::OptaneP5800X();
+  cfg.cc_options.tx_aware_mmio = tx_aware_mmio;
+  // The controller knob rides on StackConfig via queue depth path; build a
+  // custom stack pieces-wise for the controller flag.
+  Simulator sim;
+  PcieLink link(&sim, PcieConfig{});
+  SsdModel ssd(&sim, cfg.ssd);
+  NvmeControllerConfig ctrl_cfg;
+  ctrl_cfg.tx_aware_irq_coalescing = irq_coalescing;
+  NvmeController ctrl(&sim, &link, &ssd, ctrl_cfg);
+  CcNvmeOptions cc_opts;
+  cc_opts.tx_aware_mmio = tx_aware_mmio;
+  CcNvmeDriver cc(&sim, &link, &ctrl, HostCosts{}, cc_opts);
+
+  AblationResult res;
+  const int kIters = 50;
+  sim.Spawn("app", [&] {
+    std::vector<Buffer> blocks(static_cast<size_t>(n) + 1, Buffer(kLbaSize, 1));
+    uint64_t atomic_total = 0;
+    uint64_t durable_total = 0;
+    TrafficStats before = link.SnapshotTraffic();
+    for (int it = 0; it < kIters; ++it) {
+      const uint64_t tx_id = static_cast<uint64_t>(it) + 1;
+      const uint64_t t0 = sim.now();
+      for (int i = 0; i < n; ++i) {
+        cc.SubmitTx(0, tx_id, static_cast<uint64_t>(100 + i), &blocks[static_cast<size_t>(i)]);
+      }
+      auto tx = cc.CommitTx(0, tx_id, 500, &blocks[static_cast<size_t>(n)]);
+      atomic_total += sim.now() - t0;
+      cc.WaitDurable(tx);
+      durable_total += sim.now() - t0;
+    }
+    const TrafficStats d = link.SnapshotTraffic() - before;
+    res.atomic_us = static_cast<double>(atomic_total) / kIters / 1e3;
+    res.durable_us = static_cast<double>(durable_total) / kIters / 1e3;
+    res.mmio_per_tx = static_cast<double>(d.mmio_writes) / kIters;
+    res.irq_per_tx = static_cast<double>(d.irqs) / kIters;
+  });
+  sim.Run();
+  sim.Shutdown();
+  return res;
+}
+
+}  // namespace
+}  // namespace ccnvme
+
+int main() {
+  using namespace ccnvme;
+  std::printf("ccNVMe design-choice ablation (P5800X, transaction of N+1 4KB requests)\n\n");
+  std::printf("%3s  %-12s %-9s | %10s %11s %9s %8s\n", "N", "MMIO mode", "IRQ mode",
+              "atomic_us", "durable_us", "MMIO/tx", "IRQ/tx");
+  for (int n : {1, 4, 16}) {
+    struct Case {
+      bool tx_aware;
+      bool coalesce;
+      const char* mmio_name;
+      const char* irq_name;
+    };
+    const Case cases[] = {
+        {false, false, "per-request", "per-req"},
+        {true, false, "tx-aware", "per-req"},
+        {true, true, "tx-aware", "per-tx"},
+    };
+    for (const Case& c : cases) {
+      const AblationResult r = Run(c.tx_aware, c.coalesce, n);
+      std::printf("%3d  %-12s %-9s | %10.1f %11.1f %9.1f %8.1f\n", n, c.mmio_name,
+                  c.irq_name, r.atomic_us, r.durable_us, r.mmio_per_tx, r.irq_per_tx);
+    }
+    std::printf("\n");
+  }
+  std::printf("tx-aware MMIO cuts the atomicity path to 2 MMIOs regardless of N (§4.3);\n");
+  std::printf("tx-aware IRQ coalescing cuts interrupts to 1/tx (§4.6, optional).\n");
+  return 0;
+}

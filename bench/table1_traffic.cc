@@ -1,0 +1,113 @@
+// Table 1: software overhead and PCIe traffic of different systems for
+// ensuring crash consistency of a transaction of N 4 KB data blocks.
+//
+// Measures the actual PCIe-crossing operations (MMIO, queue DMA, block I/O,
+// IRQ) through the modeled link for each system and compares them with the
+// closed-form counts the paper reports:
+//
+//   Ext4/NVMe      2(N+2) MMIO, 2(N+2) DMA(Q), N+2 block I/O, N+2 IRQ
+//   HoraeFS/NVMe   2(N+2) MMIO, 2(N+2) DMA(Q), N+2 block I/O, N+2 IRQ
+//   MQFS/ccNVMe    4      MMIO, N+1    DMA(Q), N+1 block I/O, N+1 IRQ
+//   MQFS-A/ccNVMe  2      MMIO, 0      DMA(Q), 0   block I/O, 0   IRQ
+//
+// (The ccNVMe counts hold because P-SQ fetches are device-internal; only
+// CQE posts cross PCIe. MQFS-A counts what is needed *before the atomicity
+// guarantee*: nothing after the doorbell is on the critical path.)
+#include <cstdio>
+#include <vector>
+
+#include "bench/tx_engines.h"
+
+namespace ccnvme {
+namespace {
+
+struct Row {
+  TxEngine engine;
+  const char* label;
+  const char* paper_mmio;
+  const char* paper_dmaq;
+  const char* paper_blk;
+  const char* paper_irq;
+};
+
+TrafficStats MeasureOne(TxEngine engine, int n, bool stop_at_atomic) {
+  StackConfig cfg;
+  cfg.ssd = SsdConfig::OptaneP5800X();
+  StorageStack stack(cfg);
+  TrafficStats delta;
+  stack.Run([&] {
+    std::vector<uint64_t> lbas;
+    std::vector<Buffer> payloads;
+    for (int i = 0; i < n; ++i) {
+      lbas.push_back(1000 + static_cast<uint64_t>(i) * 7);
+      payloads.emplace_back(kLbaSize, static_cast<uint8_t>(i + 1));
+    }
+    Buffer jd(kLbaSize, 0x3D);
+    // Warm-up transaction so steady-state counts are measured.
+    auto warm = RunOneTransaction(stack, engine, 0, 1, lbas, payloads, jd, 5000);
+    if (warm != nullptr) {
+      stack.ccnvme()->WaitDurable(warm);
+    }
+    const TrafficStats before = stack.link().SnapshotTraffic();
+    auto tx = RunOneTransaction(stack, engine, 0, 2, lbas, payloads, jd, 6000);
+    if (stop_at_atomic) {
+      delta = stack.link().SnapshotTraffic() - before;
+      if (tx != nullptr) {
+        stack.ccnvme()->WaitDurable(tx);  // drain before teardown
+      }
+    } else {
+      if (tx != nullptr) {
+        stack.ccnvme()->WaitDurable(tx);
+      }
+      delta = stack.link().SnapshotTraffic() - before;
+    }
+  });
+  return delta;
+}
+
+}  // namespace
+}  // namespace ccnvme
+
+int main() {
+  using namespace ccnvme;
+  const Row rows[] = {
+      {TxEngine::kClassic, "Ext4/NVMe (classic)", "2(N+2)", "2(N+2)", "N+2", "N+2"},
+      {TxEngine::kHorae, "HoraeFS/NVMe (Horae)", "2(N+2)", "2(N+2)", "N+2", "N+2"},
+      {TxEngine::kCcNvme, "MQFS/ccNVMe", "4", "N+1", "N+1", "N+1"},
+      {TxEngine::kCcNvmeAtomic, "MQFS-A/ccNVMe", "2", "0", "0", "0"},
+  };
+
+  std::printf("Table 1: PCIe traffic for crash consistency of a transaction of N 4KB blocks\n");
+  std::printf("(measured on the modeled link; 'paper' columns are Table 1's formulas;\n");
+  std::printf(" for the NVMe systems N+1 data/journal blocks plus 1 commit record = N+2 I/Os)\n\n");
+  std::printf("%-22s %3s | %10s %9s | %10s %9s | %10s %9s | %8s %9s\n", "system", "N",
+              "MMIO", "paper", "DMA(Q)", "paper", "BlockIO", "paper", "IRQ", "paper");
+  std::printf("%.*s\n", 130,
+              "----------------------------------------------------------------------------"
+              "------------------------------------------------------");
+
+  for (int n : {1, 4, 16}) {
+    for (const Row& row : rows) {
+      const bool atomic_only = row.engine == TxEngine::kCcNvmeAtomic;
+      const TrafficStats d = MeasureOne(row.engine, n, atomic_only);
+      auto formula = [&](const char* f) -> int {
+        std::string s(f);
+        if (s == "2(N+2)") return 2 * (n + 2);
+        if (s == "N+2") return n + 2;
+        if (s == "N+1") return n + 1;
+        return std::atoi(f);
+      };
+      std::printf("%-22s %3d | %10llu %9d | %10llu %9d | %10llu %9d | %8llu %9d\n",
+                  row.label, n,
+                  static_cast<unsigned long long>(d.mmio_writes), formula(row.paper_mmio),
+                  static_cast<unsigned long long>(d.dma_queue_ops), formula(row.paper_dmaq),
+                  static_cast<unsigned long long>(d.block_ios), formula(row.paper_blk),
+                  static_cast<unsigned long long>(d.irqs), formula(row.paper_irq));
+    }
+    std::printf("\n");
+  }
+  std::printf("Software-overhead column (qualitative): classic=High (2 ordering waits),\n");
+  std::printf("Horae=Medium (commit thread, no ordering wait), ccNVMe=Low (app context,\n");
+  std::printf("one flush+doorbell), ccNVMe-atomic=Low (returns at the doorbell).\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Transaction engines for the protocol-level benchmarks (§7.2, Table 1,
+// Figure 10): the three ways to make a transaction of N 4 KB blocks
+// crash-consistent.
+//
+//   Classic  — JBD2's pattern on stock NVMe: write JD + N journaled blocks,
+//              WAIT (ordering point), then write the commit record with
+//              PREFLUSH|FUA and wait again.
+//   Horae    — ordering points removed: JD + blocks + commit dispatched
+//              together (order guaranteed by Horae's control path); wait for
+//              joint completion.
+//   ccNVMe   — the transaction-aware path: N+1 REQ_TX writes into the P-SQ,
+//              one WC flush + one doorbell; durability via in-order
+//              completion. The *atomic* variant returns at the doorbell.
+#ifndef BENCH_TX_ENGINES_H_
+#define BENCH_TX_ENGINES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/harness/stack.h"
+
+namespace ccnvme {
+
+enum class TxEngine { kClassic, kHorae, kCcNvme, kCcNvmeAtomic };
+
+inline const char* TxEngineName(TxEngine e) {
+  switch (e) {
+    case TxEngine::kClassic:
+      return "classic";
+    case TxEngine::kHorae:
+      return "Horae";
+    case TxEngine::kCcNvme:
+      return "ccNVMe";
+    case TxEngine::kCcNvmeAtomic:
+      return "ccNVMe-atomic";
+  }
+  return "?";
+}
+
+// Executes ONE transaction of |num_blocks| 4 KB writes at the given LBAs on
+// queue |qid|. |tx_id| must be unique per (queue, transaction).
+// For kCcNvmeAtomic the returned handle lets the caller later drain.
+inline CcNvmeDriver::TxHandle RunOneTransaction(StorageStack& stack, TxEngine engine,
+                                                uint16_t qid, uint64_t tx_id,
+                                                const std::vector<uint64_t>& lbas,
+                                                const std::vector<Buffer>& payloads,
+                                                const Buffer& jd_block, uint64_t jd_lba) {
+  switch (engine) {
+    case TxEngine::kClassic: {
+      std::vector<NvmeDriver::RequestHandle> handles;
+      handles.push_back(stack.nvme().SubmitWrite(qid, jd_lba, &jd_block, false));
+      for (size_t i = 0; i < lbas.size(); ++i) {
+        handles.push_back(stack.nvme().SubmitWrite(qid, lbas[i], &payloads[i], false));
+      }
+      for (auto& h : handles) {
+        CCNVME_CHECK(stack.nvme().Wait(h).ok());
+      }
+      // Ordering point + commit record (PREFLUSH+FUA). On PLP drives the
+      // flush is skipped by the block layer; issue the FUA commit directly.
+      const SsdConfig& ssd = stack.ssd().config();
+      if (ssd.volatile_cache && !ssd.power_loss_protection) {
+        CCNVME_CHECK(stack.nvme().Flush(qid).ok());
+      }
+      CCNVME_CHECK(stack.nvme().Write(qid, jd_lba + 1, jd_block, /*fua=*/true).ok());
+      return nullptr;
+    }
+    case TxEngine::kHorae: {
+      std::vector<NvmeDriver::RequestHandle> handles;
+      handles.push_back(stack.nvme().SubmitWrite(qid, jd_lba, &jd_block, false));
+      for (size_t i = 0; i < lbas.size(); ++i) {
+        handles.push_back(stack.nvme().SubmitWrite(qid, lbas[i], &payloads[i], false));
+      }
+      handles.push_back(stack.nvme().SubmitWrite(qid, jd_lba + 1, &jd_block, /*fua=*/true));
+      for (auto& h : handles) {
+        CCNVME_CHECK(stack.nvme().Wait(h).ok());
+      }
+      return nullptr;
+    }
+    case TxEngine::kCcNvme:
+    case TxEngine::kCcNvmeAtomic: {
+      for (size_t i = 0; i < lbas.size(); ++i) {
+        stack.ccnvme()->SubmitTx(qid, tx_id, lbas[i], &payloads[i]);
+      }
+      auto tx = stack.ccnvme()->CommitTx(qid, tx_id, jd_lba, &jd_block);
+      if (engine == TxEngine::kCcNvme) {
+        stack.ccnvme()->WaitDurable(tx);
+      }
+      return tx;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace ccnvme
+
+#endif  // BENCH_TX_ENGINES_H_

@@ -1,0 +1,55 @@
+// Atomic KV: demonstrates ccNVMe's decoupling of atomicity from durability
+// at the application level. The same MiniKV store runs its write-ahead log
+// with fsync (durability on every put, like RocksDB fillsync) and with
+// fdataatomic (atomicity at the ccNVMe doorbell, durability pipelined in
+// the background) and reports the throughput difference — the MQFS-A story
+// of Table 1 and Figure 11.
+//
+//   $ ./atomic_kv
+#include <cstdio>
+
+#include "src/workload/minikv.h"
+
+using namespace ccnvme;
+
+namespace {
+
+double RunMode(SyncMode mode, const char* label) {
+  StackConfig cfg;
+  cfg.ssd = SsdConfig::Optane905P();
+  cfg.num_queues = 4;
+  cfg.fs.journal = JournalKind::kMultiQueue;
+  cfg.fs.journal_areas = 4;
+  cfg.fs.journal_blocks = 16384;
+  StorageStack stack(cfg);
+  if (!stack.MkfsAndMount().ok()) {
+    std::printf("mount failed\n");
+    return 0;
+  }
+
+  FillsyncOptions opts;
+  opts.num_threads = 8;
+  opts.duration_ns = 10'000'000;  // 10 ms simulated
+  opts.kv.wal_sync = mode;
+  const FillsyncResult res = RunFillsync(stack, opts);
+  std::printf("%-22s %8.1f K puts/s  (%llu puts in %.1f ms simulated)\n", label,
+              res.Kiops(), static_cast<unsigned long long>(res.ops),
+              res.elapsed_ns / 1e6);
+  return res.Kiops();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("MiniKV write-ahead log, 8 writer threads, 16B keys / 1KB values\n\n");
+  const double fsync_kiops = RunMode(SyncMode::kFsync, "WAL sync = fsync:");
+  const double atomic_kiops = RunMode(SyncMode::kFdataatomic, "WAL sync = fdataatomic:");
+  if (fsync_kiops > 0) {
+    std::printf("\nfdataatomic speedup: %.2fx\n", atomic_kiops / fsync_kiops);
+    std::printf("\nWith fdataatomic every put is ATOMIC (a crash exposes no torn\n");
+    std::printf("records) as soon as ccNVMe rings the persistent doorbell — two MMIOs\n");
+    std::printf("— while the block I/O, CQE and interrupt pipeline drains off the\n");
+    std::printf("critical path.\n");
+  }
+  return 0;
+}

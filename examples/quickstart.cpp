@@ -1,0 +1,83 @@
+// Quickstart: bring up the full simulated stack (PCIe link -> Optane SSD ->
+// NVMe controller with PMR -> ccNVMe driver -> MQFS), write a file, make it
+// crash-consistent with one fsync, power-cut the machine, and recover.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "src/harness/stack.h"
+
+using namespace ccnvme;
+
+int main() {
+  // 1. Configure the stack: an Optane 905P with the ccNVMe extension and
+  //    MQFS with one journal area per hardware queue.
+  StackConfig cfg;
+  cfg.ssd = SsdConfig::Optane905P();
+  cfg.num_queues = 2;
+  cfg.fs.journal = JournalKind::kMultiQueue;
+  cfg.fs.journal_areas = 2;
+  cfg.fs.journal_blocks = 4096;
+
+  CrashImage image;
+  {
+    StorageStack stack(cfg);
+    if (!stack.MkfsAndMount().ok()) {
+      std::printf("mkfs/mount failed\n");
+      return 1;
+    }
+    std::printf("mounted MQFS on %s (%u hardware queues)\n",
+                cfg.ssd.name.c_str(), cfg.num_queues);
+
+    // 2. All file-system calls run inside simulator actors.
+    stack.Run([&] {
+      auto ino = stack.fs().Create("/hello.txt");
+      if (!ino.ok()) {
+        std::printf("create failed: %s\n", ino.status().ToString().c_str());
+        return;
+      }
+      const char* text = "Hello, crash-consistent NVMe!";
+      Buffer data(text, text + std::strlen(text));
+      (void)stack.fs().Write(*ino, 0, data);
+
+      const TrafficStats before = stack.link().SnapshotTraffic();
+      const uint64_t t0 = stack.sim().now();
+      Status st = stack.fs().Fsync(*ino);
+      const uint64_t fsync_ns = stack.sim().now() - t0;
+      const TrafficStats d = stack.link().SnapshotTraffic() - before;
+      std::printf("fsync: %s in %.1f us  (PCIe: %llu MMIO writes, %llu block I/Os, %llu IRQs)\n",
+                  st.ToString().c_str(), fsync_ns / 1e3,
+                  static_cast<unsigned long long>(d.mmio_writes),
+                  static_cast<unsigned long long>(d.block_ios),
+                  static_cast<unsigned long long>(d.irqs));
+    });
+
+    // 3. Pull the plug: capture exactly the bytes that survive a power cut
+    //    (durable media + the PMR) and throw the rest of the machine away.
+    image = stack.CaptureCrashImage();
+    std::printf("power cut! (no unmount)\n");
+  }
+
+  // 4. Boot a fresh machine from the surviving bytes and mount: the dirty
+  //    flag triggers journal recovery.
+  StorageStack rebooted(cfg, image);
+  if (!rebooted.MountExisting().ok()) {
+    std::printf("post-crash mount failed\n");
+    return 1;
+  }
+  rebooted.Run([&] {
+    auto ino = rebooted.fs().Lookup("/hello.txt");
+    if (!ino.ok()) {
+      std::printf("recovery lost the file!\n");
+      return;
+    }
+    auto size = rebooted.fs().FileSize(*ino);
+    Buffer content(*size);
+    (void)rebooted.fs().Read(*ino, 0, content);
+    std::printf("recovered /hello.txt: \"%.*s\"\n", static_cast<int>(content.size()),
+                reinterpret_cast<const char*>(content.data()));
+    std::printf("consistency check: %s\n",
+                rebooted.fs().CheckConsistency().ToString().c_str());
+  });
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Raw transactions: the §4.5 application interface — failure-atomic
+// multi-block updates on raw LBAs with no file system at all. Shows a tiny
+// copy-on-write "record store" whose consistency rests purely on ccNVMe's
+// all-or-nothing transactions.
+//
+//   $ ./raw_transactions
+#include <cstdio>
+
+#include "src/ccnvme/user_api.h"
+#include "src/harness/stack.h"
+
+using namespace ccnvme;
+
+namespace {
+
+// A toy record store: a root block at LBA 0 points at the current version
+// of a 3-block record. Updates write the new record AND the root pointer in
+// one ccNVMe transaction — readers never observe a torn record.
+class RecordStore {
+ public:
+  explicit RecordStore(CcNvmeUserApi* api) : api_(api) {}
+
+  Status Update(uint8_t version) {
+    const uint64_t base = 100 + static_cast<uint64_t>(version % 2) * 16;  // A/B areas
+    auto tx = api_->BeginTx();
+    if (!tx.ok()) {
+      return tx.status();
+    }
+    for (int i = 0; i < 3; ++i) {
+      Buffer block(kLbaSize, version);
+      block[0] = static_cast<uint8_t>(i);  // record part index
+      CCNVME_RETURN_IF_ERROR(api_->StageWrite(base + static_cast<uint64_t>(i), block));
+    }
+    Buffer root(kLbaSize, 0);
+    PutU64(root, 0, base);
+    root[8] = version;
+    CCNVME_RETURN_IF_ERROR(api_->StageWrite(0, root));  // the commit record
+    return api_->CommitDurable();
+  }
+
+  Result<uint8_t> ReadVersion() {
+    Buffer root;
+    CCNVME_RETURN_IF_ERROR(api_->Read(0, 1, &root));
+    const uint64_t base = GetU64(root, 0);
+    const uint8_t version = root[8];
+    for (int i = 0; i < 3; ++i) {
+      Buffer block;
+      CCNVME_RETURN_IF_ERROR(api_->Read(base + static_cast<uint64_t>(i), 1, &block));
+      if (block[1] != version) {
+        return Corruption("torn record: part " + std::to_string(i));
+      }
+    }
+    return version;
+  }
+
+ private:
+  CcNvmeUserApi* api_;
+};
+
+}  // namespace
+
+int main() {
+  StorageStack stack(StackConfig{});
+  stack.Run([&] {
+    CcNvmeUserApi api(&stack.sim(), stack.ccnvme(), &stack.nvme(), 0);
+    RecordStore store(&api);
+
+    std::printf("updating a 3-block record + root pointer atomically, 5 versions:\n");
+    for (uint8_t v = 1; v <= 5; ++v) {
+      const uint64_t t0 = stack.sim().now();
+      Status st = store.Update(v);
+      const uint64_t us = (stack.sim().now() - t0) / 1000;
+      auto back = store.ReadVersion();
+      std::printf("  version %u: update %s in %llu us, read-back %s (v%u)\n", v,
+                  st.ToString().c_str(), static_cast<unsigned long long>(us),
+                  back.ok() ? "consistent" : back.status().ToString().c_str(),
+                  back.ok() ? *back : 0);
+    }
+    std::printf("\n%llu transactions committed; every reader saw a whole record.\n",
+                static_cast<unsigned long long>(api.transactions_committed()));
+  });
+  return 0;
+}

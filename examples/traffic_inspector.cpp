@@ -1,0 +1,65 @@
+// Traffic inspector: runs one append+fsync on each file system and prints
+// the PCIe-level cost of the crash-consistency guarantee — a live, per-call
+// view of Table 1's accounting.
+//
+//   $ ./traffic_inspector
+#include <cstdio>
+
+#include "src/harness/stack.h"
+
+using namespace ccnvme;
+
+namespace {
+
+void Inspect(const char* name, JournalKind kind, SyncMode mode) {
+  StackConfig cfg;
+  cfg.ssd = SsdConfig::Optane905P();
+  cfg.enable_ccnvme = kind == JournalKind::kMultiQueue;
+  cfg.fs.journal = kind;
+  cfg.fs.journal_areas = 1;
+  cfg.fs.journal_blocks = 4096;
+  StorageStack stack(cfg);
+  if (!stack.MkfsAndMount().ok()) {
+    return;
+  }
+  stack.Run([&] {
+    auto ino = stack.fs().Create("/t");
+    if (!ino.ok()) {
+      return;
+    }
+    Buffer data(kFsBlockSize, 0x11);
+    // Warm up (first fsync also persists create-time metadata).
+    (void)stack.fs().Write(*ino, 0, data);
+    (void)stack.fs().Fsync(*ino);
+
+    (void)stack.fs().Write(*ino, kFsBlockSize, data);
+    const TrafficStats before = stack.link().SnapshotTraffic();
+    const uint64_t t0 = stack.sim().now();
+    Status st = mode == SyncMode::kFsync ? stack.fs().Fsync(*ino)
+                                         : stack.fs().Fdataatomic(*ino);
+    const uint64_t ns = stack.sim().now() - t0;
+    (void)st;
+    const TrafficStats d = stack.link().SnapshotTraffic() - before;
+    std::printf("%-22s %8.1f us | %5llu MMIO-W %5llu MMIO-R %5llu DMA(Q) %5llu blkIO %5llu IRQ\n",
+                name, ns / 1e3, static_cast<unsigned long long>(d.mmio_writes),
+                static_cast<unsigned long long>(d.mmio_reads),
+                static_cast<unsigned long long>(d.dma_queue_ops),
+                static_cast<unsigned long long>(d.block_ios),
+                static_cast<unsigned long long>(d.irqs));
+  });
+}
+
+}  // namespace
+
+int main() {
+  std::printf("PCIe traffic of one 4KB append + sync (second sync on a warm file):\n\n");
+  Inspect("Ext4 (fsync)", JournalKind::kClassic, SyncMode::kFsync);
+  Inspect("HoraeFS (fsync)", JournalKind::kHorae, SyncMode::kFsync);
+  Inspect("Ext4-NJ (fsync)", JournalKind::kNone, SyncMode::kFsync);
+  Inspect("MQFS (fsync)", JournalKind::kMultiQueue, SyncMode::kFsync);
+  Inspect("MQFS-A (fdataatomic)", JournalKind::kMultiQueue, SyncMode::kFdataatomic);
+  std::printf("\nMQFS-A's row is the paper's headline: crash consistency for the cost\n");
+  std::printf("of two MMIO writes and one read fence, everything else off the\n");
+  std::printf("critical path.\n");
+  return 0;
+}

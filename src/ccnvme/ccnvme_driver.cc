@@ -1,0 +1,297 @@
+#include "src/ccnvme/ccnvme_driver.h"
+
+#include "src/common/logging.h"
+
+namespace ccnvme {
+
+CcNvmeDriver::CcNvmeDriver(Simulator* sim, PcieLink* link, NvmeController* controller,
+                           const HostCosts& costs, const CcNvmeOptions& options)
+    : sim_(sim), link_(link), controller_(controller), costs_(costs), options_(options) {
+  const uint16_t depth = controller->config().queue_depth;
+  CCNVME_CHECK_LE(PmrQueueBase(options.num_queues, depth), controller->pmr().size())
+      << "P-SQs do not fit in the PMR";
+  for (uint16_t qid = 0; qid < options_.num_queues; ++qid) {
+    auto q = std::make_unique<Queue>();
+    Queue* raw = q.get();
+    q->pmr_base = PmrQueueBase(qid, depth);
+    q->wc = std::make_unique<WcBuffer>(link);
+    q->irq_pending = std::make_unique<SimSemaphore>(sim, 0);
+    q->submit_mu = std::make_unique<SimMutex>(sim);
+    q->slot_available = std::make_unique<SimCondVar>(sim);
+    q->qp = controller->CreateIoQueuePair(
+        qid, /*sq_in_pmr=*/true, q->pmr_base,
+        /*irq_handler=*/[raw] { raw->irq_pending->Release(); });
+    q->cid_to_tx.resize(q->qp->depth);
+    q->cid_callbacks.resize(q->qp->depth);
+    for (uint16_t cid = 0; cid < q->qp->depth; ++cid) {
+      q->free_cids.push_back(cid);
+    }
+    // Fresh queues: zero the persistent doorbell and head.
+    controller->pmr().WriteU32(DoorbellOffset(*q), 0);
+    controller->pmr().WriteU32(HeadOffset(*q), 0);
+    queues_.push_back(std::move(q));
+    sim->Spawn("ccnvme_bh" + std::to_string(qid), [this, raw] { BottomHalfLoop(raw); });
+  }
+}
+
+size_t CcNvmeDriver::DoorbellOffset(const Queue& q) const {
+  return q.pmr_base + static_cast<size_t>(q.qp->depth) * kSqeSize;
+}
+
+size_t CcNvmeDriver::HeadOffset(const Queue& q) const { return DoorbellOffset(q) + 4; }
+
+CcNvmeDriver::Queue& CcNvmeDriver::GetQueue(uint16_t qid) {
+  CCNVME_CHECK_LT(qid, queues_.size());
+  return *queues_[qid];
+}
+
+uint16_t CcNvmeDriver::StageCommand(Queue& q, NvmeCommand cmd, const Buffer* data) {
+  SimLockGuard guard(*q.submit_mu);
+  // The P-SQ window [P-SQ-head, tail) must stay intact for recovery, so a
+  // slot is reusable only after P-SQ-head passes it.
+  while (q.free_cids.empty() || q.qp->SlotAfter(q.sq_tail) == q.psq_head) {
+    q.slot_available->Wait(*q.submit_mu);
+  }
+  const uint16_t cid = q.free_cids.front();
+  q.free_cids.pop_front();
+  cmd.cid = cid;
+  q.qp->data[cid].write_data = data;
+
+  const uint16_t slot = q.sq_tail;
+  q.sq_tail = q.qp->SlotAfter(slot);
+
+  // Store the SQE into the PMR through the write-combining buffer: content
+  // lands now; the burst + persistence fence are deferred to commit time
+  // under transaction-aware MMIO.
+  uint8_t raw[kSqeSize];
+  cmd.Serialize(raw);
+  controller_->pmr().Write(q.pmr_base + static_cast<size_t>(slot) * kSqeSize,
+                           std::span<const uint8_t>(raw, kSqeSize));
+  q.wc->Store(kSqeSize);
+
+  if (!options_.tx_aware_mmio) {
+    // Naive per-request mode: flush and ring for every request.
+    q.wc->FlushPersistent();
+    controller_->pmr().WriteU32(DoorbellOffset(q), q.sq_tail);
+    link_->MmioWrite(4);
+    controller_->RingSqDoorbell(q.qp, q.sq_tail);
+  }
+  return cid;
+}
+
+void CcNvmeDriver::SubmitTx(uint16_t qid, uint64_t tx_id, uint64_t slba, const Buffer* data,
+                            std::function<void()> on_complete) {
+  CCNVME_CHECK(data != nullptr && !data->empty());
+  CCNVME_CHECK_EQ(data->size() % kLbaSize, 0u);
+  Queue& q = GetQueue(qid);
+  Simulator::Sleep(costs_.ccnvme_stage_ns);
+
+  if (q.open_tx == nullptr) {
+    q.open_tx = std::make_shared<Transaction>(sim_);
+    q.open_tx->tx_id = tx_id;
+  }
+  CCNVME_CHECK_EQ(q.open_tx->tx_id, tx_id)
+      << "a transaction must be committed before the next one opens on a queue";
+
+  NvmeCommand cmd;
+  cmd.opcode = static_cast<uint8_t>(NvmeOpcode::kWrite);
+  cmd.slba = slba;
+  cmd.set_num_blocks(static_cast<uint32_t>(data->size() / kLbaSize));
+  cmd.cdw12 |= kCdw12ReqTx;
+  cmd.tx_id = tx_id;
+
+  const uint16_t cid = StageCommand(q, cmd, data);
+  q.cid_to_tx[cid] = q.open_tx;
+  q.cid_callbacks[cid] = std::move(on_complete);
+  q.open_tx->outstanding++;
+}
+
+CcNvmeDriver::TxHandle CcNvmeDriver::CommitTx(uint16_t qid, uint64_t tx_id, uint64_t slba,
+                                              const Buffer* data,
+                                              std::function<void()> on_durable) {
+  CCNVME_CHECK(data != nullptr && !data->empty());
+  Queue& q = GetQueue(qid);
+  Simulator::Sleep(costs_.ccnvme_stage_ns);
+
+  if (q.open_tx == nullptr) {
+    q.open_tx = std::make_shared<Transaction>(sim_);
+    q.open_tx->tx_id = tx_id;
+  }
+  TxHandle tx = q.open_tx;
+  CCNVME_CHECK_EQ(tx->tx_id, tx_id);
+  if (on_durable) {
+    tx->on_durable.push_back(std::move(on_durable));
+  }
+
+  const SsdConfig& ssd = controller_->ssd().config();
+  const bool needs_flush = ssd.volatile_cache && !ssd.power_loss_protection;
+  if (needs_flush) {
+    // §4.2: the commit request implicitly flushes the device, "by issuing a
+    // flush command first and setting the FUA bit in the I/O command".
+    NvmeCommand flush;
+    flush.opcode = static_cast<uint8_t>(NvmeOpcode::kFlush);
+    flush.cdw12 |= kCdw12ReqTx;
+    flush.tx_id = tx_id;
+    const uint16_t fcid = StageCommand(q, flush, nullptr);
+    q.cid_to_tx[fcid] = tx;
+    tx->outstanding++;
+  }
+
+  NvmeCommand cmd;
+  cmd.opcode = static_cast<uint8_t>(NvmeOpcode::kWrite);
+  cmd.slba = slba;
+  cmd.set_num_blocks(static_cast<uint32_t>(data->size() / kLbaSize));
+  cmd.cdw12 |= kCdw12ReqTx | kCdw12ReqTxCommit;
+  if (needs_flush) {
+    cmd.cdw12 |= kCdw12Fua;
+  }
+  cmd.tx_id = tx_id;
+  const uint16_t cid = StageCommand(q, cmd, data);
+  q.cid_to_tx[cid] = tx;
+  tx->outstanding++;
+
+  if (options_.tx_aware_mmio) {
+    // Transaction-aware MMIO & doorbell: one persistence flush and one
+    // doorbell ring for the whole transaction (Figure 4(b)).
+    q.wc->FlushPersistent();
+    controller_->pmr().WriteU32(DoorbellOffset(q), q.sq_tail);
+    link_->MmioWrite(4);
+    controller_->RingSqDoorbell(q.qp, q.sq_tail);
+  }
+
+  tx->committed = true;
+  tx->end_slot = q.sq_tail;
+  q.inflight_txs.push_back(tx);
+  q.open_tx = nullptr;
+  // Atomicity point: P-SQ entries are persistent and the persistent
+  // doorbell has been rung. A crash from here on recovers all-or-nothing
+  // with "all" available once the device drains the queue.
+  tx->atomic_at_ns = sim_->now();
+  return tx;
+}
+
+void CcNvmeDriver::WaitDurable(const TxHandle& tx) { tx->durable.Wait(); }
+
+void CcNvmeDriver::CompleteReadyTransactions(Queue& q) {
+  bool advanced = false;
+  if (options_.in_order_completion) {
+    while (!q.inflight_txs.empty()) {
+      TxHandle& front = q.inflight_txs.front();
+      if (!front->committed || front->outstanding != 0) {
+        break;
+      }
+      TxHandle tx = front;
+      q.inflight_txs.pop_front();
+      // Chain the completion doorbell: persistently advance P-SQ-head, then
+      // ring the CQDB (§4.4).
+      q.psq_head = tx->end_slot;
+      controller_->pmr().WriteU32(HeadOffset(q), q.psq_head);
+      link_->MmioWrite(4);
+      link_->MmioWrite(4);
+      controller_->RingCqDoorbell(q.qp, q.cq_head);
+      advanced = true;
+      tx->durable_at_ns = sim_->now();
+      transactions_completed_++;
+      for (auto& cb : tx->on_durable) {
+        cb();
+      }
+      tx->durable.Signal();
+    }
+  } else {
+    // Ablation: complete transactions as soon as their own requests finish,
+    // ignoring queue order. Breaks the recovery window contract.
+    for (auto it = q.inflight_txs.begin(); it != q.inflight_txs.end();) {
+      TxHandle tx = *it;
+      if (tx->committed && tx->outstanding == 0) {
+        it = q.inflight_txs.erase(it);
+        if (q.inflight_txs.empty()) {
+          q.psq_head = tx->end_slot;
+          controller_->pmr().WriteU32(HeadOffset(q), q.psq_head);
+          link_->MmioWrite(4);
+        }
+        link_->MmioWrite(4);
+        controller_->RingCqDoorbell(q.qp, q.cq_head);
+        advanced = true;
+        tx->durable_at_ns = sim_->now();
+        transactions_completed_++;
+        for (auto& cb : tx->on_durable) {
+          cb();
+        }
+        tx->durable.Signal();
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (advanced) {
+    q.slot_available->NotifyAll();
+  }
+}
+
+void CcNvmeDriver::BottomHalfLoop(Queue* q) {
+  IoQueuePair* qp = q->qp;
+  for (;;) {
+    q->irq_pending->Acquire();
+    while (q->irq_pending->TryAcquire()) {
+    }
+    Simulator::Sleep(costs_.irq_context_switch_ns);
+
+    for (;;) {
+      const size_t off = static_cast<size_t>(q->cq_head) * kCqeSize;
+      const NvmeCompletion cqe = NvmeCompletion::Parse(
+          std::span<const uint8_t>(qp->host_cq).subspan(off, kCqeSize));
+      if (cqe.phase != q->cq_phase) {
+        break;
+      }
+      Simulator::Sleep(costs_.irq_per_cqe_ns);
+      TxHandle tx = q->cid_to_tx[cqe.cid];
+      CCNVME_CHECK(tx != nullptr) << "ccNVMe completion for idle cid " << cqe.cid;
+      q->cid_to_tx[cqe.cid] = nullptr;
+      qp->data[cqe.cid] = IoQueuePair::DataRef{};
+      q->free_cids.push_back(cqe.cid);
+      tx->outstanding--;
+      if (q->cid_callbacks[cqe.cid]) {
+        q->cid_callbacks[cqe.cid]();
+        q->cid_callbacks[cqe.cid] = nullptr;
+      }
+
+      q->cq_head = qp->SlotAfter(q->cq_head);
+      if (q->cq_head == 0) {
+        q->cq_phase = !q->cq_phase;
+      }
+    }
+    CompleteReadyTransactions(*q);
+  }
+}
+
+std::vector<CcNvmeDriver::UnfinishedRequest> CcNvmeDriver::ScanUnfinished(
+    const Pmr& pmr, uint16_t num_queues, uint16_t queue_depth) {
+  std::vector<UnfinishedRequest> out;
+  for (uint16_t qid = 0; qid < num_queues; ++qid) {
+    const size_t base = PmrQueueBase(qid, queue_depth);
+    const size_t db_off = base + static_cast<size_t>(queue_depth) * kSqeSize;
+    const uint32_t tail = pmr.ReadU32(db_off);
+    const uint32_t head = pmr.ReadU32(db_off + 4);
+    if (tail >= queue_depth || head >= queue_depth) {
+      // Garbage doorbell values (wrong image / never-initialized queue):
+      // treat the queue as empty rather than walking a bogus window.
+      continue;
+    }
+    for (uint32_t slot = head; slot != tail; slot = (slot + 1) % queue_depth) {
+      uint8_t raw[kSqeSize];
+      pmr.Read(base + static_cast<size_t>(slot) * kSqeSize,
+               std::span<uint8_t>(raw, kSqeSize));
+      const NvmeCommand cmd = NvmeCommand::Parse(raw);
+      UnfinishedRequest req;
+      req.qid = qid;
+      req.tx_id = cmd.tx_id;
+      req.slba = cmd.slba;
+      req.num_blocks = cmd.is_io() ? cmd.num_blocks() : 0;
+      req.is_commit = cmd.is_tx_commit();
+      out.push_back(req);
+    }
+  }
+  return out;
+}
+
+}  // namespace ccnvme

@@ -1,0 +1,64 @@
+#include "src/ccnvme/user_api.h"
+
+#include "src/common/logging.h"
+
+namespace ccnvme {
+
+Result<uint64_t> CcNvmeUserApi::BeginTx() {
+  if (record_ != nullptr) {
+    return Busy("a transaction is already open on this handle");
+  }
+  record_ = std::make_shared<TxRecord>();
+  record_->tx_id = next_tx_id_++;
+  return record_->tx_id;
+}
+
+Status CcNvmeUserApi::StageWrite(uint64_t lba, std::span<const uint8_t> data) {
+  if (record_ == nullptr) {
+    return InvalidArgument("no open transaction (call BeginTx)");
+  }
+  if (data.empty() || data.size() % kLbaSize != 0) {
+    return InvalidArgument("write must be a non-empty multiple of 4 KB");
+  }
+  auto w = std::make_unique<StagedWrite>();
+  w->lba = lba;
+  w->data.assign(data.begin(), data.end());
+  record_->writes.push_back(std::move(w));
+  return OkStatus();
+}
+
+Result<CcNvmeDriver::TxHandle> CcNvmeUserApi::Submit() {
+  if (record_ == nullptr) {
+    return InvalidArgument("no open transaction");
+  }
+  if (record_->writes.empty()) {
+    record_ = nullptr;
+    return InvalidArgument("empty transaction");
+  }
+  std::shared_ptr<TxRecord> rec = std::move(record_);
+  // All but the last request are REQ_TX members; the last is the commit.
+  for (size_t i = 0; i + 1 < rec->writes.size(); ++i) {
+    cc_->SubmitTx(qid_, rec->tx_id, rec->writes[i]->lba, &rec->writes[i]->data);
+  }
+  const StagedWrite& last = *rec->writes.back();
+  // The record (and so every staged buffer) stays alive until durability.
+  auto handle = cc_->CommitTx(qid_, rec->tx_id, last.lba, &last.data, [rec] {});
+  committed_++;
+  return handle;
+}
+
+Status CcNvmeUserApi::CommitDurable() {
+  CCNVME_ASSIGN_OR_RETURN(CcNvmeDriver::TxHandle handle, Submit());
+  cc_->WaitDurable(handle);
+  return OkStatus();
+}
+
+Result<CcNvmeDriver::TxHandle> CcNvmeUserApi::CommitAtomic() { return Submit(); }
+
+void CcNvmeUserApi::Abort() { record_ = nullptr; }
+
+Status CcNvmeUserApi::Read(uint64_t lba, uint32_t num_blocks, Buffer* out) {
+  return nvme_->Read(qid_, lba, num_blocks, out);
+}
+
+}  // namespace ccnvme

@@ -1,0 +1,78 @@
+// Raw application interface to ccNVMe (§4.5).
+//
+// "The application can use the original nvme command or the ioctl system
+// call to submit raw ccNVMe commands" — this is that surface: a userspace
+// handle that stages multi-block writes into one failure-atomic transaction
+// on raw LBAs, with the two commit flavours the paper defines:
+//
+//   CommitDurable()  — returns when the transaction is durably complete
+//   CommitAtomic()   — returns at the atomicity point (the persistent
+//                      doorbell, two MMIOs); the handle owns the staged
+//                      buffers until the background pipeline drains
+//
+// One transaction may be open per handle at a time (a handle maps to one
+// hardware queue, per the no-migration rule of §4.5).
+#ifndef SRC_CCNVME_USER_API_H_
+#define SRC_CCNVME_USER_API_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/ccnvme/ccnvme_driver.h"
+#include "src/driver/nvme_driver.h"
+
+namespace ccnvme {
+
+class CcNvmeUserApi {
+ public:
+  // |nvme| is used for raw reads (reads need no transaction machinery).
+  CcNvmeUserApi(Simulator* sim, CcNvmeDriver* cc, NvmeDriver* nvme, uint16_t qid)
+      : sim_(sim), cc_(cc), nvme_(nvme), qid_(qid) {}
+
+  // Opens a transaction; returns its id. Fails if one is already open.
+  Result<uint64_t> BeginTx();
+
+  // Stages a write of |data| (multiple of 4 KB) at |lba| into the open
+  // transaction. The data is copied; the caller's buffer is free after the
+  // call. Order within the transaction is preserved.
+  Status StageWrite(uint64_t lba, std::span<const uint8_t> data);
+
+  // Commits and waits for durable completion.
+  Status CommitDurable();
+  // Commits and returns at the atomicity point. The returned handle can be
+  // waited on (or dropped — the staged buffers live until the transaction
+  // completes regardless).
+  Result<CcNvmeDriver::TxHandle> CommitAtomic();
+  // Drops the open transaction without submitting anything ("nothing").
+  void Abort();
+
+  // Raw 4 KB-block read.
+  Status Read(uint64_t lba, uint32_t num_blocks, Buffer* out);
+
+  bool tx_open() const { return record_ != nullptr; }
+  uint64_t transactions_committed() const { return committed_; }
+
+ private:
+  struct StagedWrite {
+    uint64_t lba;
+    Buffer data;
+  };
+  struct TxRecord {
+    uint64_t tx_id = 0;
+    std::vector<std::unique_ptr<StagedWrite>> writes;
+  };
+
+  Result<CcNvmeDriver::TxHandle> Submit();
+
+  Simulator* sim_;
+  CcNvmeDriver* cc_;
+  NvmeDriver* nvme_;
+  uint16_t qid_;
+  uint64_t next_tx_id_ = 1;
+  std::shared_ptr<TxRecord> record_;
+  uint64_t committed_ = 0;
+};
+
+}  // namespace ccnvme
+
+#endif  // SRC_CCNVME_USER_API_H_

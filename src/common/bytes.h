@@ -1,0 +1,82 @@
+// Little-endian byte packing helpers used by every on-media structure
+// (NVMe commands, superblocks, inode tables, journal records). All on-media
+// layouts in this project are explicit little-endian so the crash tests read
+// back exactly what the file systems wrote.
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ccnvme {
+
+inline void PutU16(std::span<uint8_t> buf, size_t off, uint16_t v) {
+  buf[off] = static_cast<uint8_t>(v);
+  buf[off + 1] = static_cast<uint8_t>(v >> 8);
+}
+
+inline void PutU32(std::span<uint8_t> buf, size_t off, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf[off + static_cast<size_t>(i)] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+inline void PutU64(std::span<uint8_t> buf, size_t off, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf[off + static_cast<size_t>(i)] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+inline uint16_t GetU16(std::span<const uint8_t> buf, size_t off) {
+  return static_cast<uint16_t>(buf[off] | (static_cast<uint16_t>(buf[off + 1]) << 8));
+}
+
+inline uint32_t GetU32(std::span<const uint8_t> buf, size_t off) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | buf[off + static_cast<size_t>(i)];
+  }
+  return v;
+}
+
+inline uint64_t GetU64(std::span<const uint8_t> buf, size_t off) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | buf[off + static_cast<size_t>(i)];
+  }
+  return v;
+}
+
+// Fixed-length string field: zero-padded, not necessarily NUL-terminated.
+inline void PutString(std::span<uint8_t> buf, size_t off, size_t len, const std::string& s) {
+  const size_t n = s.size() < len ? s.size() : len;
+  std::memcpy(buf.data() + off, s.data(), n);
+  std::memset(buf.data() + off + n, 0, len - n);
+}
+
+inline std::string GetString(std::span<const uint8_t> buf, size_t off, size_t len) {
+  size_t n = 0;
+  while (n < len && buf[off + n] != 0) {
+    ++n;
+  }
+  return std::string(reinterpret_cast<const char*>(buf.data() + off), n);
+}
+
+// FNV-1a 64-bit; used as the checksum for journal records and superblocks.
+inline uint64_t Fnv1a(std::span<const uint8_t> data, uint64_t seed = 0xcbf29ce484222325ull) {
+  uint64_t h = seed;
+  for (uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+using Buffer = std::vector<uint8_t>;
+
+}  // namespace ccnvme
+
+#endif  // SRC_COMMON_BYTES_H_

@@ -1,0 +1,64 @@
+// Minimal leveled logging. Log lines go to stderr; the level is settable at
+// runtime so tests stay quiet and debugging sessions can crank verbosity.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ccnvme {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+  kFatal = 5,
+};
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define CCNVME_LOG(level)                                                    \
+  if (::ccnvme::LogLevel::level < ::ccnvme::GetLogLevel()) {                 \
+  } else                                                                     \
+    ::ccnvme::internal::LogMessage(::ccnvme::LogLevel::level, __FILE__, __LINE__).stream()
+
+#define CCNVME_CHECK(cond)                                                   \
+  if (cond) {                                                                \
+  } else                                                                     \
+    ::ccnvme::internal::LogMessage(::ccnvme::LogLevel::kFatal, __FILE__, __LINE__).stream() \
+        << "Check failed: " #cond " "
+
+#define CCNVME_CHECK_EQ(a, b) CCNVME_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CCNVME_CHECK_NE(a, b) CCNVME_CHECK((a) != (b))
+#define CCNVME_CHECK_LE(a, b) CCNVME_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CCNVME_CHECK_LT(a, b) CCNVME_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CCNVME_CHECK_GE(a, b) CCNVME_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CCNVME_CHECK_GT(a, b) CCNVME_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+
+}  // namespace ccnvme
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,103 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ccnvme {
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<int>(value);
+  }
+  const int msb = 63 - __builtin_clzll(value);
+  // Exponent bucket (msb - 3) with 16 linear sub-buckets taken from the bits
+  // below the msb.
+  const int exp = msb - 3;  // value >= 16 implies msb >= 4, exp >= 1
+  const int sub = static_cast<int>((value >> (msb - 4)) & (kSubBuckets - 1));
+  const int bucket = exp * kSubBuckets + sub;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket < kSubBuckets) {
+    return static_cast<uint64_t>(bucket);
+  }
+  const int exp = bucket / kSubBuckets;
+  const int sub = bucket % kSubBuckets;
+  const int msb = exp + 3;
+  return (1ull << msb) + (static_cast<uint64_t>(sub + 1) << (msb - 4)) - 1;
+}
+
+void Histogram::Add(uint64_t value) {
+  buckets_[static_cast<size_t>(BucketFor(value))]++;
+  count_++;
+  sum_ += value;
+  sum_sq_ += static_cast<double>(value) * static_cast<double>(value);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() { *this = Histogram(); }
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::Stddev() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const double mean = Mean();
+  const double var = sum_sq_ / static_cast<double>(count_) - mean * mean;
+  return var <= 0.0 ? 0.0 : std::sqrt(var);
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen >= target) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(Percentile(0.5)),
+                static_cast<unsigned long long>(Percentile(0.99)),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+void CounterSet::Add(const std::string& name, uint64_t delta) { counters_[name] += delta; }
+
+uint64_t CounterSet::Get(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void CounterSet::Reset() { counters_.clear(); }
+
+}  // namespace ccnvme

@@ -1,0 +1,67 @@
+// Measurement helpers: latency histograms (log-bucketed) and named counters.
+// Benchmarks use these to report the same statistics the paper reports
+// (average / p99 latency, throughput, traffic counts).
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ccnvme {
+
+// Histogram over non-negative integer samples (we use nanoseconds).
+// Buckets are 2-exponential with 16 linear sub-buckets each, giving
+// <= ~6% relative quantile error — plenty for reproducing latency shapes.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  double Stddev() const;
+  // q in [0, 1].
+  uint64_t Percentile(double q) const;
+
+  std::string Summary() const;
+
+ private:
+  static constexpr int kExpBuckets = 40;  // covers up to ~2^40 ns
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kNumBuckets = kExpBuckets * kSubBuckets;
+
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketUpperBound(int bucket);
+
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  double sum_sq_ = 0.0;
+  uint64_t min_ = ~0ull;
+  uint64_t max_ = 0;
+};
+
+// A bag of named monotonic counters, used for PCIe traffic accounting.
+class CounterSet {
+ public:
+  void Add(const std::string& name, uint64_t delta = 1);
+  uint64_t Get(const std::string& name) const;
+  void Reset();
+  // Snapshot-diff support: counters() returns the whole map.
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+};
+
+}  // namespace ccnvme
+
+#endif  // SRC_COMMON_STATS_H_

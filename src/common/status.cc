@@ -1,0 +1,76 @@
+#include "src/common/status.h"
+
+namespace ccnvme {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case ErrorCode::kOutOfSpace:
+      return "OUT_OF_SPACE";
+    case ErrorCode::kIoError:
+      return "IO_ERROR";
+    case ErrorCode::kCorruption:
+      return "CORRUPTION";
+    case ErrorCode::kNotSupported:
+      return "NOT_SUPPORTED";
+    case ErrorCode::kBusy:
+      return "BUSY";
+    case ErrorCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case ErrorCode::kAborted:
+      return "ABORTED";
+    case ErrorCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status InvalidArgument(std::string message) {
+  return Status(ErrorCode::kInvalidArgument, std::move(message));
+}
+Status NotFound(std::string message) { return Status(ErrorCode::kNotFound, std::move(message)); }
+Status AlreadyExists(std::string message) {
+  return Status(ErrorCode::kAlreadyExists, std::move(message));
+}
+Status OutOfSpace(std::string message) {
+  return Status(ErrorCode::kOutOfSpace, std::move(message));
+}
+Status IoError(std::string message) { return Status(ErrorCode::kIoError, std::move(message)); }
+Status Corruption(std::string message) {
+  return Status(ErrorCode::kCorruption, std::move(message));
+}
+Status NotSupported(std::string message) {
+  return Status(ErrorCode::kNotSupported, std::move(message));
+}
+Status Busy(std::string message) { return Status(ErrorCode::kBusy, std::move(message)); }
+Status PermissionDenied(std::string message) {
+  return Status(ErrorCode::kPermissionDenied, std::move(message));
+}
+Status Aborted(std::string message) { return Status(ErrorCode::kAborted, std::move(message)); }
+Status OutOfRange(std::string message) {
+  return Status(ErrorCode::kOutOfRange, std::move(message));
+}
+Status Internal(std::string message) { return Status(ErrorCode::kInternal, std::move(message)); }
+
+}  // namespace ccnvme

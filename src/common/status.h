@@ -1,0 +1,124 @@
+// Lightweight error propagation for the ccNVMe stack.
+//
+// We deliberately avoid exceptions on I/O paths (they are reserved for
+// simulator teardown); fallible operations return Status or Result<T>.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ccnvme {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfSpace,
+  kIoError,
+  kCorruption,
+  kNotSupported,
+  kBusy,
+  kPermissionDenied,
+  kAborted,
+  kOutOfRange,
+  kInternal,
+};
+
+std::string_view ErrorCodeName(ErrorCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status OutOfSpace(std::string message);
+Status IoError(std::string message);
+Status Corruption(std::string message);
+Status NotSupported(std::string message);
+Status Busy(std::string message);
+Status PermissionDenied(std::string message);
+Status Aborted(std::string message);
+Status OutOfRange(std::string message);
+Status Internal(std::string message);
+
+// Result<T> carries either a value or a non-OK status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+#define CCNVME_RETURN_IF_ERROR(expr)       \
+  do {                                     \
+    ::ccnvme::Status _st = (expr);         \
+    if (!_st.ok()) {                       \
+      return _st;                          \
+    }                                      \
+  } while (0)
+
+#define CCNVME_ASSIGN_OR_RETURN(lhs, expr) \
+  auto CCNVME_CONCAT_(_res_, __LINE__) = (expr);                \
+  if (!CCNVME_CONCAT_(_res_, __LINE__).ok()) {                  \
+    return CCNVME_CONCAT_(_res_, __LINE__).status();            \
+  }                                                             \
+  lhs = std::move(CCNVME_CONCAT_(_res_, __LINE__)).value()
+
+#define CCNVME_CONCAT_INNER_(a, b) a##b
+#define CCNVME_CONCAT_(a, b) CCNVME_CONCAT_INNER_(a, b)
+
+}  // namespace ccnvme
+
+#endif  // SRC_COMMON_STATUS_H_

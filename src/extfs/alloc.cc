@@ -1,0 +1,126 @@
+#include "src/extfs/alloc.h"
+
+namespace ccnvme {
+
+Result<Allocator::Allocation> Allocator::AllocBit(BlockNo bitmap_start, uint64_t bitmap_blocks,
+                                                  uint64_t num_bits, uint64_t hint) {
+  const uint64_t bits_per_block = kFsBlockSize * 8;
+  const uint64_t start_block = (hint / bits_per_block) % bitmap_blocks;
+  // Start scanning at the hint's byte inside the block too: this spreads
+  // different cores' allocations over different bitmap blocks / inode-table
+  // blocks (ext4's block groups + flex_bg do the same), which is what lets
+  // per-core journaling avoid shared-metadata contention.
+  const uint64_t start_byte = (hint % bits_per_block) / 8;
+  for (uint64_t i = 0; i < bitmap_blocks; ++i) {
+    const uint64_t bi = (start_block + i) % bitmap_blocks;
+    CCNVME_ASSIGN_OR_RETURN(BlockBufPtr buf, cache_->GetBlock(bitmap_start + bi));
+    SimLockGuard guard(buf->lock);
+    for (uint64_t b = 0; b < kFsBlockSize; ++b) {
+      const uint64_t byte = (i == 0) ? (start_byte + b) % kFsBlockSize : b;
+      if (buf->data[byte] == 0xFF) {
+        continue;
+      }
+      for (int bit = 0; bit < 8; ++bit) {
+        const uint64_t index = bi * bits_per_block + byte * 8 + static_cast<uint64_t>(bit);
+        if (index >= num_bits) {
+          break;
+        }
+        if ((buf->data[byte] & (1u << bit)) == 0) {
+          buf->data[byte] |= static_cast<uint8_t>(1u << bit);
+          buf->dirty = true;
+          Allocation out;
+          out.index = index;
+          out.bitmap_block = bitmap_start + bi;
+          return out;
+        }
+      }
+    }
+  }
+  return OutOfSpace("bitmap full");
+}
+
+Status Allocator::FreeBit(BlockNo bitmap_start, uint64_t bit, BlockNo* bitmap_block) {
+  const uint64_t bits_per_block = kFsBlockSize * 8;
+  const BlockNo bb = bitmap_start + bit / bits_per_block;
+  CCNVME_ASSIGN_OR_RETURN(BlockBufPtr buf, cache_->GetBlock(bb));
+  SimLockGuard guard(buf->lock);
+  const uint64_t within = bit % bits_per_block;
+  uint8_t& byte = buf->data[within / 8];
+  const uint8_t mask = static_cast<uint8_t>(1u << (within % 8));
+  if ((byte & mask) == 0) {
+    return Internal("double free of bit " + std::to_string(bit));
+  }
+  byte &= static_cast<uint8_t>(~mask);
+  buf->dirty = true;
+  if (bitmap_block != nullptr) {
+    *bitmap_block = bb;
+  }
+  return OkStatus();
+}
+
+Result<Allocator::Allocation> Allocator::AllocInode(uint64_t hint) {
+  auto res = AllocBit(layout_.inode_bitmap(), 1, kMaxInodes, hint);
+  if (res.ok()) {
+    inodes_in_use_++;
+  }
+  return res;
+}
+
+Status Allocator::FreeInode(InodeNum ino, BlockNo* bitmap_block) {
+  CCNVME_RETURN_IF_ERROR(FreeBit(layout_.inode_bitmap(), ino, bitmap_block));
+  inodes_in_use_--;
+  return OkStatus();
+}
+
+Result<Allocator::Allocation> Allocator::AllocBlock(uint64_t hint) {
+  auto res = AllocBit(layout_.block_bitmap_start(), layout_.block_bitmap_blocks(),
+                      layout_.data_blocks(), hint);
+  if (!res.ok()) {
+    return res;
+  }
+  blocks_in_use_++;
+  // Bit index is relative to the data area.
+  res.value().index += layout_.data_start();
+  return res;
+}
+
+Status Allocator::FreeBlock(BlockNo block, BlockNo* bitmap_block) {
+  CCNVME_CHECK_GE(block, layout_.data_start());
+  CCNVME_RETURN_IF_ERROR(FreeBit(layout_.block_bitmap_start(), block - layout_.data_start(),
+                                 bitmap_block));
+  blocks_in_use_--;
+  return OkStatus();
+}
+
+namespace {
+
+// Popcount over a bitmap range.
+Result<uint64_t> CountBits(BufferCache* cache, BlockNo start, uint64_t blocks,
+                           uint64_t num_bits) {
+  uint64_t used = 0;
+  uint64_t bit_base = 0;
+  for (uint64_t i = 0; i < blocks; ++i) {
+    CCNVME_ASSIGN_OR_RETURN(BlockBufPtr buf, cache->GetBlock(start + i));
+    for (uint64_t byte = 0; byte < kFsBlockSize && bit_base + byte * 8 < num_bits; ++byte) {
+      used += static_cast<uint64_t>(__builtin_popcount(buf->data[byte]));
+    }
+    bit_base += kFsBlockSize * 8;
+  }
+  return used;
+}
+
+}  // namespace
+
+Result<uint64_t> Allocator::CountUsedInodes() {
+  CCNVME_ASSIGN_OR_RETURN(uint64_t used, CountBits(cache_, layout_.inode_bitmap(), 1,
+                                                   kMaxInodes));
+  // Inode 0 is reserved, not a real file.
+  return used > 0 ? used - 1 : 0;
+}
+
+Result<uint64_t> Allocator::CountUsedBlocks() {
+  return CountBits(cache_, layout_.block_bitmap_start(), layout_.block_bitmap_blocks(),
+                   layout_.data_blocks());
+}
+
+}  // namespace ccnvme

@@ -1,0 +1,57 @@
+// Bitmap allocators for inodes and data blocks.
+//
+// Both operate through the buffer cache so allocation state is journaled
+// like any other metadata: the allocator returns the bitmap block it dirtied
+// and the FS adds it to the inode's sync set.
+#ifndef SRC_EXTFS_ALLOC_H_
+#define SRC_EXTFS_ALLOC_H_
+
+#include "src/common/status.h"
+#include "src/extfs/layout.h"
+#include "src/vfs/buffer_cache.h"
+#include "src/vfs/inode.h"
+
+namespace ccnvme {
+
+class Allocator {
+ public:
+  Allocator(BufferCache* cache, const FsLayout& layout) : cache_(cache), layout_(layout) {}
+
+  struct Allocation {
+    uint64_t index = 0;       // inode number or data block LBA
+    BlockNo bitmap_block = 0; // the dirtied bitmap block (for journaling)
+  };
+
+  // Allocates a free inode number. |hint| spreads allocations (e.g. by
+  // core) to reduce bitmap-block contention.
+  Result<Allocation> AllocInode(uint64_t hint = 0);
+  Status FreeInode(InodeNum ino, BlockNo* bitmap_block);
+
+  // Allocates a free data block (returns its absolute LBA).
+  Result<Allocation> AllocBlock(uint64_t hint = 0);
+  Status FreeBlock(BlockNo block, BlockNo* bitmap_block);
+
+  uint64_t blocks_in_use() const { return blocks_in_use_; }
+  uint64_t inodes_in_use() const { return inodes_in_use_; }
+
+  // Authoritative counts from the on-media bitmaps (fsck uses these; the
+  // counters above only track allocations made through this instance).
+  Result<uint64_t> CountUsedInodes();
+  Result<uint64_t> CountUsedBlocks();
+
+ private:
+  // Finds and sets a zero bit in the bitmap spanning
+  // [bitmap_start, bitmap_start+bitmap_blocks); bit index is relative.
+  Result<Allocation> AllocBit(BlockNo bitmap_start, uint64_t bitmap_blocks, uint64_t num_bits,
+                              uint64_t hint);
+  Status FreeBit(BlockNo bitmap_start, uint64_t bit, BlockNo* bitmap_block);
+
+  BufferCache* cache_;
+  FsLayout layout_;
+  uint64_t blocks_in_use_ = 0;
+  uint64_t inodes_in_use_ = 0;
+};
+
+}  // namespace ccnvme
+
+#endif  // SRC_EXTFS_ALLOC_H_

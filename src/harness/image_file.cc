@@ -1,0 +1,100 @@
+#include "src/harness/image_file.h"
+
+#include <cstdio>
+
+namespace ccnvme {
+
+namespace {
+constexpr uint32_t kImageMagic = 0x4D494343;  // "CCIM"
+constexpr uint32_t kImageVersion = 1;
+}  // namespace
+
+Status SaveImage(const CrashImage& image, const std::string& path) {
+  Buffer out;
+  out.resize(28);
+  PutU32(out, 0, kImageMagic);
+  PutU32(out, 4, kImageVersion);
+  PutU32(out, 8, kFsBlockSize);
+  PutU64(out, 12, image.media.size());
+  PutU64(out, 20, image.pmr.size());
+  for (const auto& [block, data] : image.media) {
+    if (data.size() != kFsBlockSize) {
+      return Internal("media block " + std::to_string(block) + " has odd size");
+    }
+    const size_t off = out.size();
+    out.resize(off + 8 + kFsBlockSize);
+    PutU64(out, off, block);
+    std::memcpy(out.data() + off + 8, data.data(), kFsBlockSize);
+  }
+  out.insert(out.end(), image.pmr.begin(), image.pmr.end());
+  const uint64_t csum = Fnv1a(out);
+  const size_t off = out.size();
+  out.resize(off + 8);
+  PutU64(out, off, csum);
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return IoError("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  if (written != out.size()) {
+    return IoError("short write to " + path);
+  }
+  return OkStatus();
+}
+
+Result<CrashImage> LoadImage(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return IoError("cannot open " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 36) {
+    std::fclose(f);
+    return Corruption("image file too small");
+  }
+  Buffer raw(static_cast<size_t>(size));
+  const size_t read = std::fread(raw.data(), 1, raw.size(), f);
+  std::fclose(f);
+  if (read != raw.size()) {
+    return IoError("short read from " + path);
+  }
+
+  const uint64_t want = GetU64(raw, raw.size() - 8);
+  if (Fnv1a(std::span<const uint8_t>(raw).subspan(0, raw.size() - 8)) != want) {
+    return Corruption("image checksum mismatch");
+  }
+  if (GetU32(raw, 0) != kImageMagic) {
+    return Corruption("bad image magic");
+  }
+  if (GetU32(raw, 4) != kImageVersion) {
+    return NotSupported("unsupported image version");
+  }
+  if (GetU32(raw, 8) != kFsBlockSize) {
+    return NotSupported("image block size mismatch");
+  }
+  const uint64_t num_blocks = GetU64(raw, 12);
+  const uint64_t pmr_size = GetU64(raw, 20);
+  const size_t expect = 28 + num_blocks * (8 + kFsBlockSize) + pmr_size + 8;
+  if (raw.size() != expect) {
+    return Corruption("image size inconsistent with header");
+  }
+
+  CrashImage image;
+  size_t off = 28;
+  for (uint64_t i = 0; i < num_blocks; ++i) {
+    const uint64_t block = GetU64(raw, off);
+    Buffer data(raw.begin() + static_cast<long>(off + 8),
+                raw.begin() + static_cast<long>(off + 8 + kFsBlockSize));
+    image.media.emplace(block, std::move(data));
+    off += 8 + kFsBlockSize;
+  }
+  image.pmr.assign(raw.begin() + static_cast<long>(off),
+                   raw.begin() + static_cast<long>(off + pmr_size));
+  return image;
+}
+
+}  // namespace ccnvme

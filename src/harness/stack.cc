@@ -1,0 +1,96 @@
+#include "src/harness/stack.h"
+
+#include "src/common/logging.h"
+
+namespace ccnvme {
+
+StorageStack::StorageStack(const StackConfig& config) : config_(config) { Build(nullptr); }
+
+StorageStack::StorageStack(const StackConfig& config, const CrashImage& image)
+    : config_(config) {
+  Build(&image);
+}
+
+StorageStack::~StorageStack() {
+  if (sim_ != nullptr) {
+    sim_->Shutdown();
+  }
+}
+
+void StorageStack::Build(const CrashImage* image) {
+  config_.ssd.capacity_bytes =
+      std::max<uint64_t>(config_.ssd.capacity_bytes, config_.fs_total_blocks * kFsBlockSize);
+  sim_ = std::make_unique<Simulator>();
+  link_ = std::make_unique<PcieLink>(sim_.get(), PcieConfig{});
+  ssd_ = std::make_unique<SsdModel>(sim_.get(), config_.ssd);
+
+  NvmeControllerConfig ctrl_cfg;
+  ctrl_cfg.num_io_queues = config_.num_queues;
+  ctrl_cfg.queue_depth = config_.queue_depth;
+  controller_ = std::make_unique<NvmeController>(sim_.get(), link_.get(), ssd_.get(), ctrl_cfg);
+
+  if (image != nullptr) {
+    ssd_->media().LoadDurable(image->media);
+    // PMR contents survive power loss by design (§4.4).
+    CCNVME_CHECK_EQ(image->pmr.size(), controller_->pmr().size());
+    controller_->pmr().Write(0, image->pmr);
+  }
+
+  NvmeDriverConfig drv_cfg;
+  drv_cfg.num_queues = config_.num_queues;
+  drv_cfg.costs = config_.costs;
+  nvme_ = std::make_unique<NvmeDriver>(sim_.get(), link_.get(), controller_.get(), drv_cfg);
+
+  if (config_.enable_ccnvme) {
+    CcNvmeOptions cc_opts = config_.cc_options;
+    cc_opts.num_queues = config_.num_queues;
+    cc_ = std::make_unique<CcNvmeDriver>(sim_.get(), link_.get(), controller_.get(),
+                                         config_.costs, cc_opts);
+  }
+  blk_ = std::make_unique<BlockLayer>(sim_.get(), nvme_.get(), cc_.get(), config_.costs);
+  fs_ = std::make_unique<ExtFs>(sim_.get(), blk_.get(), config_.costs, config_.fs);
+}
+
+Status StorageStack::MkfsAndMount() {
+  Status result = OkStatus();
+  Run([&] {
+    result = ExtFs::Mkfs(sim_.get(), blk_.get(), config_.fs_total_blocks, config_.fs);
+    if (result.ok()) {
+      result = fs_->Mount();
+    }
+  });
+  return result;
+}
+
+Status StorageStack::MountExisting() {
+  Status result = OkStatus();
+  Run([&] { result = fs_->Mount(); });
+  return result;
+}
+
+Status StorageStack::Unmount() {
+  Status result = OkStatus();
+  Run([&] { result = fs_->Unmount(); });
+  return result;
+}
+
+CrashImage StorageStack::CaptureCrashImage() const {
+  CrashImage image;
+  image.media = ssd_->media().SnapshotDurable();
+  image.pmr.assign(controller_->pmr().bytes().begin(), controller_->pmr().bytes().end());
+  return image;
+}
+
+void StorageStack::Spawn(const std::string& name, std::function<void()> body, uint16_t queue) {
+  sim_->Spawn(name, [this, queue, body = std::move(body)] {
+    blk_->BindQueue(queue);
+    body();
+  });
+}
+
+void StorageStack::Run(std::function<void()> body, uint16_t queue) {
+  Spawn("harness", std::move(body), queue);
+  sim_->Run();
+}
+
+}  // namespace ccnvme

@@ -1,0 +1,88 @@
+// Full-stack test bench: wires simulator, PCIe link, SSD, NVMe controller,
+// host drivers, block layer and (optionally) a mounted file system into one
+// object, with crash/remount support.
+//
+// Used by the unit/integration tests, the CrashMonkey-style tester, the
+// benchmark binaries and the examples — it is the "server in the lab".
+#ifndef SRC_HARNESS_STACK_H_
+#define SRC_HARNESS_STACK_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/block/block_layer.h"
+#include "src/extfs/extfs.h"
+
+namespace ccnvme {
+
+struct StackConfig {
+  SsdConfig ssd = SsdConfig::Optane905P();
+  uint16_t num_queues = 1;
+  bool enable_ccnvme = true;
+  uint16_t queue_depth = 256;
+  HostCosts costs;
+  CcNvmeOptions cc_options;
+  // Device size in 4 KB blocks (default 1 GB — plenty for the workloads and
+  // cheap to simulate).
+  uint64_t fs_total_blocks = 256 * 1024;
+  ExtFsOptions fs;
+};
+
+// The durable bytes that survive a power cut: media durable view + PMR.
+struct CrashImage {
+  MediaStore::BlockMap media;
+  Buffer pmr;
+};
+
+class StorageStack {
+ public:
+  explicit StorageStack(const StackConfig& config);
+  ~StorageStack();
+
+  // Builds a stack whose device boots from |image| (post-crash state).
+  StorageStack(const StackConfig& config, const CrashImage& image);
+
+  // Formats and mounts a fresh file system (runs inside an actor).
+  Status MkfsAndMount();
+  // Mounts the existing on-media file system (post-crash: runs recovery).
+  Status MountExisting();
+  Status Unmount();
+
+  // Captures what a power cut right now would leave behind. With a
+  // volatile-cache drive, pending cached writes are LOST (the conservative
+  // image); the crash tester explores survivor subsets itself.
+  CrashImage CaptureCrashImage() const;
+
+  // Convenience: spawns |body| as an actor bound to queue/core |queue| and
+  // runs the simulation until idle.
+  void Run(std::function<void()> body, uint16_t queue = 0);
+  // Spawn without running (for multi-actor setups); call sim().Run() after.
+  void Spawn(const std::string& name, std::function<void()> body, uint16_t queue = 0);
+
+  Simulator& sim() { return *sim_; }
+  PcieLink& link() { return *link_; }
+  SsdModel& ssd() { return *ssd_; }
+  NvmeController& controller() { return *controller_; }
+  NvmeDriver& nvme() { return *nvme_; }
+  CcNvmeDriver* ccnvme() { return cc_.get(); }
+  BlockLayer& blk() { return *blk_; }
+  ExtFs& fs() { return *fs_; }
+  const StackConfig& config() const { return config_; }
+
+ private:
+  void Build(const CrashImage* image);
+
+  StackConfig config_;
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<PcieLink> link_;
+  std::unique_ptr<SsdModel> ssd_;
+  std::unique_ptr<NvmeController> controller_;
+  std::unique_ptr<NvmeDriver> nvme_;
+  std::unique_ptr<CcNvmeDriver> cc_;
+  std::unique_ptr<BlockLayer> blk_;
+  std::unique_ptr<ExtFs> fs_;
+};
+
+}  // namespace ccnvme
+
+#endif  // SRC_HARNESS_STACK_H_

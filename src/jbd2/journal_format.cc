@@ -1,0 +1,128 @@
+#include "src/jbd2/journal_format.h"
+
+#include "src/common/logging.h"
+
+namespace ccnvme {
+
+namespace {
+
+constexpr size_t kChecksumOffset = kFsBlockSize - 8;
+
+void StampHeader(std::span<uint8_t> out, JournalRecordType type, uint64_t tx_id) {
+  std::memset(out.data(), 0, kFsBlockSize);
+  PutU32(out, 0, kJournalMagic);
+  PutU32(out, 4, static_cast<uint32_t>(type));
+  PutU64(out, 8, tx_id);
+}
+
+void StampChecksum(std::span<uint8_t> out) {
+  PutU64(out, kChecksumOffset, Fnv1a(out.subspan(0, kChecksumOffset)));
+}
+
+Status ValidateRecord(std::span<const uint8_t> in) {
+  if (in.size() < kFsBlockSize) {
+    return InvalidArgument("short journal block");
+  }
+  if (GetU32(in, 0) != kJournalMagic) {
+    return Corruption("bad journal record magic");
+  }
+  if (GetU64(in, kChecksumOffset) != Fnv1a(in.subspan(0, kChecksumOffset))) {
+    return Corruption("journal record checksum mismatch");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+void DescriptorBlock::Serialize(std::span<uint8_t> out) const {
+  CCNVME_CHECK_LE(entries.size(), kMaxEntries);
+  StampHeader(out, JournalRecordType::kDescriptor, tx_id);
+  PutU32(out, 16, static_cast<uint32_t>(entries.size()));
+  PutU32(out, 20, static_cast<uint32_t>(revoked.size()));
+  size_t off = kHeaderSize;
+  for (const JournalEntry& e : entries) {
+    PutU64(out, off, e.home_lba);
+    PutU64(out, off + 8, e.content_checksum);
+    off += 16;
+  }
+  for (BlockNo r : revoked) {
+    PutU64(out, off, r);
+    off += 8;
+  }
+  CCNVME_CHECK_LE(off, kChecksumOffset);
+  StampChecksum(out);
+}
+
+Result<DescriptorBlock> DescriptorBlock::Parse(std::span<const uint8_t> in) {
+  CCNVME_RETURN_IF_ERROR(ValidateRecord(in));
+  if (GetU32(in, 4) != static_cast<uint32_t>(JournalRecordType::kDescriptor)) {
+    return Corruption("not a descriptor block");
+  }
+  DescriptorBlock d;
+  d.tx_id = GetU64(in, 8);
+  const uint32_t n = GetU32(in, 16);
+  const uint32_t nr = GetU32(in, 20);
+  if (n > kMaxEntries || kHeaderSize + 16ull * n + 8ull * nr > kChecksumOffset) {
+    return Corruption("descriptor counts out of range");
+  }
+  size_t off = kHeaderSize;
+  for (uint32_t i = 0; i < n; ++i) {
+    JournalEntry e;
+    e.home_lba = GetU64(in, off);
+    e.content_checksum = GetU64(in, off + 8);
+    d.entries.push_back(e);
+    off += 16;
+  }
+  for (uint32_t i = 0; i < nr; ++i) {
+    d.revoked.push_back(GetU64(in, off));
+    off += 8;
+  }
+  return d;
+}
+
+void CommitBlock::Serialize(std::span<uint8_t> out) const {
+  StampHeader(out, JournalRecordType::kCommit, tx_id);
+  StampChecksum(out);
+}
+
+Result<CommitBlock> CommitBlock::Parse(std::span<const uint8_t> in) {
+  CCNVME_RETURN_IF_ERROR(ValidateRecord(in));
+  if (GetU32(in, 4) != static_cast<uint32_t>(JournalRecordType::kCommit)) {
+    return Corruption("not a commit block");
+  }
+  CommitBlock c;
+  c.tx_id = GetU64(in, 8);
+  return c;
+}
+
+void AreaSuperblock::Serialize(std::span<uint8_t> out) const {
+  StampHeader(out, JournalRecordType::kAreaSuper, 0);
+  PutU64(out, 16, start_offset);
+  PutU64(out, 24, cleared_txid);
+  StampChecksum(out);
+}
+
+Result<AreaSuperblock> AreaSuperblock::Parse(std::span<const uint8_t> in) {
+  CCNVME_RETURN_IF_ERROR(ValidateRecord(in));
+  if (GetU32(in, 4) != static_cast<uint32_t>(JournalRecordType::kAreaSuper)) {
+    return Corruption("not an area superblock");
+  }
+  AreaSuperblock sb;
+  sb.start_offset = GetU64(in, 16);
+  sb.cleared_txid = GetU64(in, 24);
+  return sb;
+}
+
+Result<JournalRecordType> PeekRecordType(std::span<const uint8_t> in) {
+  CCNVME_RETURN_IF_ERROR(ValidateRecord(in));
+  const uint32_t t = GetU32(in, 4);
+  switch (static_cast<JournalRecordType>(t)) {
+    case JournalRecordType::kDescriptor:
+    case JournalRecordType::kCommit:
+    case JournalRecordType::kAreaSuper:
+      return static_cast<JournalRecordType>(t);
+  }
+  return Corruption("unknown journal record type");
+}
+
+}  // namespace ccnvme

@@ -1,0 +1,544 @@
+#include "src/mqfs/mq_journal.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/extfs/extfs.h"
+
+namespace ccnvme {
+
+MqJournal::MqJournal(Simulator* sim, BlockLayer* blk, BufferCache* cache,
+                     const FsLayout& layout, const HostCosts& costs, ExtFs* fs,
+                     const MqJournalOptions& options)
+    : sim_(sim),
+      blk_(blk),
+      cache_(cache),
+      costs_(costs),
+      fs_(fs),
+      options_(options),
+      ckpt_mu_(sim) {
+  CCNVME_CHECK(blk->has_ccnvme()) << "MQFS requires the ccNVMe extension";
+  for (uint32_t a = 0; a < layout.journal_areas; ++a) {
+    auto area = std::make_unique<Area>(sim);
+    area->start = layout.area_start(a);
+    area->blocks = layout.blocks_per_area();
+    area->free = area->blocks - 1;
+    areas_.push_back(std::move(area));
+    trees_.push_back(std::make_unique<RadixTree<JhChain>>());
+    tree_mu_.push_back(std::make_unique<SimMutex>(sim));
+    pending_revocations_.emplace_back();
+  }
+}
+
+Status MqJournal::Sync(const SyncOp& op, SyncMode mode) {
+  if (op.data.empty() && op.metadata.empty()) {
+    return OkStatus();
+  }
+  // With fewer areas than hardware queues (the "+ccNVMe without
+  // multi-queue journaling" ablation of Figure 13), queues share areas.
+  const uint32_t qid = blk_->current_queue();
+  const uint32_t area_idx = qid % static_cast<uint32_t>(areas_.size());
+  Area& area = *areas_[area_idx];
+  SimLockGuard build_guard(area.build_mu);
+  const uint64_t tx_id = fs_->AllocTxId();
+
+  CCNVME_CHECK_LE(op.metadata.size(), DescriptorBlock::kMaxEntries)
+      << "metadata set exceeds one descriptor (split the sync op)";
+  const uint64_t needed = op.metadata.size() + 1;
+  if (area.free < needed + area.blocks / 4) {
+    CCNVME_RETURN_IF_ERROR(Checkpoint(area_idx, needed));
+  }
+
+  auto rec = std::make_shared<TxRecord>();
+  rec->tx_id = tx_id;
+  rec->area = area_idx;
+  area.inflight++;
+  const uint64_t t_enter = sim_->now();
+
+  // 1. In-place data blocks ride the same ccNVMe transaction (Figure 14's
+  // iD). Pages stay frozen until their own CQE arrives. A transaction must
+  // fit in the P-SQ ring, so very large data sets overflow to the ordinary
+  // NVMe path (their durability is still awaited below; only atomicity
+  // coverage is ring-bounded, and ordered-mode data was never atomic).
+  constexpr size_t kMaxTxDataBlocks = 64;
+  std::vector<NvmeDriver::RequestHandle> overflow;
+  size_t data_in_tx = 0;
+  for (const BlockBufPtr& buf : op.data) {
+    buf->lock.Lock();
+    while (buf->writeback) {
+      buf->wb_cv.Wait(buf->lock);
+    }
+    buf->BeginWriteback();
+    buf->lock.Unlock();
+    BlockBufPtr keep = buf;
+    if (data_in_tx < kMaxTxDataBlocks) {
+      data_in_tx++;
+      blk_->SubmitTxWrite(tx_id, buf->block_no, &buf->data, [keep] { keep->EndWriteback(); });
+    } else {
+      overflow.push_back(
+          blk_->SubmitWrite(buf->block_no, &buf->data, 0, [keep] { keep->EndWriteback(); }));
+    }
+    buf->dirty = false;
+  }
+  const uint64_t t_data = sim_->now();
+  if (op.trace != nullptr) {
+    op.trace->s_data_ns += t_data - t_enter;  // S-iD: data rides ccNVMe
+  }
+
+  // 2. Metadata blocks: shadow-page a copy (§5.3) or freeze the page until
+  // durability (the ablation showing why shadow paging matters).
+  DescriptorBlock desc;
+  desc.tx_id = tx_id;
+  {
+    SimLockGuard guard(area.mu);
+    desc.revoked.swap(pending_revocations_[area_idx]);
+  }
+  const uint64_t jd_off = [&] {
+    SimLockGuard guard(area.mu);
+    const uint64_t off = area.head;
+    // Reserve the descriptor slot plus one slot per metadata block.
+    uint64_t h = off;
+    for (size_t i = 0; i < op.metadata.size() + 1; ++i) {
+      h = NextOff(area, h);
+    }
+    area.head = h;
+    area.free -= needed;
+    return off;
+  }();
+  rec->blocks_used = needed;
+
+  // Without shadow paging, pages stay frozen until their journal write's
+  // CQE arrives; freezing in ascending block order keeps concurrent queues
+  // from deadlocking on shared metadata blocks (ABBA on the writeback
+  // latch).
+  std::vector<BlockBufPtr> metadata = op.metadata;
+  if (!options_.shadow_paging) {
+    std::sort(metadata.begin(), metadata.end(),
+              [](const BlockBufPtr& a, const BlockBufPtr& b) {
+                return a->block_no < b->block_no;
+              });
+  }
+
+  uint64_t off = NextOff(area, jd_off);
+  uint64_t t_meta_prev = sim_->now();
+  bool first_meta = true;
+  for (const BlockBufPtr& buf : metadata) {
+    const BlockNo journal_lba = area.start + off;
+    const Buffer* payload = nullptr;
+    if (options_.shadow_paging) {
+      buf->lock.Lock();
+      while (buf->writeback) {
+        buf->wb_cv.Wait(buf->lock);
+      }
+      Simulator::Sleep(costs_.fs_memcpy_4k_ns);
+      auto copy = std::make_shared<Buffer>(buf->data);
+      buf->lock.Unlock();
+      rec->copies.push_back(copy);
+      payload = copy.get();
+    } else {
+      // No shadow paging: the page itself is the journal-write source, so
+      // it stays frozen until the member's CQE arrives (the serialization
+      // §5.3's shadow paging removes).
+      buf->lock.Lock();
+      while (buf->writeback) {
+        buf->wb_cv.Wait(buf->lock);
+      }
+      buf->BeginWriteback();
+      buf->lock.Unlock();
+      payload = &buf->data;
+    }
+    buf->dirty = false;
+    desc.entries.push_back(JournalEntry{buf->block_no, Fnv1a(*payload)});
+    rec->writes.push_back(LoggedWrite{buf->block_no, tx_id, *payload});
+
+    // Publish the version in the home block's radix tree (Figure 6).
+    const size_t t = TreeIndex(buf->block_no);
+    SimLockGuard tree_guard(*tree_mu_[t]);
+    JhChain& chain = trees_[t]->GetOrCreate(buf->block_no);
+    chain.versions.push_back(JhVersion{tx_id, journal_lba, qid, JhState::kLog});
+
+    if (options_.shadow_paging) {
+      blk_->SubmitTxWrite(tx_id, journal_lba, payload);
+    } else {
+      BlockBufPtr keep = buf;
+      blk_->SubmitTxWrite(tx_id, journal_lba, payload, [keep] { keep->EndWriteback(); });
+    }
+    off = NextOff(area, off);
+    if (op.trace != nullptr) {
+      const uint64_t t_now = sim_->now();
+      // First metadata block is the inode-table block (S-iM), the rest are
+      // parent/bitmap metadata (S-pM).
+      (first_meta ? op.trace->s_inode_ns : op.trace->s_parent_ns) += t_now - t_meta_prev;
+      t_meta_prev = t_now;
+      first_meta = false;
+    }
+  }
+  rec->end_offset = area.head;
+
+  // 3. The descriptor commits the transaction (REQ_TX_COMMIT); no separate
+  // commit record is needed — the P-SQDB ring plays that role.
+  Simulator::Sleep(costs_.fs_journal_desc_ns);
+  rec->jd = std::make_shared<Buffer>(kFsBlockSize, 0);
+  desc.Serialize(*rec->jd);
+  auto self = this;
+  const uint64_t t_desc0 = sim_->now();
+  auto handle = blk_->CommitTx(tx_id, area.start + jd_off, rec->jd.get(),
+                               [self, rec] { self->FinishTx(rec); });
+  transactions_++;
+  if (op.trace != nullptr) {
+    op.trace->s_desc_ns += sim_->now() - t_desc0 + costs_.fs_journal_desc_ns;
+    op.trace->atomic_ns = sim_->now() - t_enter;
+  }
+
+  for (auto& h : overflow) {
+    CCNVME_RETURN_IF_ERROR(blk_->Wait(h));
+  }
+  if (mode == SyncMode::kFsync) {
+    const uint64_t t_wait0 = sim_->now();
+    blk_->ccnvme()->WaitDurable(handle);
+    Simulator::Sleep(costs_.wakeup_ns);
+    if (op.trace != nullptr) {
+      op.trace->wait_ns = sim_->now() - t_wait0;
+    }
+  }
+  // kFatomic / kFdataatomic: the atomicity point has passed (the doorbell
+  // was rung inside CommitTx); return immediately.
+  return OkStatus();
+}
+
+void MqJournal::FinishTx(const std::shared_ptr<TxRecord>& rec) {
+  Area& area = *areas_[rec->area];
+  LoggedTx logged;
+  logged.tx_id = rec->tx_id;
+  logged.blocks_used = rec->blocks_used;
+  logged.end_offset = rec->end_offset;
+  logged.writes = std::move(rec->writes);
+  area.ckpt.push_back(std::move(logged));
+
+  // log -> logged in the trees.
+  for (const LoggedWrite& w : area.ckpt.back().writes) {
+    const size_t t = TreeIndex(w.home);
+    JhChain* chain = trees_[t]->Find(w.home);
+    if (chain != nullptr) {
+      for (JhVersion& v : chain->versions) {
+        if (v.tx_id == w.tx_id) {
+          v.state = JhState::kLogged;
+        }
+      }
+    }
+  }
+  area.inflight--;
+  if (area.inflight == 0) {
+    area.quiesced.NotifyAll();
+  }
+}
+
+void MqJournal::RevokeBlock(BlockNo block) {
+  const uint32_t area_idx =
+      blk_->current_queue() % static_cast<uint32_t>(areas_.size());
+  if (options_.selective_revocation) {
+    const size_t t = TreeIndex(block);
+    SimLockGuard guard(*tree_mu_[t]);
+    JhChain* chain = trees_[t]->Find(block);
+    if (chain != nullptr) {
+      for (const JhVersion& v : chain->versions) {
+        if (v.state == JhState::kChp) {
+          // Case 1 (§5.4): a stale copy is being checkpointed right now.
+          // Cancel the revocation; the block's next write regresses to data
+          // journaling so a newer journaled version supersedes the stale
+          // in-place write.
+          force_journal_.insert(block);
+          revocations_cancelled_++;
+          return;
+        }
+      }
+      chain->versions.clear();  // case 2: drop stale versions
+    }
+  }
+  // Accept the revocation: recorded in the next descriptor and honoured by
+  // checkpoint and recovery.
+  const uint64_t rev_tx = fs_->AllocTxId();
+  revoked_[block] = std::max(revoked_[block], rev_tx);
+  SimLockGuard guard(areas_[area_idx]->mu);
+  pending_revocations_[area_idx].push_back(block);
+}
+
+bool MqJournal::ForceJournalData(BlockNo block) {
+  return force_journal_.find(block) != force_journal_.end();
+}
+
+Status MqJournal::Checkpoint(uint32_t needy, uint64_t needed) {
+  SimLockGuard guard(ckpt_mu_);
+  Area& target = *areas_[needy];
+  if (target.free >= needed + target.blocks / 8) {
+    return OkStatus();  // someone else freed space while we waited
+  }
+
+  // Pick a tx-id horizon that frees enough space in the needy area.
+  uint64_t horizon = 0;
+  {
+    uint64_t freed = 0;
+    for (const LoggedTx& tx : target.ckpt) {
+      freed += tx.blocks_used;
+      horizon = tx.tx_id;
+      if (target.free + freed >= needed + target.blocks / 2) {
+        break;
+      }
+    }
+  }
+  if (horizon == 0) {
+    // Nothing checkpointable yet: transactions still in flight. Wait for
+    // the device to drain some.
+    while (target.ckpt.empty() && target.inflight > 0) {
+      SimLockGuard amu(target.mu);
+      target.quiesced.WaitFor(target.mu, 100'000);
+    }
+    if (target.ckpt.empty()) {
+      return OutOfSpace("journal area exhausted with nothing checkpointable");
+    }
+    horizon = target.ckpt.front().tx_id;
+  }
+
+  // Collect every area's logged transactions up to the horizon; replaying
+  // by horizon keeps "no journal copy older than an in-place write" true
+  // across areas, which recovery's replay-by-TxID relies on.
+  struct PendingWrite {
+    uint64_t tx_id;
+    const Buffer* content;
+  };
+  std::map<BlockNo, PendingWrite> newest;
+  std::vector<std::pair<Area*, std::vector<LoggedTx>>> popped;
+  for (auto& area_ptr : areas_) {
+    Area& area = *area_ptr;
+    std::vector<LoggedTx> taken;
+    while (!area.ckpt.empty() && area.ckpt.front().tx_id <= horizon) {
+      taken.push_back(std::move(area.ckpt.front()));
+      area.ckpt.pop_front();
+    }
+    if (!taken.empty()) {
+      popped.emplace_back(&area, std::move(taken));
+    }
+  }
+  for (auto& [area, txs] : popped) {
+    (void)area;
+    for (const LoggedTx& tx : txs) {
+      for (const LoggedWrite& w : tx.writes) {
+        auto it = newest.find(w.home);
+        if (it == newest.end() || it->second.tx_id < w.tx_id) {
+          newest[w.home] = PendingWrite{w.tx_id, &w.content};
+        }
+      }
+    }
+  }
+
+  // Write back the newest version of each block — unless an even newer
+  // version is still in some log (it will be checkpointed later), or the
+  // block was revoked after this copy.
+  std::vector<NvmeDriver::RequestHandle> handles;
+  for (auto& [home, pw] : newest) {
+    {
+      auto rit = revoked_.find(home);
+      if (rit != revoked_.end() && rit->second >= pw.tx_id) {
+        continue;
+      }
+    }
+    const size_t t = TreeIndex(home);
+    bool superseded = false;
+    {
+      SimLockGuard tree_guard(*tree_mu_[t]);
+      JhChain* chain = trees_[t]->Find(home);
+      if (chain != nullptr) {
+        for (JhVersion& v : chain->versions) {
+          if (v.tx_id > horizon) {
+            superseded = true;
+          } else if (v.tx_id == pw.tx_id) {
+            v.state = JhState::kChp;  // being checkpointed (Figure 6)
+          }
+        }
+      }
+    }
+    if (superseded) {
+      continue;
+    }
+    handles.push_back(blk_->SubmitWrite(home, pw.content, 0));
+  }
+  for (auto& h : handles) {
+    CCNVME_RETURN_IF_ERROR(blk_->Wait(h));
+  }
+  CCNVME_RETURN_IF_ERROR(blk_->FlushSync());
+
+  // Drop checkpointed versions from the trees and clear case-1 flags whose
+  // stale copies are gone.
+  for (auto& [home, pw] : newest) {
+    (void)pw;
+    const size_t t = TreeIndex(home);
+    SimLockGuard tree_guard(*tree_mu_[t]);
+    JhChain* chain = trees_[t]->Find(home);
+    if (chain != nullptr) {
+      auto& v = chain->versions;
+      v.erase(std::remove_if(v.begin(), v.end(),
+                             [&](const JhVersion& jv) { return jv.tx_id <= horizon; }),
+              v.end());
+      if (v.empty()) {
+        trees_[t]->Erase(home);
+        force_journal_.erase(home);
+      }
+    } else {
+      force_journal_.erase(home);
+    }
+  }
+
+  // Advance each touched area's on-disk superblock.
+  for (auto& [area, txs] : popped) {
+    for (const LoggedTx& tx : txs) {
+      area->free += tx.blocks_used;
+      area->asb.start_offset = tx.end_offset;
+      area->asb.cleared_txid = std::max(area->asb.cleared_txid, tx.tx_id);
+    }
+    CCNVME_RETURN_IF_ERROR(WriteAreaSuper(*area));
+  }
+  checkpoints_++;
+  return OkStatus();
+}
+
+Status MqJournal::WriteAreaSuper(Area& area) {
+  Buffer buf(kFsBlockSize, 0);
+  area.asb.Serialize(buf);
+  return blk_->WriteSync(area.start, buf, kBioFua);
+}
+
+Status MqJournal::Recover() {
+  struct ReplayTx {
+    DescriptorBlock desc;
+    std::vector<BlockNo> journal_lbas;  // parallel to desc.entries
+  };
+  std::vector<ReplayTx> txs;
+
+  for (auto& area_ptr : areas_) {
+    Area& area = *area_ptr;
+    Buffer raw;
+    CCNVME_RETURN_IF_ERROR(blk_->ReadSync(area.start, 1, &raw));
+    CCNVME_ASSIGN_OR_RETURN(area.asb, AreaSuperblock::Parse(raw));
+    uint64_t pos = area.asb.start_offset;
+    uint64_t prev = area.asb.cleared_txid;
+    for (;;) {
+      Buffer block;
+      CCNVME_RETURN_IF_ERROR(blk_->ReadSync(area.start + pos, 1, &block));
+      auto desc = DescriptorBlock::Parse(block);
+      if (!desc.ok() || desc->tx_id <= prev) {
+        break;
+      }
+      ReplayTx rt;
+      rt.desc = std::move(*desc);
+      uint64_t p = NextOff(area, pos);
+      bool valid = true;
+      for (const JournalEntry& e : rt.desc.entries) {
+        Buffer content;
+        CCNVME_RETURN_IF_ERROR(blk_->ReadSync(area.start + p, 1, &content));
+        if (Fnv1a(content) != e.content_checksum) {
+          valid = false;  // transaction never fully reached media: discard
+          break;
+        }
+        rt.journal_lbas.push_back(area.start + p);
+        p = NextOff(area, p);
+      }
+      if (!valid) {
+        break;
+      }
+      prev = rt.desc.tx_id;
+      pos = p;
+      txs.push_back(std::move(rt));
+    }
+    area.asb.start_offset = pos;
+    area.asb.cleared_txid = prev;
+    area.head = pos;
+    area.free = area.blocks - 1;
+  }
+
+  // Global order across queues comes from the transaction IDs (§4.4):
+  // link all areas' transactions and replay sequentially (§5.5).
+  std::sort(txs.begin(), txs.end(),
+            [](const ReplayTx& a, const ReplayTx& b) { return a.desc.tx_id < b.desc.tx_id; });
+
+  std::map<BlockNo, uint64_t> revmap;
+  for (const ReplayTx& rt : txs) {
+    for (BlockNo lba : rt.desc.revoked) {
+      revmap[lba] = std::max(revmap[lba], rt.desc.tx_id);
+    }
+  }
+  for (const ReplayTx& rt : txs) {
+    for (size_t i = 0; i < rt.desc.entries.size(); ++i) {
+      const BlockNo home = rt.desc.entries[i].home_lba;
+      auto it = revmap.find(home);
+      if (it != revmap.end() && it->second >= rt.desc.tx_id) {
+        continue;
+      }
+      Buffer content;
+      CCNVME_RETURN_IF_ERROR(blk_->ReadSync(rt.journal_lbas[i], 1, &content));
+      CCNVME_RETURN_IF_ERROR(blk_->WriteSync(home, content));
+    }
+  }
+  CCNVME_RETURN_IF_ERROR(blk_->FlushSync());
+  for (auto& area_ptr : areas_) {
+    CCNVME_RETURN_IF_ERROR(WriteAreaSuper(*area_ptr));
+  }
+  return OkStatus();
+}
+
+Status MqJournal::Shutdown() {
+  // Graceful shutdown (§5.5): wait for in-progress transactions so nothing
+  // depends on ccNVMe state, then checkpoint every area.
+  for (auto& area_ptr : areas_) {
+    Area& area = *area_ptr;
+    while (area.inflight > 0) {
+      SimLockGuard guard(area.mu);
+      area.quiesced.WaitFor(area.mu, 100'000);
+    }
+  }
+  SimLockGuard guard(ckpt_mu_);
+  std::vector<NvmeDriver::RequestHandle> handles;
+  std::map<BlockNo, std::pair<uint64_t, const Buffer*>> newest;
+  for (auto& area_ptr : areas_) {
+    for (const LoggedTx& tx : area_ptr->ckpt) {
+      for (const LoggedWrite& w : tx.writes) {
+        auto it = newest.find(w.home);
+        if (it == newest.end() || it->second.first < w.tx_id) {
+          newest[w.home] = {w.tx_id, &w.content};
+        }
+      }
+    }
+  }
+  for (auto& [home, v] : newest) {
+    auto rit = revoked_.find(home);
+    if (rit != revoked_.end() && rit->second >= v.first) {
+      continue;
+    }
+    handles.push_back(blk_->SubmitWrite(home, v.second, 0));
+  }
+  for (auto& h : handles) {
+    CCNVME_RETURN_IF_ERROR(blk_->Wait(h));
+  }
+  CCNVME_RETURN_IF_ERROR(blk_->FlushSync());
+  for (auto& area_ptr : areas_) {
+    Area& area = *area_ptr;
+    for (const LoggedTx& tx : area.ckpt) {
+      area.free += tx.blocks_used;
+      area.asb.start_offset = tx.end_offset;
+      area.asb.cleared_txid = std::max(area.asb.cleared_txid, tx.tx_id);
+    }
+    area.ckpt.clear();
+    CCNVME_RETURN_IF_ERROR(WriteAreaSuper(area));
+  }
+  for (auto& tree : trees_) {
+    // All versions checkpointed.
+    std::vector<uint64_t> keys;
+    tree->ForEach([&](uint64_t key, JhChain&) { keys.push_back(key); });
+    for (uint64_t k : keys) {
+      tree->Erase(k);
+    }
+  }
+  force_journal_.clear();
+  return OkStatus();
+}
+
+}  // namespace ccnvme

@@ -1,0 +1,117 @@
+// Radix tree keyed by 64-bit block numbers (4-bit fanout, lazily built).
+//
+// MQFS keeps one of these per journal area to coordinate logging and
+// checkpointing across cores (§5.2): the key is the *home* logical block
+// address of a journaled block, the value is the chain of journaled
+// versions (Figure 6's JH entries).
+#ifndef SRC_MQFS_RADIX_TREE_H_
+#define SRC_MQFS_RADIX_TREE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace ccnvme {
+
+template <typename T>
+class RadixTree {
+ public:
+  static constexpr int kBitsPerLevel = 4;
+  static constexpr int kFanout = 1 << kBitsPerLevel;
+  static constexpr int kLevels = 64 / kBitsPerLevel;
+
+  // Returns the value for |key| or nullptr.
+  T* Find(uint64_t key) {
+    Node* node = &root_;
+    for (int level = kLevels - 1; level >= 0; --level) {
+      const int slot = SlotAt(key, level);
+      if (!node->children[static_cast<size_t>(slot)]) {
+        return nullptr;
+      }
+      node = node->children[static_cast<size_t>(slot)].get();
+    }
+    return node->value ? &*node->value : nullptr;
+  }
+  const T* Find(uint64_t key) const { return const_cast<RadixTree*>(this)->Find(key); }
+
+  // Returns the value for |key|, default-constructing it if absent.
+  T& GetOrCreate(uint64_t key) {
+    Node* node = &root_;
+    for (int level = kLevels - 1; level >= 0; --level) {
+      const int slot = SlotAt(key, level);
+      auto& child = node->children[static_cast<size_t>(slot)];
+      if (!child) {
+        child = std::make_unique<Node>();
+      }
+      node = child.get();
+    }
+    if (!node->value) {
+      node->value.emplace();
+      size_++;
+    }
+    return *node->value;
+  }
+
+  // Removes |key|. Returns true if it was present. (Interior nodes are kept;
+  // block-number key sets are small and reuse-heavy, so this is fine.)
+  bool Erase(uint64_t key) {
+    Node* node = &root_;
+    for (int level = kLevels - 1; level >= 0; --level) {
+      const int slot = SlotAt(key, level);
+      if (!node->children[static_cast<size_t>(slot)]) {
+        return false;
+      }
+      node = node->children[static_cast<size_t>(slot)].get();
+    }
+    if (!node->value) {
+      return false;
+    }
+    node->value.reset();
+    size_--;
+    return true;
+  }
+
+  // Calls fn(key, T&) for every present key in ascending key order.
+  template <typename F>
+  void ForEach(F&& fn) {
+    Walk(&root_, 0, kLevels - 1, std::forward<F>(fn));
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Node {
+    std::array<std::unique_ptr<Node>, kFanout> children;
+    std::optional<T> value;
+  };
+
+  static int SlotAt(uint64_t key, int level) {
+    return static_cast<int>((key >> (level * kBitsPerLevel)) & (kFanout - 1));
+  }
+
+  template <typename F>
+  void Walk(Node* node, uint64_t prefix, int level, F&& fn) {
+    if (level < 0) {
+      if (node->value) {
+        fn(prefix, *node->value);
+      }
+      return;
+    }
+    for (int slot = 0; slot < kFanout; ++slot) {
+      Node* child = node->children[static_cast<size_t>(slot)].get();
+      if (child != nullptr) {
+        Walk(child, (prefix << kBitsPerLevel) | static_cast<uint64_t>(slot), level - 1, fn);
+      }
+    }
+  }
+
+  Node root_;
+  size_t size_ = 0;
+};
+
+}  // namespace ccnvme
+
+#endif  // SRC_MQFS_RADIX_TREE_H_

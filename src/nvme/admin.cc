@@ -1,0 +1,116 @@
+#include "src/nvme/admin.h"
+
+#include "src/common/logging.h"
+
+namespace ccnvme {
+
+void IdentifyController::Serialize(std::span<uint8_t> out) const {
+  CCNVME_CHECK_GE(out.size(), kIdentifyPageSize);
+  std::memset(out.data(), 0, kIdentifyPageSize);
+  PutU16(out, 0, vid);
+  PutString(out, 4, 20, serial);
+  PutString(out, 24, 40, model);
+  PutString(out, 64, 8, firmware);
+  PutU32(out, 516, num_namespaces);
+  PutU16(out, 520, max_io_queues);
+  PutU64(out, 524, pmr_size_bytes);
+  PutU16(out, 532, max_queue_depth);
+}
+
+Result<IdentifyController> IdentifyController::Parse(std::span<const uint8_t> in) {
+  if (in.size() < kIdentifyPageSize) {
+    return InvalidArgument("short identify page");
+  }
+  IdentifyController id;
+  id.vid = GetU16(in, 0);
+  id.serial = GetString(in, 4, 20);
+  id.model = GetString(in, 24, 40);
+  id.firmware = GetString(in, 64, 8);
+  id.num_namespaces = GetU32(in, 516);
+  id.max_io_queues = GetU16(in, 520);
+  id.pmr_size_bytes = GetU64(in, 524);
+  id.max_queue_depth = GetU16(in, 532);
+  return id;
+}
+
+void DeviceStatsLog::Serialize(std::span<uint8_t> out) const {
+  CCNVME_CHECK_GE(out.size(), size_t{512});
+  std::memset(out.data(), 0, 512);
+  PutU64(out, 0, commands_executed);
+  PutU64(out, 8, media_reads);
+  PutU64(out, 16, media_writes);
+  PutU64(out, 24, media_flushes);
+}
+
+Result<DeviceStatsLog> DeviceStatsLog::Parse(std::span<const uint8_t> in) {
+  if (in.size() < 512) {
+    return InvalidArgument("short stats log page");
+  }
+  DeviceStatsLog log;
+  log.commands_executed = GetU64(in, 0);
+  log.media_reads = GetU64(in, 8);
+  log.media_writes = GetU64(in, 16);
+  log.media_flushes = GetU64(in, 24);
+  return log;
+}
+
+NvmeCommand MakeIdentifyCmd() {
+  NvmeCommand cmd;
+  cmd.opcode = static_cast<uint8_t>(AdminOpcode::kIdentify);
+  cmd.slba = 0x01;  // CDW10 = CNS 0x01 (controller)
+  return cmd;
+}
+
+NvmeCommand MakeGetLogPageCmd(uint8_t page_id) {
+  NvmeCommand cmd;
+  cmd.opcode = static_cast<uint8_t>(AdminOpcode::kGetLogPage);
+  cmd.slba = page_id;  // CDW10 low byte = LID
+  return cmd;
+}
+
+NvmeCommand MakeSetNumQueuesCmd(uint16_t requested) {
+  NvmeCommand cmd;
+  cmd.opcode = static_cast<uint8_t>(AdminOpcode::kSetFeatures);
+  // CDW10 = FID, CDW11 = (NCQR << 16) | NSQR, both 0-based.
+  cmd.slba = kFeatureNumQueues |
+             (static_cast<uint64_t>(((requested - 1u) << 16) | (requested - 1u)) << 32);
+  return cmd;
+}
+
+NvmeCommand MakeCreateIoCqCmd(uint16_t qid, uint16_t depth) {
+  NvmeCommand cmd;
+  cmd.opcode = static_cast<uint8_t>(AdminOpcode::kCreateIoCq);
+  // CDW10 = (queue size - 1) << 16 | qid.
+  cmd.slba = static_cast<uint64_t>((static_cast<uint32_t>(depth - 1) << 16) | qid);
+  return cmd;
+}
+
+NvmeCommand MakeCreateIoSqCmd(uint16_t qid, uint16_t depth, bool pmr_backed,
+                              uint64_t pmr_offset) {
+  NvmeCommand cmd;
+  cmd.opcode = static_cast<uint8_t>(AdminOpcode::kCreateIoSq);
+  uint32_t cdw11 = kSqFlagContiguous | (static_cast<uint32_t>(qid) << 17);
+  if (pmr_backed) {
+    cdw11 |= kSqFlagPmrBacked;
+  }
+  cmd.slba = static_cast<uint64_t>((static_cast<uint32_t>(depth - 1) << 16) | qid) |
+             (static_cast<uint64_t>(cdw11) << 32);
+  cmd.prp1 = pmr_offset;
+  return cmd;
+}
+
+NvmeCommand MakeDeleteIoSqCmd(uint16_t qid) {
+  NvmeCommand cmd;
+  cmd.opcode = static_cast<uint8_t>(AdminOpcode::kDeleteIoSq);
+  cmd.slba = qid;
+  return cmd;
+}
+
+NvmeCommand MakeDeleteIoCqCmd(uint16_t qid) {
+  NvmeCommand cmd;
+  cmd.opcode = static_cast<uint8_t>(AdminOpcode::kDeleteIoCq);
+  cmd.slba = qid;
+  return cmd;
+}
+
+}  // namespace ccnvme

@@ -1,0 +1,85 @@
+// NVMe admin command set (the subset the stack uses).
+//
+// The host brings the controller up the way the spec prescribes: submit
+// Identify to learn the controller's capabilities, negotiate the queue
+// count with Set Features (Number of Queues), then create each I/O
+// completion/submission queue pair with Create I/O CQ / Create I/O SQ.
+// ccNVMe's persistent submission queues are requested with a
+// vendor-specific flag in the Create I/O SQ command (the PMR offset rides
+// in PRP1), which is how a PMR-aware controller distinguishes a P-SQ from a
+// host-memory SQ without any new opcode.
+#ifndef SRC_NVME_ADMIN_H_
+#define SRC_NVME_ADMIN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/nvme/command.h"
+
+namespace ccnvme {
+
+enum class AdminOpcode : uint8_t {
+  kDeleteIoSq = 0x00,
+  kCreateIoSq = 0x01,
+  kGetLogPage = 0x02,
+  kDeleteIoCq = 0x04,
+  kCreateIoCq = 0x05,
+  kIdentify = 0x06,
+  kSetFeatures = 0x09,
+  kGetFeatures = 0x0A,
+};
+
+// Feature identifiers (CDW10 of Set/Get Features).
+inline constexpr uint32_t kFeatureNumQueues = 0x07;
+
+// Vendor-specific flag in Create I/O SQ CDW11: the SQ lives in the PMR at
+// the offset given by PRP1 (ccNVMe's persistent submission queue).
+inline constexpr uint32_t kSqFlagPmrBacked = 1u << 16;
+// Standard "physically contiguous" flag.
+inline constexpr uint32_t kSqFlagContiguous = 1u << 0;
+
+inline constexpr size_t kIdentifyPageSize = 4096;
+
+// Identify Controller data structure (CNS 0x01), 4096 bytes. Only the
+// fields the host consumes are modeled, at spec-faithful offsets.
+struct IdentifyController {
+  uint16_t vid = 0xCC17;
+  std::string serial;      // bytes 4..23
+  std::string model;       // bytes 24..63
+  std::string firmware;    // bytes 64..71
+  uint32_t num_namespaces = 1;   // bytes 516..519 (NN)
+  uint16_t max_io_queues = 0;    // modeled at bytes 520..521
+  uint64_t pmr_size_bytes = 0;   // modeled at bytes 524..531
+  uint16_t max_queue_depth = 0;  // modeled at bytes 532..533
+
+  void Serialize(std::span<uint8_t> out) const;
+  static Result<IdentifyController> Parse(std::span<const uint8_t> in);
+};
+
+// Get Log Page (vendor page 0xC0): live device statistics, used by the
+// inspector tooling.
+struct DeviceStatsLog {
+  uint64_t commands_executed = 0;
+  uint64_t media_reads = 0;
+  uint64_t media_writes = 0;
+  uint64_t media_flushes = 0;
+
+  void Serialize(std::span<uint8_t> out) const;
+  static Result<DeviceStatsLog> Parse(std::span<const uint8_t> in);
+};
+
+// Builders for the admin SQEs the host submits.
+NvmeCommand MakeIdentifyCmd();
+NvmeCommand MakeGetLogPageCmd(uint8_t page_id);
+NvmeCommand MakeSetNumQueuesCmd(uint16_t requested);
+NvmeCommand MakeCreateIoCqCmd(uint16_t qid, uint16_t depth);
+NvmeCommand MakeCreateIoSqCmd(uint16_t qid, uint16_t depth, bool pmr_backed,
+                              uint64_t pmr_offset);
+NvmeCommand MakeDeleteIoSqCmd(uint16_t qid);
+NvmeCommand MakeDeleteIoCqCmd(uint16_t qid);
+
+}  // namespace ccnvme
+
+#endif  // SRC_NVME_ADMIN_H_

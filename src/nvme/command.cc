@@ -1,0 +1,56 @@
+#include "src/nvme/command.h"
+
+#include "src/common/logging.h"
+
+namespace ccnvme {
+
+void NvmeCommand::Serialize(std::span<uint8_t> out) const {
+  CCNVME_CHECK_GE(out.size(), kSqeSize);
+  std::memset(out.data(), 0, kSqeSize);
+  out[0] = opcode;                 // CDW0 byte 0: opcode
+  PutU16(out, 2, cid);             // CDW0 bytes 2-3: command identifier
+  PutU32(out, 4, nsid);            // CDW1: namespace
+  PutU64(out, 8, tx_id);           // CDW2-3: ccNVMe transaction ID
+  PutU64(out, 24, prp1);           // CDW6-7: PRP entry 1
+  PutU64(out, 40, slba);           // CDW10-11: starting LBA
+  PutU32(out, 48, cdw12);          // CDW12: NLB | attrs | FUA
+}
+
+NvmeCommand NvmeCommand::Parse(std::span<const uint8_t> in) {
+  CCNVME_CHECK_GE(in.size(), kSqeSize);
+  NvmeCommand cmd;
+  cmd.opcode = in[0];
+  cmd.cid = GetU16(in, 2);
+  cmd.nsid = GetU32(in, 4);
+  cmd.tx_id = GetU64(in, 8);
+  cmd.prp1 = GetU64(in, 24);
+  cmd.slba = GetU64(in, 40);
+  cmd.cdw12 = GetU32(in, 48);
+  return cmd;
+}
+
+void NvmeCompletion::Serialize(std::span<uint8_t> out) const {
+  CCNVME_CHECK_GE(out.size(), kCqeSize);
+  std::memset(out.data(), 0, kCqeSize);
+  PutU32(out, 0, result);
+  PutU16(out, 8, sq_head);
+  PutU16(out, 10, sq_id);
+  PutU16(out, 12, cid);
+  const uint16_t status_field = static_cast<uint16_t>((status << 1) | (phase ? 1 : 0));
+  PutU16(out, 14, status_field);
+}
+
+NvmeCompletion NvmeCompletion::Parse(std::span<const uint8_t> in) {
+  CCNVME_CHECK_GE(in.size(), kCqeSize);
+  NvmeCompletion cqe;
+  cqe.result = GetU32(in, 0);
+  cqe.sq_head = GetU16(in, 8);
+  cqe.sq_id = GetU16(in, 10);
+  cqe.cid = GetU16(in, 12);
+  const uint16_t status_field = GetU16(in, 14);
+  cqe.phase = (status_field & 1) != 0;
+  cqe.status = static_cast<uint16_t>(status_field >> 1);
+  return cqe;
+}
+
+}  // namespace ccnvme

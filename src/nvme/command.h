@@ -1,0 +1,86 @@
+// NVMe command and completion formats, including the ccNVMe extensions.
+//
+// ccNVMe embeds its transaction metadata in fields the NVMe 1.2-1.4 specs
+// reserve (Table 2 of the paper), so a ccNVMe command is a valid NVMe
+// command and an unmodified controller can fetch and execute it:
+//   * Dword 2-3  (bits 0:63)  -> 64-bit transaction ID
+//   * Dword 12   (bits 16:19) -> REQ_TX / REQ_TX_COMMIT attributes
+//
+// Commands serialize to the standard 64-byte submission-queue entry layout;
+// the persistent submission queues store exactly these bytes, and crash
+// recovery parses them back out of the PMR.
+#ifndef SRC_NVME_COMMAND_H_
+#define SRC_NVME_COMMAND_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/common/bytes.h"
+
+namespace ccnvme {
+
+inline constexpr size_t kSqeSize = 64;
+inline constexpr size_t kCqeSize = 16;
+inline constexpr uint32_t kLbaSize = 4096;
+
+enum class NvmeOpcode : uint8_t {
+  kFlush = 0x00,
+  kWrite = 0x01,
+  kRead = 0x02,
+};
+
+// CDW12 bit layout for I/O commands.
+inline constexpr uint32_t kCdw12NlbMask = 0xFFFF;     // 0-based block count
+inline constexpr uint32_t kCdw12ReqTx = 1u << 16;     // ccNVMe: part of a transaction
+inline constexpr uint32_t kCdw12ReqTxCommit = 1u << 17;  // ccNVMe: commit record
+inline constexpr uint32_t kCdw12Fua = 1u << 30;       // NVMe: force unit access
+
+struct NvmeCommand {
+  uint8_t opcode = 0;
+  uint16_t cid = 0;
+  uint32_t nsid = 1;
+  uint64_t tx_id = 0;  // ccNVMe transaction ID (reserved dwords 2-3)
+  uint64_t prp1 = 0;   // host data handle (models the PRP list)
+  uint64_t slba = 0;
+  uint32_t cdw12 = 0;
+
+  NvmeOpcode op() const { return static_cast<NvmeOpcode>(opcode); }
+  // Number of logical blocks (NLB is 0-based on the wire).
+  uint32_t num_blocks() const { return (cdw12 & kCdw12NlbMask) + 1; }
+  void set_num_blocks(uint32_t n) {
+    cdw12 = (cdw12 & ~kCdw12NlbMask) | ((n - 1) & kCdw12NlbMask);
+  }
+  uint64_t byte_offset() const { return slba * kLbaSize; }
+  // Admin commands reinterpret the SLBA dwords as CDW10/CDW11.
+  uint32_t cdw10() const { return static_cast<uint32_t>(slba & 0xFFFFFFFFu); }
+  uint32_t cdw11() const { return static_cast<uint32_t>(slba >> 32); }
+  uint64_t byte_length() const { return static_cast<uint64_t>(num_blocks()) * kLbaSize; }
+
+  bool is_tx() const { return (cdw12 & kCdw12ReqTx) != 0; }
+  bool is_tx_commit() const { return (cdw12 & kCdw12ReqTxCommit) != 0; }
+  bool fua() const { return (cdw12 & kCdw12Fua) != 0; }
+  bool is_io() const {
+    return op() == NvmeOpcode::kWrite || op() == NvmeOpcode::kRead;
+  }
+
+  void Serialize(std::span<uint8_t> out) const;
+  static NvmeCommand Parse(std::span<const uint8_t> in);
+};
+
+// Completion queue entry. The phase tag flips each time the ring wraps so
+// the host can detect new entries without a head register read.
+struct NvmeCompletion {
+  uint32_t result = 0;
+  uint16_t sq_head = 0;
+  uint16_t sq_id = 0;
+  uint16_t cid = 0;
+  bool phase = false;
+  uint16_t status = 0;  // 0 == success
+
+  void Serialize(std::span<uint8_t> out) const;
+  static NvmeCompletion Parse(std::span<const uint8_t> in);
+};
+
+}  // namespace ccnvme
+
+#endif  // SRC_NVME_COMMAND_H_

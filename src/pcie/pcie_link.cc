@@ -1,0 +1,99 @@
+#include "src/pcie/pcie_link.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ccnvme {
+
+std::string TrafficStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "mmio_w=%llu mmio_r=%llu dmaQ=%llu blkio=%llu irq=%llu",
+                static_cast<unsigned long long>(mmio_writes),
+                static_cast<unsigned long long>(mmio_reads),
+                static_cast<unsigned long long>(dma_queue_ops),
+                static_cast<unsigned long long>(block_ios),
+                static_cast<unsigned long long>(irqs));
+  return buf;
+}
+
+PcieLink::PcieLink(Simulator* sim, const PcieConfig& config)
+    : sim_(sim),
+      config_(config),
+      down_(sim, "pcie_down", config.downstream_bytes_per_sec),
+      up_(sim, "pcie_up", config.upstream_bytes_per_sec) {}
+
+void PcieLink::CpuStoreToWc(uint64_t bytes) {
+  Simulator::Sleep(CacheLines(bytes) * config_.store_per_line_ns);
+}
+
+void PcieLink::CpuFlushLines(uint64_t bytes) {
+  Simulator::Sleep(CacheLines(bytes) * config_.clflush_per_line_ns);
+}
+
+void PcieLink::MmioWrite(uint64_t bytes) {
+  traffic_.mmio_writes++;
+  traffic_.mmio_write_bytes += bytes;
+  // CPU-side: fixed TLP issue cost. The burst then drains through the WC
+  // engine at mmio_write_bytes_per_sec without stalling the CPU (posted).
+  const uint64_t drain_ns = config_.mmio_write_bytes_per_sec == 0
+                                ? 0
+                                : static_cast<uint64_t>(static_cast<double>(bytes) * 1e9 /
+                                                        static_cast<double>(
+                                                            config_.mmio_write_bytes_per_sec));
+  const uint64_t now = sim_->now();
+  const uint64_t start = std::max(now, mmio_drain_at_ns_);
+  mmio_drain_at_ns_ = start + drain_ns;
+  uint64_t stall = config_.mmio_write_overhead_ns;
+  if (mmio_drain_at_ns_ > now + config_.max_mmio_backlog_ns) {
+    // WC buffers full: the CPU stalls until the backlog drains below cap.
+    stall += mmio_drain_at_ns_ - now - config_.max_mmio_backlog_ns;
+  }
+  Simulator::Sleep(stall);
+}
+
+void PcieLink::MmioReadFence(uint64_t bytes) {
+  traffic_.mmio_reads++;
+  const uint64_t now = sim_->now();
+  // The read must not pass posted writes: wait for the drain horizon, then
+  // pay a round trip plus payload return time.
+  uint64_t wait = mmio_drain_at_ns_ > now ? mmio_drain_at_ns_ - now : 0;
+  wait += config_.read_rtt_ns;
+  if (bytes > 0 && config_.mmio_read_bytes_per_sec > 0) {
+    wait += static_cast<uint64_t>(static_cast<double>(bytes) * 1e9 /
+                                  static_cast<double>(config_.mmio_read_bytes_per_sec));
+  }
+  Simulator::Sleep(wait);
+}
+
+void PcieLink::DmaQueueFetch(uint64_t bytes) {
+  traffic_.dma_queue_ops++;
+  traffic_.dma_queue_bytes += bytes;
+  Simulator::Sleep(config_.dma_setup_ns);
+  up_.Transfer(bytes);
+}
+
+void PcieLink::DmaQueuePost(uint64_t bytes) {
+  traffic_.dma_queue_ops++;
+  traffic_.dma_queue_bytes += bytes;
+  Simulator::Sleep(config_.dma_setup_ns);
+  up_.Transfer(bytes);
+}
+
+void PcieLink::DmaData(uint64_t bytes, bool to_device) {
+  traffic_.block_ios++;
+  traffic_.block_io_bytes += bytes;
+  Simulator::Sleep(config_.dma_setup_ns);
+  if (to_device) {
+    down_.Transfer(bytes);
+  } else {
+    up_.Transfer(bytes);
+  }
+}
+
+void PcieLink::RaiseIrq(std::function<void()> handler) {
+  traffic_.irqs++;
+  sim_->Schedule(config_.irq_delivery_ns, std::move(handler));
+}
+
+}  // namespace ccnvme

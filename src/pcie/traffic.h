@@ -1,0 +1,52 @@
+// PCIe traffic accounting.
+//
+// Table 1 of the paper compares systems by the number of PCIe-crossing
+// operations needed to make a transaction crash-consistent: MMIOs, DMAs of
+// queue entries, 4 KB block I/Os and interrupt requests. Every model in this
+// repository increments these counters at the exact point the corresponding
+// TLP would cross the link, so the Table 1 bench can read them back.
+#ifndef SRC_PCIE_TRAFFIC_H_
+#define SRC_PCIE_TRAFFIC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ccnvme {
+
+struct TrafficStats {
+  // Host -> device programmed I/O. A write-combined burst counts as one
+  // MMIO write regardless of payload size; each doorbell ring is one write.
+  uint64_t mmio_writes = 0;
+  uint64_t mmio_write_bytes = 0;
+  // Non-posted reads (ccNVMe's zero-length flushing read and PMR loads).
+  uint64_t mmio_reads = 0;
+  // Device-initiated transfers of *queue entries* over PCIe: SQE fetches
+  // from host memory and CQE posts to host memory. Fetches from the PMR
+  // P-SQ are device-internal and deliberately NOT counted here.
+  uint64_t dma_queue_ops = 0;
+  uint64_t dma_queue_bytes = 0;
+  // Data block transfers (the paper's "Block I/O" column).
+  uint64_t block_ios = 0;
+  uint64_t block_io_bytes = 0;
+  // MSI-X interrupts delivered to the host.
+  uint64_t irqs = 0;
+
+  TrafficStats operator-(const TrafficStats& other) const {
+    TrafficStats d;
+    d.mmio_writes = mmio_writes - other.mmio_writes;
+    d.mmio_write_bytes = mmio_write_bytes - other.mmio_write_bytes;
+    d.mmio_reads = mmio_reads - other.mmio_reads;
+    d.dma_queue_ops = dma_queue_ops - other.dma_queue_ops;
+    d.dma_queue_bytes = dma_queue_bytes - other.dma_queue_bytes;
+    d.block_ios = block_ios - other.block_ios;
+    d.block_io_bytes = block_io_bytes - other.block_io_bytes;
+    d.irqs = irqs - other.irqs;
+    return d;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace ccnvme
+
+#endif  // SRC_PCIE_TRAFFIC_H_

@@ -1,0 +1,157 @@
+#include "src/sim/sync.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace ccnvme {
+
+void SimMutex::Lock() {
+  Actor* self = Simulator::CurrentActor();
+  CCNVME_CHECK(self != nullptr) << "SimMutex::Lock outside an actor";
+  CCNVME_CHECK(owner_ != self) << "recursive SimMutex::Lock by " << self->name();
+  if (owner_ == nullptr) {
+    owner_ = self;
+    return;
+  }
+  waiters_.push_back(self);
+  sim_->SuspendCurrent();
+  // Ownership was handed to us by Unlock before we were resumed.
+  CCNVME_CHECK(owner_ == self);
+}
+
+bool SimMutex::TryLock() {
+  Actor* self = Simulator::CurrentActor();
+  CCNVME_CHECK(self != nullptr);
+  if (owner_ != nullptr) {
+    return false;
+  }
+  owner_ = self;
+  return true;
+}
+
+void SimMutex::Unlock() {
+  if (sim_->shutting_down()) {
+    // Unwinding actors release guards for mutexes they may not own (they
+    // were parked inside a CondVar wait). Ignore; everything is torn down.
+    return;
+  }
+  CCNVME_CHECK(owner_ == Simulator::CurrentActor()) << "unlock by non-owner";
+  if (waiters_.empty()) {
+    owner_ = nullptr;
+    return;
+  }
+  Actor* next = waiters_.front();
+  waiters_.pop_front();
+  owner_ = next;
+  sim_->ResumeActor(next);
+}
+
+void SimCondVar::Wait(SimMutex& mu) {
+  Actor* self = Simulator::CurrentActor();
+  CCNVME_CHECK(self != nullptr);
+  auto node = std::make_shared<WaitNode>();
+  node->actor = self;
+  waiters_.push_back(node);
+  mu.Unlock();
+  sim_->SuspendCurrent();
+  CCNVME_CHECK(node->notified);
+  mu.Lock();
+}
+
+bool SimCondVar::WaitFor(SimMutex& mu, uint64_t timeout_ns) {
+  Actor* self = Simulator::CurrentActor();
+  CCNVME_CHECK(self != nullptr);
+  auto node = std::make_shared<WaitNode>();
+  node->actor = self;
+  waiters_.push_back(node);
+  sim_->Schedule(timeout_ns, [this, node] {
+    if (node->notified || node->timed_out) {
+      return;
+    }
+    node->timed_out = true;
+    // Drop the node from the wait list so NotifyOne skips it.
+    waiters_.erase(std::remove(waiters_.begin(), waiters_.end(), node), waiters_.end());
+    sim_->ResumeActor(node->actor);
+  });
+  mu.Unlock();
+  sim_->SuspendCurrent();
+  mu.Lock();
+  return node->notified;
+}
+
+void SimCondVar::NotifyOne() {
+  while (!waiters_.empty()) {
+    auto node = waiters_.front();
+    waiters_.pop_front();
+    if (node->timed_out) {
+      continue;
+    }
+    node->notified = true;
+    sim_->ResumeActor(node->actor);
+    return;
+  }
+}
+
+void SimCondVar::NotifyAll() {
+  std::deque<std::shared_ptr<WaitNode>> pending;
+  pending.swap(waiters_);
+  for (auto& node : pending) {
+    if (node->timed_out) {
+      continue;
+    }
+    node->notified = true;
+    sim_->ResumeActor(node->actor);
+  }
+}
+
+void SimSemaphore::Acquire(uint64_t n) {
+  Actor* self = Simulator::CurrentActor();
+  CCNVME_CHECK(self != nullptr);
+  if (waiters_.empty() && count_ >= n) {
+    count_ -= n;
+    return;
+  }
+  waiters_.push_back(WaitNode{self, n});
+  sim_->SuspendCurrent();
+}
+
+bool SimSemaphore::TryAcquire(uint64_t n) {
+  if (!waiters_.empty() || count_ < n) {
+    return false;
+  }
+  count_ -= n;
+  return true;
+}
+
+void SimSemaphore::Release(uint64_t n) {
+  count_ += n;
+  // FIFO grant: strict head-of-line ordering so large requests cannot starve.
+  while (!waiters_.empty() && count_ >= waiters_.front().amount) {
+    WaitNode node = waiters_.front();
+    waiters_.pop_front();
+    count_ -= node.amount;
+    sim_->ResumeActor(node.actor);
+  }
+}
+
+void SimCompletion::Wait() {
+  if (signaled_) {
+    return;
+  }
+  Actor* self = Simulator::CurrentActor();
+  CCNVME_CHECK(self != nullptr);
+  waiters_.push_back(self);
+  sim_->SuspendCurrent();
+}
+
+void SimCompletion::Signal() {
+  signaled_ = true;
+  std::deque<Actor*> pending;
+  pending.swap(waiters_);
+  for (Actor* actor : pending) {
+    sim_->ResumeActor(actor);
+  }
+}
+
+}  // namespace ccnvme

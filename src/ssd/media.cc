@@ -1,0 +1,92 @@
+#include "src/ssd/media.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace ccnvme {
+
+MediaStore::MediaStore(uint64_t capacity_bytes, uint32_t block_size)
+    : capacity_(capacity_bytes), block_size_(block_size) {
+  CCNVME_CHECK_GT(block_size_, 0u);
+  CCNVME_CHECK_EQ(capacity_ % block_size_, 0u);
+}
+
+void MediaStore::CheckRange(uint64_t offset, size_t size) const {
+  CCNVME_CHECK_EQ(offset % block_size_, 0u) << "unaligned media offset";
+  CCNVME_CHECK_EQ(size % block_size_, 0u) << "unaligned media size";
+  CCNVME_CHECK_LE(offset + size, capacity_) << "media access out of range";
+}
+
+void MediaStore::ApplyTo(BlockMap& view, uint64_t offset, std::span<const uint8_t> data) {
+  const uint64_t first_block = offset / block_size_;
+  const uint64_t num_blocks = data.size() / block_size_;
+  for (uint64_t i = 0; i < num_blocks; ++i) {
+    Buffer& blk = view[first_block + i];
+    blk.resize(block_size_);
+    std::memcpy(blk.data(), data.data() + i * block_size_, block_size_);
+  }
+}
+
+void MediaStore::ReadFrom(const BlockMap& view, uint64_t offset, std::span<uint8_t> out) const {
+  const uint64_t first_block = offset / block_size_;
+  const uint64_t num_blocks = out.size() / block_size_;
+  for (uint64_t i = 0; i < num_blocks; ++i) {
+    auto it = view.find(first_block + i);
+    uint8_t* dst = out.data() + i * block_size_;
+    if (it == view.end()) {
+      std::memset(dst, 0, block_size_);
+    } else {
+      std::memcpy(dst, it->second.data(), block_size_);
+    }
+  }
+}
+
+void MediaStore::WriteDurable(uint64_t offset, std::span<const uint8_t> data) {
+  CheckRange(offset, data.size());
+  ApplyTo(current_, offset, data);
+  ApplyTo(durable_, offset, data);
+}
+
+uint64_t MediaStore::WriteCached(uint64_t offset, std::span<const uint8_t> data) {
+  CheckRange(offset, data.size());
+  ApplyTo(current_, offset, data);
+  PendingWrite pw;
+  pw.seq = next_seq_++;
+  pw.offset = offset;
+  pw.data.assign(data.begin(), data.end());
+  pending_bytes_ += data.size();
+  pending_.push_back(std::move(pw));
+  return pending_.back().seq;
+}
+
+void MediaStore::Read(uint64_t offset, std::span<uint8_t> out) const {
+  CheckRange(offset, out.size());
+  ReadFrom(current_, offset, out);
+}
+
+void MediaStore::ReadDurable(uint64_t offset, std::span<uint8_t> out) const {
+  CheckRange(offset, out.size());
+  ReadFrom(durable_, offset, out);
+}
+
+void MediaStore::Flush() {
+  for (const PendingWrite& pw : pending_) {
+    ApplyTo(durable_, pw.offset, pw.data);
+  }
+  pending_.clear();
+  pending_bytes_ = 0;
+}
+
+void MediaStore::PowerCut(const std::set<uint64_t>& survivors) {
+  for (const PendingWrite& pw : pending_) {
+    if (survivors.count(pw.seq) != 0) {
+      ApplyTo(durable_, pw.offset, pw.data);
+    }
+  }
+  pending_.clear();
+  pending_bytes_ = 0;
+  current_ = durable_;
+}
+
+}  // namespace ccnvme

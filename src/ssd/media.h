@@ -1,0 +1,91 @@
+// Persistent media store with volatile write-cache semantics.
+//
+// The store maintains two views:
+//   * the *current* view — what reads observe (newest data, cache included)
+//   * the *durable* view — what survives a power cut
+// A cached write updates the current view and records a pending entry; Flush
+// promotes all pending writes to the durable view. PowerCut discards pending
+// writes except an arbitrary survivor subset, modeling the undefined destage
+// order of a volatile cache — exactly the reordering space a CrashMonkey-style
+// tester must explore.
+#ifndef SRC_SSD_MEDIA_H_
+#define SRC_SSD_MEDIA_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "src/common/bytes.h"
+
+namespace ccnvme {
+
+class MediaStore {
+ public:
+  MediaStore(uint64_t capacity_bytes, uint32_t block_size = 4096);
+
+  uint64_t capacity() const { return capacity_; }
+  uint32_t block_size() const { return block_size_; }
+
+  // Durable write: current and durable views both updated. Offset and size
+  // must be block-aligned.
+  void WriteDurable(uint64_t offset, std::span<const uint8_t> data);
+
+  // Cached write: visible to reads immediately, durable only after Flush (or
+  // if selected as a power-cut survivor). Returns the pending sequence id.
+  uint64_t WriteCached(uint64_t offset, std::span<const uint8_t> data);
+
+  // Reads the current view.
+  void Read(uint64_t offset, std::span<uint8_t> out) const;
+  // Reads the durable view (what a post-crash mount would see).
+  void ReadDurable(uint64_t offset, std::span<uint8_t> out) const;
+
+  // Promotes all pending cached writes to the durable view.
+  void Flush();
+
+  struct PendingWrite {
+    uint64_t seq;
+    uint64_t offset;
+    Buffer data;
+  };
+  const std::vector<PendingWrite>& pending() const { return pending_; }
+
+  // Power loss: applies pending writes whose seq is in |survivors| (in seq
+  // order) to the durable view, drops the rest, and resets the current view
+  // to the durable one.
+  void PowerCut(const std::set<uint64_t>& survivors);
+  void PowerCutLoseAll() { PowerCut({}); }
+
+  uint64_t pending_bytes() const { return pending_bytes_; }
+
+  using BlockMap = std::map<uint64_t, Buffer>;  // block index -> block data
+
+  // Crash/remount support: capture the durable view, or install one (a new
+  // "device" booting from the bytes that survived a power cut).
+  BlockMap SnapshotDurable() const { return durable_; }
+  void LoadDurable(BlockMap blocks) {
+    durable_ = std::move(blocks);
+    current_ = durable_;
+    pending_.clear();
+    pending_bytes_ = 0;
+  }
+
+ private:
+
+  void ApplyTo(BlockMap& view, uint64_t offset, std::span<const uint8_t> data);
+  void ReadFrom(const BlockMap& view, uint64_t offset, std::span<uint8_t> out) const;
+  void CheckRange(uint64_t offset, size_t size) const;
+
+  uint64_t capacity_;
+  uint32_t block_size_;
+  BlockMap current_;
+  BlockMap durable_;
+  std::vector<PendingWrite> pending_;
+  uint64_t pending_bytes_ = 0;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace ccnvme
+
+#endif  // SRC_SSD_MEDIA_H_

@@ -1,0 +1,64 @@
+#include "src/vfs/buffer_cache.h"
+
+namespace ccnvme {
+
+Result<BlockBufPtr> BufferCache::GetBlock(BlockNo block) {
+  auto it = cache_.find(block);
+  if (it != cache_.end()) {
+    BlockBufPtr buf = it->second;
+    if (!buf->uptodate) {
+      // Another actor is reading this block right now; the reader holds the
+      // page lock for the duration of the I/O.
+      buf->lock.Lock();
+      buf->lock.Unlock();
+      if (!buf->uptodate) {
+        return IoError("concurrent read of block " + std::to_string(block) + " failed");
+      }
+    }
+    return buf;
+  }
+  // Publish the buffer *before* the read so concurrent missers share it —
+  // the read I/O yields, and a private second copy would silently fork the
+  // block's contents.
+  auto buf = std::make_shared<BlockBuf>(sim_, block);
+  cache_[block] = buf;
+  buf->lock.Lock();
+  Status st = blk_->ReadSync(block, 1, &buf->data);
+  if (st.ok()) {
+    buf->uptodate = true;
+  } else {
+    cache_.erase(block);
+  }
+  buf->lock.Unlock();
+  if (!st.ok()) {
+    return st;
+  }
+  return buf;
+}
+
+BlockBufPtr BufferCache::GetBlockNoRead(BlockNo block) {
+  auto it = cache_.find(block);
+  if (it != cache_.end()) {
+    return it->second;
+  }
+  auto buf = std::make_shared<BlockBuf>(sim_, block);
+  buf->uptodate = true;
+  cache_[block] = buf;
+  return buf;
+}
+
+void BufferCache::Forget(BlockNo block) { cache_.erase(block); }
+
+Status BufferCache::WriteBlockSync(BlockNo block, uint32_t flags) {
+  auto it = cache_.find(block);
+  if (it == cache_.end()) {
+    return NotFound("block " + std::to_string(block) + " not cached");
+  }
+  Status st = blk_->WriteSync(block, it->second->data, flags);
+  if (st.ok()) {
+    it->second->dirty = false;
+  }
+  return st;
+}
+
+}  // namespace ccnvme

@@ -1,0 +1,86 @@
+// Buffer cache: the in-memory view of on-media blocks.
+//
+// Every metadata or data block a file system touches goes through here, so
+// post-crash state is exactly what was pushed to the block device — the
+// crash tests rely on that. Each block carries a page lock (the lock whose
+// contention metadata shadow paging exists to avoid, §5.3) and journaling
+// state used by JBD2/MQFS.
+#ifndef SRC_VFS_BUFFER_CACHE_H_
+#define SRC_VFS_BUFFER_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "src/block/block_layer.h"
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/sim/sync.h"
+#include "src/vfs/types.h"
+
+namespace ccnvme {
+
+// Journaling state of a cached block (JBD2's BH_* bits, simplified).
+enum class JournalState : uint8_t {
+  kClean = 0,
+  kDirty,         // modified, not yet in any transaction
+  kInTransaction, // part of a running/committing transaction
+};
+
+struct BlockBuf {
+  explicit BlockBuf(Simulator* sim, BlockNo block)
+      : block_no(block), data(kFsBlockSize, 0), lock(sim), wb_cv(sim) {}
+
+  BlockNo block_no;
+  Buffer data;
+  bool uptodate = false;
+  bool dirty = false;
+  JournalState jstate = JournalState::kClean;
+  // Page lock: serializes writers of this block.
+  SimMutex lock;
+  // Writeback latch: while set, the content is frozen (being written to the
+  // journal or in place, or — in the no-shadow-paging ablation — pinned
+  // until its transaction is durable). Writers wait on wb_cv under |lock|.
+  bool writeback = false;
+  SimCondVar wb_cv;
+
+  // Marks the content frozen. Caller must ensure stability rules itself
+  // (the simulator's single-runner invariant makes the flag flip atomic).
+  void BeginWriteback() { writeback = true; }
+  // Releases the latch; callable from any actor or completion context.
+  void EndWriteback() {
+    writeback = false;
+    wb_cv.NotifyAll();
+  }
+};
+using BlockBufPtr = std::shared_ptr<BlockBuf>;
+
+class BufferCache {
+ public:
+  BufferCache(Simulator* sim, BlockLayer* blk) : sim_(sim), blk_(blk) {}
+
+  // Returns the cached block, reading it from the device on a miss.
+  Result<BlockBufPtr> GetBlock(BlockNo block);
+  // Returns the cached block without reading (caller will overwrite it
+  // fully, e.g. a freshly allocated block).
+  BlockBufPtr GetBlockNoRead(BlockNo block);
+  // Drops a block from the cache (used on free).
+  void Forget(BlockNo block);
+  // Writes one cached block in place synchronously.
+  Status WriteBlockSync(BlockNo block, uint32_t flags = 0);
+  // Drops everything (crash simulation / unmount).
+  void Clear() { cache_.clear(); }
+
+  size_t size() const { return cache_.size(); }
+  BlockLayer* block_layer() { return blk_; }
+  Simulator* sim() { return sim_; }
+
+ private:
+  Simulator* sim_;
+  BlockLayer* blk_;
+  std::unordered_map<BlockNo, BlockBufPtr> cache_;
+};
+
+}  // namespace ccnvme
+
+#endif  // SRC_VFS_BUFFER_CACHE_H_

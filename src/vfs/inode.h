@@ -1,0 +1,84 @@
+// On-disk and in-memory inode representation.
+//
+// The on-disk inode is a 256-byte little-endian record (16 per 4 KB block)
+// with 48 direct block pointers and two single-indirect blocks, capping a
+// file at (48 + 2*1024) * 4 KB = ~8.4 MB — plenty for the paper's workloads
+// (mail files, WAL segments, SSTable chunks).
+#ifndef SRC_VFS_INODE_H_
+#define SRC_VFS_INODE_H_
+
+#include <array>
+#include <cstdint>
+#include <set>
+
+#include "src/common/bytes.h"
+#include "src/sim/sync.h"
+#include "src/vfs/types.h"
+
+namespace ccnvme {
+
+inline constexpr size_t kInodeSize = 256;
+inline constexpr size_t kInodesPerBlock = kFsBlockSize / kInodeSize;  // 16
+inline constexpr size_t kDirectBlocks = 48;
+inline constexpr size_t kPtrsPerIndirect = kFsBlockSize / 4;  // 1024
+inline constexpr uint64_t kMaxFileBlocks = kDirectBlocks + 2 * kPtrsPerIndirect;
+
+struct DiskInode {
+  FileType type = FileType::kNone;
+  uint32_t nlink = 0;
+  uint64_t size = 0;
+  uint64_t mtime_ns = 0;
+  std::array<uint32_t, kDirectBlocks> direct{};
+  uint32_t indirect[2] = {0, 0};
+
+  void Serialize(std::span<uint8_t> out) const {
+    std::memset(out.data(), 0, kInodeSize);
+    out[0] = static_cast<uint8_t>(type);
+    PutU32(out, 4, nlink);
+    PutU64(out, 8, size);
+    PutU64(out, 16, mtime_ns);
+    for (size_t i = 0; i < kDirectBlocks; ++i) {
+      PutU32(out, 32 + 4 * i, direct[i]);
+    }
+    PutU32(out, 224, indirect[0]);
+    PutU32(out, 228, indirect[1]);
+  }
+
+  static DiskInode Parse(std::span<const uint8_t> in) {
+    DiskInode node;
+    node.type = static_cast<FileType>(in[0]);
+    node.nlink = GetU32(in, 4);
+    node.size = GetU64(in, 8);
+    node.mtime_ns = GetU64(in, 16);
+    for (size_t i = 0; i < kDirectBlocks; ++i) {
+      node.direct[i] = GetU32(in, 32 + 4 * i);
+    }
+    node.indirect[0] = GetU32(in, 224);
+    node.indirect[1] = GetU32(in, 228);
+    return node;
+  }
+};
+
+// In-memory inode: the disk fields plus runtime state.
+struct Inode {
+  Inode(Simulator* sim, InodeNum number) : ino(number), lock(sim) {}
+
+  InodeNum ino;
+  DiskInode disk;
+  bool dirty = false;  // disk fields differ from the inode table block
+  SimMutex lock;
+
+  // Blocks with dirty file data awaiting fsync.
+  std::set<BlockNo> dirty_data;
+  // Metadata blocks the inode's recent operations touched (its inode-table
+  // block is always implied): directory blocks, bitmap blocks, indirect
+  // blocks, the parent's inode-table block for freshly linked files.
+  std::set<BlockNo> dirty_metadata;
+  // For fdataatomic: skip the inode metadata if the size is unchanged.
+  uint64_t size_at_last_sync = 0;
+};
+using InodePtr = std::shared_ptr<Inode>;
+
+}  // namespace ccnvme
+
+#endif  // SRC_VFS_INODE_H_

@@ -1,0 +1,31 @@
+// Common on-disk and in-memory types for the file-system layer.
+#ifndef SRC_VFS_TYPES_H_
+#define SRC_VFS_TYPES_H_
+
+#include <cstdint>
+
+namespace ccnvme {
+
+using InodeNum = uint32_t;
+using BlockNo = uint64_t;  // logical block address, 4 KB units
+
+inline constexpr uint32_t kFsBlockSize = 4096;
+inline constexpr InodeNum kInvalidInode = 0;
+inline constexpr InodeNum kRootInode = 1;
+
+enum class FileType : uint8_t {
+  kNone = 0,
+  kRegular = 1,
+  kDirectory = 2,
+};
+
+// Durability levels for the sync entry points (§5.1).
+enum class SyncMode {
+  kFsync,        // atomicity + durability
+  kFatomic,      // atomicity only (returns at the ccNVMe doorbell)
+  kFdataatomic,  // atomicity only, skips file metadata if size unchanged
+};
+
+}  // namespace ccnvme
+
+#endif  // SRC_VFS_TYPES_H_

@@ -1,0 +1,53 @@
+#include "src/workload/fio_append.h"
+
+#include "src/common/logging.h"
+
+namespace ccnvme {
+
+FioResult RunFioAppend(StorageStack& stack, const FioOptions& options) {
+  FioResult result;
+  const uint64_t start_ns = stack.sim().now();
+  const uint64_t end_ns = start_ns + options.duration_ns;
+  int finished = 0;
+
+  for (int t = 0; t < options.num_threads; ++t) {
+    const uint16_t queue = static_cast<uint16_t>(t % stack.config().num_queues);
+    stack.Spawn("fio" + std::to_string(t), [&, t] {
+      const std::string path = "/fio_" + std::to_string(t);
+      auto ino = stack.fs().Create(path);
+      CCNVME_CHECK(ino.ok()) << ino.status().ToString();
+      const Buffer data(options.write_size, static_cast<uint8_t>(t + 1));
+      uint64_t offset = 0;
+      while (stack.sim().now() < end_ns) {
+        const uint64_t op_start = stack.sim().now();
+        Status st = stack.fs().Write(*ino, offset, data);
+        CCNVME_CHECK(st.ok()) << st.ToString();
+        switch (options.sync_mode) {
+          case SyncMode::kFsync:
+            st = stack.fs().Fsync(*ino);
+            break;
+          case SyncMode::kFatomic:
+            st = stack.fs().Fatomic(*ino);
+            break;
+          case SyncMode::kFdataatomic:
+            st = stack.fs().Fdataatomic(*ino);
+            break;
+        }
+        CCNVME_CHECK(st.ok()) << st.ToString();
+        result.latency_ns.Add(stack.sim().now() - op_start);
+        result.ops++;
+        offset += options.write_size;
+        if (offset + options.write_size > options.max_file_bytes) {
+          offset = 0;
+        }
+      }
+      finished++;
+    }, queue);
+  }
+  stack.sim().Run();
+  CCNVME_CHECK_EQ(finished, options.num_threads);
+  result.elapsed_ns = stack.sim().now() - start_ns;
+  return result;
+}
+
+}  // namespace ccnvme

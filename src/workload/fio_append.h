@@ -1,0 +1,44 @@
+// FIO-style append+fsync workload (the paper's microbenchmark: "each
+// performs 4 KB append writes to its private file followed by fsync").
+// Used by Figure 2 (motivation), Figure 11 (file-system performance) and
+// Figure 13 (ablation).
+#ifndef SRC_WORKLOAD_FIO_APPEND_H_
+#define SRC_WORKLOAD_FIO_APPEND_H_
+
+#include <cstdint>
+
+#include "src/common/stats.h"
+#include "src/harness/stack.h"
+
+namespace ccnvme {
+
+struct FioOptions {
+  int num_threads = 1;
+  uint32_t write_size = 4096;
+  SyncMode sync_mode = SyncMode::kFsync;
+  uint64_t duration_ns = 30'000'000;  // 30 ms of simulated time
+  // Restart appends from offset 0 once a file reaches this size (keeps the
+  // simulated files within the inode's mapping capacity).
+  uint64_t max_file_bytes = 4ull << 20;
+};
+
+struct FioResult {
+  uint64_t ops = 0;
+  uint64_t elapsed_ns = 0;
+  Histogram latency_ns;
+
+  double Iops() const {
+    return elapsed_ns == 0 ? 0.0 : static_cast<double>(ops) * 1e9 / static_cast<double>(elapsed_ns);
+  }
+  double ThroughputMBps(uint32_t write_size) const {
+    return Iops() * write_size / 1e6;
+  }
+  double ThroughputKiops() const { return Iops() / 1e3; }
+};
+
+// Runs the workload on a mounted stack; returns aggregate results.
+FioResult RunFioAppend(StorageStack& stack, const FioOptions& options);
+
+}  // namespace ccnvme
+
+#endif  // SRC_WORKLOAD_FIO_APPEND_H_

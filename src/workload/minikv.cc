@@ -1,0 +1,205 @@
+#include "src/workload/minikv.h"
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace ccnvme {
+
+Status MiniKv::Open() {
+  CCNVME_ASSIGN_OR_RETURN(wal_ino_, stack_->fs().Create("/kv_wal_0"));
+  return OkStatus();
+}
+
+std::string MiniKv::EncodeRecord(const std::string& key, const std::string& value) {
+  std::string rec;
+  rec.reserve(8 + key.size() + value.size());
+  uint8_t hdr[8];
+  PutU32(std::span<uint8_t>(hdr, 8), 0, static_cast<uint32_t>(key.size()));
+  PutU32(std::span<uint8_t>(hdr, 8), 4, static_cast<uint32_t>(value.size()));
+  rec.append(reinterpret_cast<const char*>(hdr), 8);
+  rec.append(key);
+  rec.append(value);
+  return rec;
+}
+
+Status MiniKv::AppendWalBatch(const Buffer& batch) {
+  CCNVME_RETURN_IF_ERROR(stack_->fs().Write(wal_ino_, wal_offset_, batch));
+  wal_offset_ += batch.size();
+  Status st;
+  switch (options_.wal_sync) {
+    case SyncMode::kFsync:
+      st = stack_->fs().Fsync(wal_ino_);
+      break;
+    case SyncMode::kFatomic:
+      st = stack_->fs().Fatomic(wal_ino_);
+      break;
+    case SyncMode::kFdataatomic:
+      st = stack_->fs().Fdataatomic(wal_ino_);
+      break;
+  }
+  wal_syncs_++;
+  return st;
+}
+
+Status MiniKv::Put(const std::string& key, const std::string& value) {
+  Simulator::Sleep(options_.kv_cpu_ns);  // encode + memtable CPU
+  auto writer = std::make_shared<Writer>(&stack_->sim());
+  writer->record = EncodeRecord(key, value);
+
+  mu_.Lock();
+  // Memtable insert happens while enqueuing (followers return without
+  // re-acquiring the lock once their batch commits).
+  memtable_[key] = value;
+  memtable_bytes_ += key.size() + value.size();
+  puts_++;
+  queue_.push_back(writer);
+  if (leader_active_) {
+    // A leader is busy; wait for our batch to be committed.
+    mu_.Unlock();
+    writer->done.Wait();
+    return writer->result;
+  }
+  // Become the leader: take everything queued (our own record plus any
+  // writers that piled up) and commit it as one WAL append + sync.
+  leader_active_ = true;
+  Status st = OkStatus();
+  while (true) {
+    std::vector<std::shared_ptr<Writer>> batch;
+    batch.swap(queue_);
+    if (batch.empty()) {
+      break;
+    }
+    Buffer bytes;
+    for (const auto& w : batch) {
+      bytes.insert(bytes.end(), w->record.begin(), w->record.end());
+    }
+    mu_.Unlock();
+    Status batch_st = AppendWalBatch(bytes);
+    mu_.Lock();
+    for (const auto& w : batch) {
+      w->result = batch_st;
+      if (w != writer) {
+        w->done.Signal();
+      } else {
+        st = batch_st;
+      }
+    }
+  }
+  leader_active_ = false;
+  Status flush_st = MaybeFlushMemtable();
+  mu_.Unlock();
+  if (!flush_st.ok()) {
+    return flush_st;
+  }
+  return st;
+}
+
+// Called with mu_ held. Swaps in a fresh memtable and rotates the WAL under
+// the lock (cheap, in-memory), then releases the lock for the slow SST
+// build so other writers keep going — RocksDB's immutable-memtable flush.
+Status MiniKv::MaybeFlushMemtable() {
+  if (memtable_bytes_ < options_.memtable_bytes) {
+    return OkStatus();
+  }
+  flushes_++;
+  std::map<std::string, std::string> imm;
+  imm.swap(memtable_);
+  memtable_bytes_ = 0;
+  const std::string old_wal = "/kv_wal_" + std::to_string(wal_epoch_);
+  wal_epoch_++;
+  CCNVME_ASSIGN_OR_RETURN(wal_ino_, stack_->fs().Create("/kv_wal_" + std::to_string(wal_epoch_)));
+  wal_offset_ = 0;
+
+  mu_.Unlock();
+  Status st = [&]() -> Status {
+    // Serialize the immutable memtable into an SST file (already sorted).
+    Buffer sst;
+    for (const auto& [k, v] : imm) {
+      const std::string rec = EncodeRecord(k, v);
+      sst.insert(sst.end(), rec.begin(), rec.end());
+    }
+    const std::string sst_path = "/kv_sst_" + std::to_string(next_sst_++);
+    CCNVME_ASSIGN_OR_RETURN(InodeNum sst_ino, stack_->fs().Create(sst_path));
+    CCNVME_RETURN_IF_ERROR(stack_->fs().Write(sst_ino, 0, sst));
+    CCNVME_RETURN_IF_ERROR(stack_->fs().Fsync(sst_ino));
+    ssts_.insert(ssts_.begin(), sst_path);
+    // The old WAL is now covered by the SST.
+    CCNVME_RETURN_IF_ERROR(stack_->fs().Unlink(old_wal));
+    return stack_->fs().FsyncPath("/");
+  }();
+  mu_.Lock();
+  return st;
+}
+
+Result<std::string> MiniKv::Get(const std::string& key) {
+  Simulator::Sleep(options_.kv_cpu_ns / 2);
+  SimLockGuard guard(mu_);
+  auto it = memtable_.find(key);
+  if (it != memtable_.end()) {
+    return it->second;
+  }
+  // Scan SSTs newest-first.
+  for (const std::string& path : ssts_) {
+    auto ino = stack_->fs().Lookup(path);
+    if (!ino.ok()) {
+      continue;
+    }
+    auto size = stack_->fs().FileSize(*ino);
+    if (!size.ok()) {
+      continue;
+    }
+    Buffer content(*size);
+    if (!stack_->fs().Read(*ino, 0, content).ok()) {
+      continue;
+    }
+    size_t off = 0;
+    while (off + 8 <= content.size()) {
+      const uint32_t klen = GetU32(content, off);
+      const uint32_t vlen = GetU32(content, off + 4);
+      if (off + 8 + klen + vlen > content.size()) {
+        break;
+      }
+      const std::string k(reinterpret_cast<const char*>(content.data()) + off + 8, klen);
+      if (k == key) {
+        return std::string(reinterpret_cast<const char*>(content.data()) + off + 8 + klen,
+                           vlen);
+      }
+      off += 8 + klen + vlen;
+    }
+  }
+  return NotFound("key not found: " + key);
+}
+
+FillsyncResult RunFillsync(StorageStack& stack, const FillsyncOptions& options) {
+  FillsyncResult result;
+  MiniKv kv(&stack, options.kv);
+  Status opened = IoError("not opened");
+  stack.Run([&] { opened = kv.Open(); });
+  CCNVME_CHECK(opened.ok());
+
+  const uint64_t start_ns = stack.sim().now();
+  const uint64_t end_ns = start_ns + options.duration_ns;
+  int finished = 0;
+  for (int t = 0; t < options.num_threads; ++t) {
+    const uint16_t queue = static_cast<uint16_t>(t % stack.config().num_queues);
+    stack.Spawn("fillsync" + std::to_string(t), [&, t] {
+      Rng rng(options.seed + static_cast<uint64_t>(t) * 131);
+      std::string value(options.kv.value_size, 'v');
+      while (stack.sim().now() < end_ns) {
+        char key[32];
+        std::snprintf(key, sizeof(key), "%016llx",
+                      static_cast<unsigned long long>(rng.Next()));
+        Status st = kv.Put(std::string(key, options.kv.key_size), value);
+        CCNVME_CHECK(st.ok()) << st.ToString();
+        result.ops++;
+      }
+      finished++;
+    }, queue);
+  }
+  stack.sim().Run();
+  CCNVME_CHECK_EQ(finished, options.num_threads);
+  result.elapsed_ns = stack.sim().now() - start_ns;
+  return result;
+}
+
+}  // namespace ccnvme

@@ -1,0 +1,168 @@
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+
+namespace ccnvme {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFound("no such inode");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such inode");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = IoError("boom");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kIoError);
+}
+
+Status Passthrough(Status s) {
+  CCNVME_RETURN_IF_ERROR(s);
+  return OkStatus();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Passthrough(OkStatus()).ok());
+  EXPECT_EQ(Passthrough(Corruption("x")).code(), ErrorCode::kCorruption);
+}
+
+Result<int> MakeValue(bool ok) {
+  if (ok) {
+    return 7;
+  }
+  return Aborted("nope");
+}
+
+Status UseAssignOrReturn(bool ok, int* out) {
+  CCNVME_ASSIGN_OR_RETURN(int v, MakeValue(ok));
+  *out = v;
+  return OkStatus();
+}
+
+TEST(StatusMacroTest, AssignOrReturn) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(true, &out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(UseAssignOrReturn(false, &out).code(), ErrorCode::kAborted);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      same++;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    const uint64_t v = rng.UniformRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) {
+    h.Add(v);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  // Log-bucketing gives ~6% relative error.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 50.0, 5.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.99)), 99.0, 8.0);
+}
+
+TEST(HistogramTest, LargeValues) {
+  Histogram h;
+  h.Add(1ull << 35);
+  h.Add(1ull << 36);
+  EXPECT_EQ(h.max(), 1ull << 36);
+  EXPECT_GE(h.Percentile(1.0), 1ull << 35);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  a.Add(10);
+  b.Add(20);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 20u);
+}
+
+TEST(CounterSetTest, AddAndGet) {
+  CounterSet c;
+  c.Add("mmio", 2);
+  c.Add("mmio");
+  EXPECT_EQ(c.Get("mmio"), 3u);
+  EXPECT_EQ(c.Get("missing"), 0u);
+  c.Reset();
+  EXPECT_EQ(c.Get("mmio"), 0u);
+}
+
+TEST(BytesTest, RoundTripIntegers) {
+  Buffer buf(64, 0);
+  PutU16(buf, 0, 0xBEEF);
+  PutU32(buf, 2, 0xDEADBEEF);
+  PutU64(buf, 6, 0x0123456789ABCDEFull);
+  EXPECT_EQ(GetU16(buf, 0), 0xBEEF);
+  EXPECT_EQ(GetU32(buf, 2), 0xDEADBEEFu);
+  EXPECT_EQ(GetU64(buf, 6), 0x0123456789ABCDEFull);
+}
+
+TEST(BytesTest, StringFieldsZeroPad) {
+  Buffer buf(32, 0xFF);
+  PutString(buf, 0, 16, "hello");
+  EXPECT_EQ(GetString(buf, 0, 16), "hello");
+  // Truncation at field length.
+  PutString(buf, 16, 4, "toolong");
+  EXPECT_EQ(GetString(buf, 16, 4), "tool");
+}
+
+TEST(BytesTest, FnvChangesWithContent) {
+  Buffer a = {1, 2, 3};
+  Buffer b = {1, 2, 4};
+  EXPECT_NE(Fnv1a(a), Fnv1a(b));
+  EXPECT_EQ(Fnv1a(a), Fnv1a(a));
+}
+
+}  // namespace
+}  // namespace ccnvme

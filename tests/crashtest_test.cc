@@ -1,0 +1,191 @@
+// Tests for the CrashMonkey-style tester: MQFS (and the baselines) must
+// recover correctly across randomized crash states of the paper's four
+// workloads (Table 4, scaled down for unit-test time; the bench runs the
+// full 1000 points per workload).
+#include <gtest/gtest.h>
+
+#include "src/crashtest/crash_monkey.h"
+
+namespace ccnvme {
+namespace {
+
+StackConfig MqfsConfig() {
+  StackConfig cfg;
+  cfg.num_queues = 2;
+  cfg.fs.journal = JournalKind::kMultiQueue;
+  cfg.fs.journal_areas = 2;
+  cfg.fs.journal_blocks = 2048;
+  return cfg;
+}
+
+StackConfig Ext4Config() {
+  StackConfig cfg;
+  cfg.num_queues = 2;
+  cfg.enable_ccnvme = false;
+  cfg.fs.journal = JournalKind::kClassic;
+  cfg.fs.journal_areas = 1;
+  cfg.fs.journal_blocks = 2048;
+  return cfg;
+}
+
+void ExpectAllPass(const CrashTestReport& report) {
+  EXPECT_TRUE(report.AllPassed())
+      << report.passed << "/" << report.crash_points << " passed; first failures:\n"
+      << (report.failures.empty() ? "(none)" : report.failures[0]);
+  for (const auto& f : report.failures) {
+    ADD_FAILURE() << f;
+  }
+}
+
+TEST(CrashMonkeyMqfsTest, CreateDelete) {
+  CrashMonkey monkey(MqfsConfig(), /*seed=*/1);
+  ExpectAllPass(monkey.Run(CrashMonkey::CreateDelete(), 60));
+}
+
+TEST(CrashMonkeyMqfsTest, Generic035Rename) {
+  CrashMonkey monkey(MqfsConfig(), /*seed=*/2);
+  ExpectAllPass(monkey.Run(CrashMonkey::Generic035(), 60));
+}
+
+TEST(CrashMonkeyMqfsTest, Generic106LinkUnlink) {
+  CrashMonkey monkey(MqfsConfig(), /*seed=*/3);
+  ExpectAllPass(monkey.Run(CrashMonkey::Generic106(), 60));
+}
+
+TEST(CrashMonkeyMqfsTest, Generic321DirFsync) {
+  CrashMonkey monkey(MqfsConfig(), /*seed=*/4);
+  ExpectAllPass(monkey.Run(CrashMonkey::Generic321(), 60));
+}
+
+TEST(CrashMonkeyExt4Test, CreateDelete) {
+  CrashMonkey monkey(Ext4Config(), /*seed=*/5);
+  ExpectAllPass(monkey.Run(CrashMonkey::CreateDelete(), 40));
+}
+
+TEST(CrashMonkeyExt4Test, Generic035Rename) {
+  CrashMonkey monkey(Ext4Config(), /*seed=*/6);
+  ExpectAllPass(monkey.Run(CrashMonkey::Generic035(), 40));
+}
+
+TEST(CrashMonkeyMqfsTest, TruncateShrinkGrow) {
+  CrashMonkey monkey(MqfsConfig(), /*seed=*/8);
+  ExpectAllPass(monkey.Run(CrashMonkey::TruncateShrinkGrow(), 60));
+}
+
+TEST(CrashMonkeyMqfsTest, OverwriteMixed) {
+  CrashMonkey monkey(MqfsConfig(), /*seed=*/9);
+  ExpectAllPass(monkey.Run(CrashMonkey::OverwriteMixed(), 60));
+}
+
+// Every journaled configuration must pass the paper's most error-prone
+// workload (rename overwrite).
+class CrashAllJournalsTest : public ::testing::TestWithParam<JournalKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Journals, CrashAllJournalsTest,
+                         ::testing::Values(JournalKind::kClassic, JournalKind::kHorae,
+                                           JournalKind::kCcNvmeJbd2,
+                                           JournalKind::kMultiQueue),
+                         [](const ::testing::TestParamInfo<JournalKind>& param_info) {
+                           switch (param_info.param) {
+                             case JournalKind::kClassic:
+                               return "Ext4";
+                             case JournalKind::kHorae:
+                               return "HoraeFS";
+                             case JournalKind::kCcNvmeJbd2:
+                               return "Jbd2OverCcNvme";
+                             case JournalKind::kMultiQueue:
+                               return "MQFS";
+                             default:
+                               return "other";
+                           }
+                         });
+
+TEST_P(CrashAllJournalsTest, RenameOverwrite) {
+  StackConfig cfg;
+  cfg.num_queues = 2;
+  cfg.enable_ccnvme = GetParam() == JournalKind::kMultiQueue ||
+                      GetParam() == JournalKind::kCcNvmeJbd2;
+  cfg.fs.journal = GetParam();
+  cfg.fs.journal_areas = GetParam() == JournalKind::kMultiQueue ? 2 : 1;
+  cfg.fs.journal_blocks = 2048 * cfg.fs.journal_areas;
+  CrashMonkey monkey(cfg, /*seed=*/10);
+  ExpectAllPass(monkey.Run(CrashMonkey::Generic035(), 40));
+}
+
+TEST(CrashMonkeyVolatileCacheTest, MqfsOnFlashDrive) {
+  // The Intel 750 has a volatile cache without PLP: the flush-barrier
+  // commit path is what keeps transactions durable here.
+  StackConfig cfg = MqfsConfig();
+  cfg.ssd = SsdConfig::Intel750();
+  CrashMonkey monkey(cfg, /*seed=*/7);
+  ExpectAllPass(monkey.Run(CrashMonkey::CreateDelete(), 40));
+}
+
+TEST(CrashMonkeyMqfsTest, CrashDuringRecoveryIsIdempotent) {
+  // Double-crash: power-cut a workload, then power-cut the *recovery* at
+  // random points. Journal replay must be idempotent — every subsequent
+  // mount must still converge to a consistent state with the fsync'd data.
+  const StackConfig cfg = MqfsConfig();
+  const Buffer payload(kFsBlockSize, 0x5E);
+  CrashImage first_crash;
+  {
+    StorageStack stack(cfg);
+    ASSERT_TRUE(stack.MkfsAndMount().ok());
+    stack.Run([&] {
+      for (int i = 0; i < 5; ++i) {
+        auto ino = stack.fs().Create("/dc_" + std::to_string(i));
+        ASSERT_TRUE(ino.ok());
+        ASSERT_TRUE(stack.fs().Write(*ino, 0, payload).ok());
+        ASSERT_TRUE(stack.fs().Fsync(*ino).ok());
+      }
+    });
+    first_crash = stack.CaptureCrashImage();
+  }
+
+  // Record the write stream of a full recovery.
+  std::vector<BioEvent> recovery_writes;
+  {
+    StorageStack rec(cfg, first_crash);
+    rec.blk().set_recorder([&](const BioEvent& ev) {
+      if (ev.op == BioOp::kWrite) {
+        recovery_writes.push_back(ev);
+      }
+    });
+    ASSERT_TRUE(rec.MountExisting().ok());
+  }
+  ASSERT_FALSE(recovery_writes.empty()) << "recovery should write something";
+
+  Rng rng(77);
+  for (int trial = 0; trial < 15; ++trial) {
+    // Crash the recovery after a random prefix of its writes. Recovery I/O
+    // is fully synchronous (each write completes before the next is
+    // submitted, on a PLP drive), so the physical crash states are exactly
+    // the prefixes of the recorded stream.
+    const size_t cut = rng.Uniform(recovery_writes.size() + 1);
+    CrashImage second = first_crash;
+    for (size_t i = 0; i < cut; ++i) {
+      const BioEvent& ev = recovery_writes[i];
+      const size_t blocks = ev.data.size() / kFsBlockSize;
+      for (size_t b = 0; b < blocks; ++b) {
+        second.media[ev.lba + b] =
+            Buffer(ev.data.begin() + static_cast<long>(b * kFsBlockSize),
+                   ev.data.begin() + static_cast<long>((b + 1) * kFsBlockSize));
+      }
+    }
+    StorageStack again(cfg, second);
+    ASSERT_TRUE(again.MountExisting().ok()) << "second recovery failed (trial " << trial << ")";
+    again.Run([&] {
+      EXPECT_TRUE(again.fs().CheckConsistency().ok()) << "trial " << trial;
+      for (int i = 0; i < 5; ++i) {
+        auto ino = again.fs().Lookup("/dc_" + std::to_string(i));
+        ASSERT_TRUE(ino.ok()) << "fsync'd file lost after double crash, trial " << trial;
+        Buffer out(payload.size());
+        ASSERT_TRUE(again.fs().Read(*ino, 0, out).ok());
+        EXPECT_EQ(out, payload) << "trial " << trial;
+      }
+    });
+  }
+}
+
+}  // namespace
+}  // namespace ccnvme

@@ -1,0 +1,73 @@
+// Fault-injection tests: media errors must propagate as NVMe status codes
+// up through the driver and block layer, and the file system must surface
+// (not swallow) them.
+#include <gtest/gtest.h>
+
+#include "src/harness/stack.h"
+
+namespace ccnvme {
+namespace {
+
+TEST(FaultTest, WriteErrorSurfacesThroughDriver) {
+  StorageStack stack(StackConfig{});
+  stack.Run([&] {
+    stack.ssd().InjectWriteErrors(1);
+    Buffer data(kLbaSize, 1);
+    Status st = stack.nvme().Write(0, 10, data, false);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), ErrorCode::kIoError);
+    // The next write succeeds.
+    EXPECT_TRUE(stack.nvme().Write(0, 10, data, false).ok());
+  });
+}
+
+TEST(FaultTest, ReadErrorSurfacesThroughDriver) {
+  StorageStack stack(StackConfig{});
+  stack.Run([&] {
+    Buffer data(kLbaSize, 2);
+    ASSERT_TRUE(stack.nvme().Write(0, 20, data, false).ok());
+    stack.ssd().InjectReadErrors(1);
+    Buffer out;
+    EXPECT_FALSE(stack.nvme().Read(0, 20, 1, &out).ok());
+    EXPECT_TRUE(stack.nvme().Read(0, 20, 1, &out).ok());
+    EXPECT_EQ(out, data);
+  });
+}
+
+TEST(FaultTest, FailedWriteLeavesOldContent) {
+  StorageStack stack(StackConfig{});
+  stack.Run([&] {
+    Buffer old_data(kLbaSize, 0xAA);
+    ASSERT_TRUE(stack.nvme().Write(0, 30, old_data, false).ok());
+    stack.ssd().InjectWriteErrors(1);
+    Buffer new_data(kLbaSize, 0xBB);
+    ASSERT_FALSE(stack.nvme().Write(0, 30, new_data, false).ok());
+    Buffer out;
+    ASSERT_TRUE(stack.nvme().Read(0, 30, 1, &out).ok());
+    EXPECT_EQ(out, old_data) << "failed write must not tear the block";
+  });
+}
+
+TEST(FaultTest, FsReadErrorPropagates) {
+  StackConfig cfg;
+  cfg.fs.journal = JournalKind::kMultiQueue;
+  cfg.fs.journal_areas = 1;
+  cfg.fs.journal_blocks = 1024;
+  StorageStack stack(cfg);
+  ASSERT_TRUE(stack.MkfsAndMount().ok());
+  stack.Run([&] {
+    auto ino = stack.fs().Create("/f");
+    ASSERT_TRUE(ino.ok());
+    ASSERT_TRUE(stack.fs().Write(*ino, 0, Buffer(kFsBlockSize, 1)).ok());
+    ASSERT_TRUE(stack.fs().Fsync(*ino).ok());
+    // Evict the cached copy so the next read hits the device.
+    stack.fs().cache()->Clear();
+    stack.ssd().InjectReadErrors(1);
+    Buffer out(kFsBlockSize);
+    Status st = stack.fs().Read(*ino, 0, out);
+    EXPECT_FALSE(st.ok()) << "device read error must reach the caller";
+  });
+}
+
+}  // namespace
+}  // namespace ccnvme

@@ -1,0 +1,120 @@
+// Journal record format tests: serialization round trips, checksum
+// enforcement (a torn or stale record must never parse), capacity limits,
+// and the superblock fields recovery depends on.
+#include <gtest/gtest.h>
+
+#include "src/jbd2/journal_format.h"
+
+namespace ccnvme {
+namespace {
+
+TEST(DescriptorBlockTest, RoundTrip) {
+  DescriptorBlock d;
+  d.tx_id = 0x123456789ABCDEF0ull;
+  for (int i = 0; i < 10; ++i) {
+    d.entries.push_back(JournalEntry{static_cast<BlockNo>(100 + i), 0xABCDull * (i + 1)});
+  }
+  d.revoked = {77, 88, 99};
+  Buffer raw(kFsBlockSize, 0);
+  d.Serialize(raw);
+
+  auto back = DescriptorBlock::Parse(raw);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->tx_id, d.tx_id);
+  ASSERT_EQ(back->entries.size(), 10u);
+  EXPECT_EQ(back->entries[3].home_lba, 103u);
+  EXPECT_EQ(back->entries[3].content_checksum, 0xABCDull * 4);
+  EXPECT_EQ(back->revoked, d.revoked);
+}
+
+TEST(DescriptorBlockTest, MaxEntriesFit) {
+  DescriptorBlock d;
+  d.tx_id = 1;
+  for (size_t i = 0; i < DescriptorBlock::kMaxEntries; ++i) {
+    d.entries.push_back(JournalEntry{i, i});
+  }
+  Buffer raw(kFsBlockSize, 0);
+  d.Serialize(raw);
+  auto back = DescriptorBlock::Parse(raw);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->entries.size(), DescriptorBlock::kMaxEntries);
+}
+
+TEST(DescriptorBlockTest, SingleBitFlipInvalidates) {
+  DescriptorBlock d;
+  d.tx_id = 42;
+  d.entries.push_back(JournalEntry{7, 7});
+  Buffer raw(kFsBlockSize, 0);
+  d.Serialize(raw);
+  // Flip one bit anywhere in the covered region.
+  for (size_t off : {size_t{0}, size_t{9}, size_t{30}, size_t{1000}}) {
+    Buffer corrupt = raw;
+    corrupt[off] ^= 0x40;
+    EXPECT_FALSE(DescriptorBlock::Parse(corrupt).ok()) << "bit flip at " << off;
+  }
+}
+
+TEST(DescriptorBlockTest, GarbageDoesNotParse) {
+  Buffer junk(kFsBlockSize, 0xEE);
+  EXPECT_FALSE(DescriptorBlock::Parse(junk).ok());
+  Buffer zeros(kFsBlockSize, 0);
+  EXPECT_FALSE(DescriptorBlock::Parse(zeros).ok());
+}
+
+TEST(CommitBlockTest, RoundTripAndTypeCheck) {
+  CommitBlock c;
+  c.tx_id = 99;
+  Buffer raw(kFsBlockSize, 0);
+  c.Serialize(raw);
+  auto back = CommitBlock::Parse(raw);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->tx_id, 99u);
+  // A commit block must not parse as a descriptor and vice versa.
+  EXPECT_FALSE(DescriptorBlock::Parse(raw).ok());
+  DescriptorBlock d;
+  d.tx_id = 1;
+  Buffer draw(kFsBlockSize, 0);
+  d.Serialize(draw);
+  EXPECT_FALSE(CommitBlock::Parse(draw).ok());
+}
+
+TEST(AreaSuperblockTest, RoundTrip) {
+  AreaSuperblock sb;
+  sb.start_offset = 1234;
+  sb.cleared_txid = 999;
+  Buffer raw(kFsBlockSize, 0);
+  sb.Serialize(raw);
+  auto back = AreaSuperblock::Parse(raw);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->start_offset, 1234u);
+  EXPECT_EQ(back->cleared_txid, 999u);
+}
+
+TEST(PeekRecordTypeTest, IdentifiesAllTypes) {
+  Buffer raw(kFsBlockSize, 0);
+  DescriptorBlock d;
+  d.tx_id = 1;
+  d.Serialize(raw);
+  auto t = PeekRecordType(raw);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, JournalRecordType::kDescriptor);
+
+  CommitBlock c;
+  c.tx_id = 1;
+  c.Serialize(raw);
+  t = PeekRecordType(raw);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, JournalRecordType::kCommit);
+
+  AreaSuperblock sb;
+  sb.Serialize(raw);
+  t = PeekRecordType(raw);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, JournalRecordType::kAreaSuper);
+
+  Buffer junk(kFsBlockSize, 0x5A);
+  EXPECT_FALSE(PeekRecordType(junk).ok());
+}
+
+}  // namespace
+}  // namespace ccnvme

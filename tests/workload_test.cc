@@ -1,0 +1,169 @@
+// Workload generator tests: correctness of MiniKV, sanity of the FIO and
+// Varmail generators, and the basic performance orderings the paper's
+// evaluation rests on (MQFS >= HoraeFS >= Ext4 on fsync-heavy load).
+#include <gtest/gtest.h>
+
+#include "src/workload/fio_append.h"
+#include "src/workload/minikv.h"
+#include "src/workload/varmail.h"
+
+namespace ccnvme {
+namespace {
+
+StackConfig FsConfig(JournalKind kind, uint16_t queues = 1) {
+  StackConfig cfg;
+  cfg.num_queues = queues;
+  cfg.fs.journal = kind;
+  cfg.fs.journal_areas = kind == JournalKind::kMultiQueue ? queues : 1;
+  cfg.fs.journal_blocks = 4096 * cfg.fs.journal_areas;
+  return cfg;
+}
+
+TEST(FioAppendTest, SingleThreadProducesOps) {
+  StorageStack stack(FsConfig(JournalKind::kMultiQueue));
+  ASSERT_TRUE(stack.MkfsAndMount().ok());
+  FioOptions opts;
+  opts.duration_ns = 5'000'000;
+  const FioResult res = RunFioAppend(stack, opts);
+  EXPECT_GT(res.ops, 50u);
+  EXPECT_GT(res.latency_ns.Mean(), 0.0);
+  EXPECT_EQ(res.latency_ns.count(), res.ops);
+}
+
+TEST(FioAppendTest, MoreThreadsMoreThroughput) {
+  auto run = [](int threads) {
+    StorageStack stack(FsConfig(JournalKind::kMultiQueue, 4));
+    Status st = stack.MkfsAndMount();
+    CCNVME_CHECK(st.ok());
+    FioOptions opts;
+    opts.num_threads = threads;
+    opts.duration_ns = 5'000'000;
+    return RunFioAppend(stack, opts).Iops();
+  };
+  EXPECT_GT(run(4), run(1) * 1.8);
+}
+
+TEST(FioAppendTest, FsyncOrderingAcrossFileSystems) {
+  // The core claim of Figures 2 and 11: on a fast Optane SSD with a single
+  // thread, MQFS > HoraeFS > Ext4 for 4 KB append+fsync.
+  auto run = [](JournalKind kind) {
+    StorageStack stack(FsConfig(kind));
+    Status st = stack.MkfsAndMount();
+    CCNVME_CHECK(st.ok());
+    FioOptions opts;
+    opts.duration_ns = 10'000'000;
+    return RunFioAppend(stack, opts).Iops();
+  };
+  const double ext4 = run(JournalKind::kClassic);
+  const double horae = run(JournalKind::kHorae);
+  const double mqfs = run(JournalKind::kMultiQueue);
+  EXPECT_GT(horae, ext4);
+  EXPECT_GT(mqfs, horae);
+}
+
+TEST(FioAppendTest, FatomicFasterThanFsync) {
+  auto run = [](SyncMode mode) {
+    StorageStack stack(FsConfig(JournalKind::kMultiQueue));
+    Status st = stack.MkfsAndMount();
+    CCNVME_CHECK(st.ok());
+    FioOptions opts;
+    opts.sync_mode = mode;
+    opts.duration_ns = 5'000'000;
+    return RunFioAppend(stack, opts).Iops();
+  };
+  EXPECT_GT(run(SyncMode::kFdataatomic), run(SyncMode::kFsync) * 1.2);
+}
+
+TEST(VarmailTest, RunsAndStaysConsistent) {
+  StorageStack stack(FsConfig(JournalKind::kMultiQueue, 2));
+  ASSERT_TRUE(stack.MkfsAndMount().ok());
+  VarmailOptions opts;
+  opts.num_threads = 4;
+  opts.num_files = 40;
+  opts.duration_ns = 5'000'000;
+  const VarmailResult res = RunVarmail(stack, opts);
+  EXPECT_GT(res.flow_ops, 20u);
+  stack.Run([&] { EXPECT_TRUE(stack.fs().CheckConsistency().ok()); });
+}
+
+TEST(MiniKvTest, PutGetRoundTrip) {
+  StorageStack stack(FsConfig(JournalKind::kMultiQueue));
+  ASSERT_TRUE(stack.MkfsAndMount().ok());
+  MiniKvOptions opts;
+  MiniKv kv(&stack, opts);
+  stack.Run([&] {
+    ASSERT_TRUE(kv.Open().ok());
+    ASSERT_TRUE(kv.Put("alpha", "one").ok());
+    ASSERT_TRUE(kv.Put("beta", "two").ok());
+    ASSERT_TRUE(kv.Put("alpha", "uno").ok());  // overwrite
+    auto a = kv.Get("alpha");
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(*a, "uno");
+    auto b = kv.Get("beta");
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*b, "two");
+    EXPECT_FALSE(kv.Get("gamma").ok());
+  });
+}
+
+TEST(MiniKvTest, MemtableFlushToSstKeepsDataReadable) {
+  StorageStack stack(FsConfig(JournalKind::kMultiQueue));
+  ASSERT_TRUE(stack.MkfsAndMount().ok());
+  MiniKvOptions opts;
+  opts.memtable_bytes = 16 * 1024;  // force flushes
+  opts.value_size = 512;
+  MiniKv kv(&stack, opts);
+  stack.Run([&] {
+    ASSERT_TRUE(kv.Open().ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(kv.Put("key" + std::to_string(i), std::string(512, 'x')).ok());
+    }
+    EXPECT_GT(kv.flushes(), 0u);
+    // Old keys now live in SSTs.
+    auto v = kv.Get("key0");
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->size(), 512u);
+  });
+}
+
+TEST(MiniKvTest, GroupCommitBatchesConcurrentWriters) {
+  StorageStack stack(FsConfig(JournalKind::kMultiQueue, 4));
+  ASSERT_TRUE(stack.MkfsAndMount().ok());
+  MiniKvOptions opts;
+  MiniKv kv(&stack, opts);
+  stack.Run([&] { ASSERT_TRUE(kv.Open().ok()); });
+  int done = 0;
+  for (int t = 0; t < 8; ++t) {
+    stack.Spawn("w" + std::to_string(t), [&, t] {
+      for (int i = 0; i < 25; ++i) {
+        ASSERT_TRUE(kv.Put("t" + std::to_string(t) + "_" + std::to_string(i), "v").ok());
+      }
+      done++;
+    }, static_cast<uint16_t>(t % 4));
+  }
+  stack.sim().Run();
+  EXPECT_EQ(done, 8);
+  EXPECT_EQ(kv.puts(), 200u);
+  // Group commit must have batched: fewer WAL syncs than puts.
+  EXPECT_LT(kv.wal_syncs(), kv.puts());
+}
+
+TEST(FillsyncTest, RunsAcrossFileSystems) {
+  auto run = [](JournalKind kind) {
+    StorageStack stack(FsConfig(kind, 4));
+    Status st = stack.MkfsAndMount();
+    CCNVME_CHECK(st.ok());
+    FillsyncOptions opts;
+    opts.num_threads = 8;
+    opts.duration_ns = 5'000'000;
+    return RunFillsync(stack, opts).Kiops();
+  };
+  const double mqfs = run(JournalKind::kMultiQueue);
+  const double ext4 = run(JournalKind::kClassic);
+  EXPECT_GT(mqfs, 0.0);
+  EXPECT_GT(ext4, 0.0);
+  EXPECT_GT(mqfs, ext4);
+}
+
+}  // namespace
+}  // namespace ccnvme

@@ -1,0 +1,160 @@
+// journal_inspect: dump the journal areas and the ccNVMe persistent
+// submission-queue windows of a disk image, without mounting it.
+//
+//   journal_inspect <image-path> [--queue-depth N] [--queues N]
+//
+// For each journal area: the area superblock, then every record reachable
+// from its start offset, with per-block checksum validation — exactly what
+// recovery would see. For the PMR: each queue's [P-SQ-head, P-SQDB) window.
+#include <cstdio>
+#include <cstring>
+
+#include "src/ccnvme/ccnvme_driver.h"
+#include "src/extfs/layout.h"
+#include "src/harness/image_file.h"
+#include "src/jbd2/journal_format.h"
+
+using namespace ccnvme;
+
+namespace {
+
+Buffer ReadBlock(const CrashImage& image, BlockNo lba) {
+  auto it = image.media.find(lba);
+  if (it == image.media.end()) {
+    return Buffer(kFsBlockSize, 0);
+  }
+  return it->second;
+}
+
+void DumpArea(const CrashImage& image, const FsLayout& layout, uint32_t area) {
+  const BlockNo start = layout.area_start(area);
+  const uint64_t blocks = layout.blocks_per_area();
+  auto asb = AreaSuperblock::Parse(ReadBlock(image, start));
+  if (!asb.ok()) {
+    std::printf("area %u: unreadable superblock (%s)\n", area,
+                asb.status().ToString().c_str());
+    return;
+  }
+  std::printf("area %u @lba %llu (%llu blocks): start_offset=%llu cleared_txid=%llu\n",
+              area, static_cast<unsigned long long>(start),
+              static_cast<unsigned long long>(blocks),
+              static_cast<unsigned long long>(asb->start_offset),
+              static_cast<unsigned long long>(asb->cleared_txid));
+
+  uint64_t pos = asb->start_offset;
+  uint64_t prev = asb->cleared_txid;
+  auto next = [&](uint64_t p) { return p + 1 >= blocks ? 1 : p + 1; };
+  for (;;) {
+    const Buffer raw = ReadBlock(image, start + pos);
+    auto type = PeekRecordType(raw);
+    if (!type.ok()) {
+      std::printf("  [%5llu] end of log (%s)\n", static_cast<unsigned long long>(pos),
+                  type.status().ToString().c_str());
+      break;
+    }
+    if (*type == JournalRecordType::kCommit) {
+      auto commit = CommitBlock::Parse(raw);
+      std::printf("  [%5llu] commit tx=%llu\n", static_cast<unsigned long long>(pos),
+                  static_cast<unsigned long long>(commit->tx_id));
+      pos = next(pos);
+      continue;
+    }
+    if (*type != JournalRecordType::kDescriptor) {
+      std::printf("  [%5llu] unexpected record type\n",
+                  static_cast<unsigned long long>(pos));
+      break;
+    }
+    auto desc = DescriptorBlock::Parse(raw);
+    if (desc->tx_id <= prev) {
+      std::printf("  [%5llu] stale descriptor tx=%llu (<= cleared) — end of log\n",
+                  static_cast<unsigned long long>(pos),
+                  static_cast<unsigned long long>(desc->tx_id));
+      break;
+    }
+    std::printf("  [%5llu] descriptor tx=%llu entries=%zu revoked=%zu\n",
+                static_cast<unsigned long long>(pos),
+                static_cast<unsigned long long>(desc->tx_id), desc->entries.size(),
+                desc->revoked.size());
+    uint64_t p = next(pos);
+    bool valid = true;
+    for (const JournalEntry& e : desc->entries) {
+      const Buffer content = ReadBlock(image, start + p);
+      const bool ok = Fnv1a(content) == e.content_checksum;
+      std::printf("           home=%-8llu journal=%-8llu %s\n",
+                  static_cast<unsigned long long>(e.home_lba),
+                  static_cast<unsigned long long>(start + p), ok ? "valid" : "CHECKSUM BAD");
+      valid = valid && ok;
+      p = next(p);
+    }
+    for (BlockNo r : desc->revoked) {
+      std::printf("           revoked home=%llu\n", static_cast<unsigned long long>(r));
+    }
+    if (!valid) {
+      std::printf("           transaction INVALID — recovery would stop here\n");
+      break;
+    }
+    prev = desc->tx_id;
+    pos = p;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <image-path> [--queue-depth N] [--queues N]\n", argv[0]);
+    return 2;
+  }
+  uint16_t queue_depth = 256;
+  uint16_t queues = 0;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--queue-depth") == 0) {
+      queue_depth = static_cast<uint16_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--queues") == 0) {
+      queues = static_cast<uint16_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+
+  auto image = LoadImage(argv[1]);
+  if (!image.ok()) {
+    std::fprintf(stderr, "cannot load image: %s\n", image.status().ToString().c_str());
+    return 1;
+  }
+  auto sb_raw = image->media.find(0);
+  if (sb_raw == image->media.end()) {
+    std::fprintf(stderr, "image has no superblock\n");
+    return 1;
+  }
+  auto sb = Superblock::Parse(sb_raw->second);
+  if (!sb.ok()) {
+    std::fprintf(stderr, "bad superblock: %s\n", sb.status().ToString().c_str());
+    return 1;
+  }
+  const FsLayout layout = sb->ToLayout();
+  std::printf("image: %llu blocks, %u journal area(s), dirty_mount=%u\n\n",
+              static_cast<unsigned long long>(sb->total_blocks), sb->journal_areas,
+              sb->dirty_mount);
+  for (uint32_t a = 0; a < sb->journal_areas; ++a) {
+    DumpArea(*image, layout, a);
+    std::printf("\n");
+  }
+
+  if (queues == 0) {
+    queues = static_cast<uint16_t>(sb->journal_areas);
+  }
+  Pmr pmr(image->pmr.size());
+  pmr.Write(0, image->pmr);
+  const auto window = CcNvmeDriver::ScanUnfinished(pmr, queues, queue_depth);
+  std::printf("ccNVMe P-SQ unfinished windows (%u queue(s), depth %u):\n", queues,
+              queue_depth);
+  if (window.empty()) {
+    std::printf("  (empty — every submitted transaction completed in order)\n");
+  }
+  for (const auto& req : window) {
+    std::printf("  q%u tx=%llu lba=%llu blocks=%u%s\n", req.qid,
+                static_cast<unsigned long long>(req.tx_id),
+                static_cast<unsigned long long>(req.slba), req.num_blocks,
+                req.is_commit ? " [commit]" : "");
+  }
+  return 0;
+}

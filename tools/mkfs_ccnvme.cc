@@ -1,0 +1,63 @@
+// mkfs_ccnvme: format a disk image with the ccNVMe file system.
+//
+//   mkfs_ccnvme <image-path> [--blocks N] [--journal-areas N]
+//               [--journal-blocks N]
+//
+// The image can then be inspected with fsck_ccnvme / journal_inspect or
+// mounted by any program using LoadImage + StorageStack.
+#include <cstdio>
+#include <cstring>
+
+#include "src/harness/image_file.h"
+
+using namespace ccnvme;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <image-path> [--blocks N] [--journal-areas N] "
+                 "[--journal-blocks N]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  StackConfig cfg;
+  cfg.fs.journal = JournalKind::kMultiQueue;
+  cfg.fs.journal_areas = 1;
+  cfg.fs.journal_blocks = 4096;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--blocks") == 0) {
+      cfg.fs_total_blocks = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--journal-areas") == 0) {
+      cfg.fs.journal_areas = static_cast<uint32_t>(std::strtoul(argv[i + 1], nullptr, 10));
+      cfg.num_queues = static_cast<uint16_t>(cfg.fs.journal_areas);
+    } else if (std::strcmp(argv[i], "--journal-blocks") == 0) {
+      cfg.fs.journal_blocks = std::strtoull(argv[i + 1], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  StorageStack stack(cfg);
+  Status st = stack.MkfsAndMount();
+  if (!st.ok()) {
+    std::fprintf(stderr, "mkfs failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = stack.Unmount();
+  if (!st.ok()) {
+    std::fprintf(stderr, "unmount failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = SaveImage(stack.CaptureCrashImage(), path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("formatted %s: %llu blocks (%.1f MB), %u journal area(s) x %llu blocks\n",
+              path.c_str(), static_cast<unsigned long long>(cfg.fs_total_blocks),
+              cfg.fs_total_blocks * kFsBlockSize / 1e6, cfg.fs.journal_areas,
+              static_cast<unsigned long long>(cfg.fs.journal_blocks / cfg.fs.journal_areas));
+  return 0;
+}
