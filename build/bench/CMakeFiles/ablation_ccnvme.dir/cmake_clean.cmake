@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ccnvme.dir/ablation_ccnvme.cc.o"
+  "CMakeFiles/ablation_ccnvme.dir/ablation_ccnvme.cc.o.d"
+  "ablation_ccnvme"
+  "ablation_ccnvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ccnvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_data_journal.dir/ablation_data_journal.cc.o"
+  "CMakeFiles/ablation_data_journal.dir/ablation_data_journal.cc.o.d"
+  "ablation_data_journal"
+  "ablation_data_journal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_data_journal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_transaction.dir/fig10_transaction.cc.o"
+  "CMakeFiles/fig10_transaction.dir/fig10_transaction.cc.o.d"
+  "fig10_transaction"
+  "fig10_transaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_transaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

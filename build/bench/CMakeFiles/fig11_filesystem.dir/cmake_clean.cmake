@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_filesystem.dir/fig11_filesystem.cc.o"
+  "CMakeFiles/fig11_filesystem.dir/fig11_filesystem.cc.o.d"
+  "fig11_filesystem"
+  "fig11_filesystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_filesystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

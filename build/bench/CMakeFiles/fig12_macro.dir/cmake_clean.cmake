@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_macro.dir/fig12_macro.cc.o"
+  "CMakeFiles/fig12_macro.dir/fig12_macro.cc.o.d"
+  "fig12_macro"
+  "fig12_macro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_contribution.dir/fig13_contribution.cc.o"
+  "CMakeFiles/fig13_contribution.dir/fig13_contribution.cc.o.d"
+  "fig13_contribution"
+  "fig13_contribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_motivation.dir/fig2_motivation.cc.o"
+  "CMakeFiles/fig2_motivation.dir/fig2_motivation.cc.o.d"
+  "fig2_motivation"
+  "fig2_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_pmr.dir/fig5_pmr.cc.o"
+  "CMakeFiles/fig5_pmr.dir/fig5_pmr.cc.o.d"
+  "fig5_pmr"
+  "fig5_pmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

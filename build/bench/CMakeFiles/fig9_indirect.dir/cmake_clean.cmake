@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_indirect.dir/fig9_indirect.cc.o"
+  "CMakeFiles/fig9_indirect.dir/fig9_indirect.cc.o.d"
+  "fig9_indirect"
+  "fig9_indirect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_indirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

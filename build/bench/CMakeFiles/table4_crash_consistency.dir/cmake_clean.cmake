@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_crash_consistency.dir/table4_crash_consistency.cc.o"
+  "CMakeFiles/table4_crash_consistency.dir/table4_crash_consistency.cc.o.d"
+  "table4_crash_consistency"
+  "table4_crash_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_crash_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

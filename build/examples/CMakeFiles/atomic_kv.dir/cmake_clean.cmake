@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomic_kv.dir/atomic_kv.cpp.o"
+  "CMakeFiles/atomic_kv.dir/atomic_kv.cpp.o.d"
+  "atomic_kv"
+  "atomic_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomic_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

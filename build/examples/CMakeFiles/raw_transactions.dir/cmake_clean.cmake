@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_transactions.dir/raw_transactions.cpp.o"
+  "CMakeFiles/raw_transactions.dir/raw_transactions.cpp.o.d"
+  "raw_transactions"
+  "raw_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

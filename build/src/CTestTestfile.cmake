@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("pcie")
+subdirs("ssd")
+subdirs("nvme")
+subdirs("driver")
+subdirs("ccnvme")
+subdirs("block")
+subdirs("vfs")
+subdirs("jbd2")
+subdirs("mqfs")
+subdirs("extfs")
+subdirs("harness")
+subdirs("crashtest")
+subdirs("workload")

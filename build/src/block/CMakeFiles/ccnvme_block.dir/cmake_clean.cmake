@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnvme_block.dir/block_layer.cc.o"
+  "CMakeFiles/ccnvme_block.dir/block_layer.cc.o.d"
+  "libccnvme_block.a"
+  "libccnvme_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnvme_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnvme_ccnvme.dir/ccnvme_driver.cc.o"
+  "CMakeFiles/ccnvme_ccnvme.dir/ccnvme_driver.cc.o.d"
+  "CMakeFiles/ccnvme_ccnvme.dir/indirect.cc.o"
+  "CMakeFiles/ccnvme_ccnvme.dir/indirect.cc.o.d"
+  "CMakeFiles/ccnvme_ccnvme.dir/user_api.cc.o"
+  "CMakeFiles/ccnvme_ccnvme.dir/user_api.cc.o.d"
+  "libccnvme_ccnvme.a"
+  "libccnvme_ccnvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnvme_ccnvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

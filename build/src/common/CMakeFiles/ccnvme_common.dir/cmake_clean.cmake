@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnvme_common.dir/logging.cc.o"
+  "CMakeFiles/ccnvme_common.dir/logging.cc.o.d"
+  "CMakeFiles/ccnvme_common.dir/stats.cc.o"
+  "CMakeFiles/ccnvme_common.dir/stats.cc.o.d"
+  "CMakeFiles/ccnvme_common.dir/status.cc.o"
+  "CMakeFiles/ccnvme_common.dir/status.cc.o.d"
+  "libccnvme_common.a"
+  "libccnvme_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnvme_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

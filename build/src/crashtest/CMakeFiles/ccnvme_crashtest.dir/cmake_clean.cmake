@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnvme_crashtest.dir/crash_monkey.cc.o"
+  "CMakeFiles/ccnvme_crashtest.dir/crash_monkey.cc.o.d"
+  "libccnvme_crashtest.a"
+  "libccnvme_crashtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnvme_crashtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/admin_client.cc" "src/driver/CMakeFiles/ccnvme_driver.dir/admin_client.cc.o" "gcc" "src/driver/CMakeFiles/ccnvme_driver.dir/admin_client.cc.o.d"
+  "/root/repo/src/driver/nvme_driver.cc" "src/driver/CMakeFiles/ccnvme_driver.dir/nvme_driver.cc.o" "gcc" "src/driver/CMakeFiles/ccnvme_driver.dir/nvme_driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nvme/CMakeFiles/ccnvme_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/ccnvme_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccnvme_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ccnvme_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/ccnvme_ssd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

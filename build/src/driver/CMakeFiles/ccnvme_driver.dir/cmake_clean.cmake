@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnvme_driver.dir/admin_client.cc.o"
+  "CMakeFiles/ccnvme_driver.dir/admin_client.cc.o.d"
+  "CMakeFiles/ccnvme_driver.dir/nvme_driver.cc.o"
+  "CMakeFiles/ccnvme_driver.dir/nvme_driver.cc.o.d"
+  "libccnvme_driver.a"
+  "libccnvme_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnvme_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

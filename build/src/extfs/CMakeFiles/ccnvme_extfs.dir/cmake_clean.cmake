@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnvme_extfs.dir/alloc.cc.o"
+  "CMakeFiles/ccnvme_extfs.dir/alloc.cc.o.d"
+  "CMakeFiles/ccnvme_extfs.dir/extfs.cc.o"
+  "CMakeFiles/ccnvme_extfs.dir/extfs.cc.o.d"
+  "CMakeFiles/ccnvme_extfs.dir/layout.cc.o"
+  "CMakeFiles/ccnvme_extfs.dir/layout.cc.o.d"
+  "libccnvme_extfs.a"
+  "libccnvme_extfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnvme_extfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnvme_harness.dir/image_file.cc.o"
+  "CMakeFiles/ccnvme_harness.dir/image_file.cc.o.d"
+  "CMakeFiles/ccnvme_harness.dir/stack.cc.o"
+  "CMakeFiles/ccnvme_harness.dir/stack.cc.o.d"
+  "libccnvme_harness.a"
+  "libccnvme_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnvme_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccnvme_harness.a"
+)

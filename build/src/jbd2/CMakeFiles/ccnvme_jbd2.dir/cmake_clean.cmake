@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnvme_jbd2.dir/jbd2.cc.o"
+  "CMakeFiles/ccnvme_jbd2.dir/jbd2.cc.o.d"
+  "CMakeFiles/ccnvme_jbd2.dir/journal_format.cc.o"
+  "CMakeFiles/ccnvme_jbd2.dir/journal_format.cc.o.d"
+  "libccnvme_jbd2.a"
+  "libccnvme_jbd2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnvme_jbd2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

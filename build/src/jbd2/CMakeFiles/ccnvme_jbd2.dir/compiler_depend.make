@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ccnvme_jbd2.
+# This may be replaced when dependencies are built.

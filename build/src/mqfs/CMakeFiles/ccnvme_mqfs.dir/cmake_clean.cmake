@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnvme_mqfs.dir/mq_journal.cc.o"
+  "CMakeFiles/ccnvme_mqfs.dir/mq_journal.cc.o.d"
+  "libccnvme_mqfs.a"
+  "libccnvme_mqfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnvme_mqfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnvme_nvme.dir/admin.cc.o"
+  "CMakeFiles/ccnvme_nvme.dir/admin.cc.o.d"
+  "CMakeFiles/ccnvme_nvme.dir/command.cc.o"
+  "CMakeFiles/ccnvme_nvme.dir/command.cc.o.d"
+  "CMakeFiles/ccnvme_nvme.dir/controller.cc.o"
+  "CMakeFiles/ccnvme_nvme.dir/controller.cc.o.d"
+  "libccnvme_nvme.a"
+  "libccnvme_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnvme_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

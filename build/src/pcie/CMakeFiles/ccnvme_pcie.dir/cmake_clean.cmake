@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnvme_pcie.dir/pcie_link.cc.o"
+  "CMakeFiles/ccnvme_pcie.dir/pcie_link.cc.o.d"
+  "libccnvme_pcie.a"
+  "libccnvme_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnvme_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

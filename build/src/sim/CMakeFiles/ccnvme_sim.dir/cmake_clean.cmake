@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnvme_sim.dir/resource.cc.o"
+  "CMakeFiles/ccnvme_sim.dir/resource.cc.o.d"
+  "CMakeFiles/ccnvme_sim.dir/simulator.cc.o"
+  "CMakeFiles/ccnvme_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/ccnvme_sim.dir/sync.cc.o"
+  "CMakeFiles/ccnvme_sim.dir/sync.cc.o.d"
+  "libccnvme_sim.a"
+  "libccnvme_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnvme_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssd/media.cc" "src/ssd/CMakeFiles/ccnvme_ssd.dir/media.cc.o" "gcc" "src/ssd/CMakeFiles/ccnvme_ssd.dir/media.cc.o.d"
+  "/root/repo/src/ssd/ssd_model.cc" "src/ssd/CMakeFiles/ccnvme_ssd.dir/ssd_model.cc.o" "gcc" "src/ssd/CMakeFiles/ccnvme_ssd.dir/ssd_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccnvme_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ccnvme_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

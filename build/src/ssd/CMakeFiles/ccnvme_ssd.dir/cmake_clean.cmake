@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnvme_ssd.dir/media.cc.o"
+  "CMakeFiles/ccnvme_ssd.dir/media.cc.o.d"
+  "CMakeFiles/ccnvme_ssd.dir/ssd_model.cc.o"
+  "CMakeFiles/ccnvme_ssd.dir/ssd_model.cc.o.d"
+  "libccnvme_ssd.a"
+  "libccnvme_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnvme_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

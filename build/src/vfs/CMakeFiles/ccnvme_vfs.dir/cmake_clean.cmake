@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnvme_vfs.dir/buffer_cache.cc.o"
+  "CMakeFiles/ccnvme_vfs.dir/buffer_cache.cc.o.d"
+  "libccnvme_vfs.a"
+  "libccnvme_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnvme_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnvme_workload.dir/fio_append.cc.o"
+  "CMakeFiles/ccnvme_workload.dir/fio_append.cc.o.d"
+  "CMakeFiles/ccnvme_workload.dir/minikv.cc.o"
+  "CMakeFiles/ccnvme_workload.dir/minikv.cc.o.d"
+  "CMakeFiles/ccnvme_workload.dir/varmail.cc.o"
+  "CMakeFiles/ccnvme_workload.dir/varmail.cc.o.d"
+  "libccnvme_workload.a"
+  "libccnvme_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnvme_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnvme_test.dir/ccnvme_test.cc.o"
+  "CMakeFiles/ccnvme_test.dir/ccnvme_test.cc.o.d"
+  "ccnvme_test"
+  "ccnvme_test.pdb"
+  "ccnvme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnvme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

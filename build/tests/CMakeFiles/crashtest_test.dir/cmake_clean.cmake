@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crashtest_test.dir/crashtest_test.cc.o"
+  "CMakeFiles/crashtest_test.dir/crashtest_test.cc.o.d"
+  "crashtest_test"
+  "crashtest_test.pdb"
+  "crashtest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crashtest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

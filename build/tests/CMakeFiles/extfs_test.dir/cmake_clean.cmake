@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extfs_test.dir/extfs_test.cc.o"
+  "CMakeFiles/extfs_test.dir/extfs_test.cc.o.d"
+  "extfs_test"
+  "extfs_test.pdb"
+  "extfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fs_edge_test.cc" "tests/CMakeFiles/fs_edge_test.dir/fs_edge_test.cc.o" "gcc" "tests/CMakeFiles/fs_edge_test.dir/fs_edge_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/ccnvme_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/crashtest/CMakeFiles/ccnvme_crashtest.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/ccnvme_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/extfs/CMakeFiles/ccnvme_extfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mqfs/CMakeFiles/ccnvme_mqfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/jbd2/CMakeFiles/ccnvme_jbd2.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/ccnvme_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/ccnvme_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnvme/CMakeFiles/ccnvme_ccnvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/ccnvme_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/ccnvme_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/ccnvme_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/ccnvme_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccnvme_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ccnvme_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indirect_test.dir/indirect_test.cc.o"
+  "CMakeFiles/indirect_test.dir/indirect_test.cc.o.d"
+  "indirect_test"
+  "indirect_test.pdb"
+  "indirect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indirect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jbd2_test.dir/jbd2_test.cc.o"
+  "CMakeFiles/jbd2_test.dir/jbd2_test.cc.o.d"
+  "jbd2_test"
+  "jbd2_test.pdb"
+  "jbd2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jbd2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mq_journal_test.dir/mq_journal_test.cc.o"
+  "CMakeFiles/mq_journal_test.dir/mq_journal_test.cc.o.d"
+  "mq_journal_test"
+  "mq_journal_test.pdb"
+  "mq_journal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mq_journal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plug_test.dir/plug_test.cc.o"
+  "CMakeFiles/plug_test.dir/plug_test.cc.o.d"
+  "plug_test"
+  "plug_test.pdb"
+  "plug_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plug_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

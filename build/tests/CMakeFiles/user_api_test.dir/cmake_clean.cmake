@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_api_test.dir/user_api_test.cc.o"
+  "CMakeFiles/user_api_test.dir/user_api_test.cc.o.d"
+  "user_api_test"
+  "user_api_test.pdb"
+  "user_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

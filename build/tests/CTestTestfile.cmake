@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/nvme_test[1]_include.cmake")
+include("/root/repo/build/tests/ccnvme_test[1]_include.cmake")
+include("/root/repo/build/tests/extfs_test[1]_include.cmake")
+include("/root/repo/build/tests/crashtest_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/journal_format_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/admin_test[1]_include.cmake")
+include("/root/repo/build/tests/image_test[1]_include.cmake")
+include("/root/repo/build/tests/user_api_test[1]_include.cmake")
+include("/root/repo/build/tests/indirect_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/plug_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/jbd2_test[1]_include.cmake")
+include("/root/repo/build/tests/mq_journal_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_extra_test[1]_include.cmake")

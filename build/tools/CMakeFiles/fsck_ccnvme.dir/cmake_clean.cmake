@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsck_ccnvme.dir/fsck_ccnvme.cc.o"
+  "CMakeFiles/fsck_ccnvme.dir/fsck_ccnvme.cc.o.d"
+  "fsck_ccnvme"
+  "fsck_ccnvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsck_ccnvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/journal_inspect.dir/journal_inspect.cc.o"
+  "CMakeFiles/journal_inspect.dir/journal_inspect.cc.o.d"
+  "journal_inspect"
+  "journal_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/journal_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkfs_ccnvme.dir/mkfs_ccnvme.cc.o"
+  "CMakeFiles/mkfs_ccnvme.dir/mkfs_ccnvme.cc.o.d"
+  "mkfs_ccnvme"
+  "mkfs_ccnvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkfs_ccnvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
