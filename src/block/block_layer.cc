@@ -102,7 +102,9 @@ void BlockLayer::Unplug() {
       PluggedWrite& w = (*list)[i];
       auto handle = w.handle;
       auto cb = w.on_complete;
-      (void)nvme_->SubmitWrite(tls_queue, w.lba, w.data, false, 0, 0, [handle, cb] {
+      const uint64_t seq = w.record_seq;
+      (void)nvme_->SubmitWrite(tls_queue, w.lba, w.data, false, 0, 0, [this, seq, handle, cb] {
+        RecordCompletion(seq);
         if (cb) {
           cb();
         }
@@ -113,15 +115,18 @@ void BlockLayer::Unplug() {
       auto merged = std::make_shared<Buffer>();
       std::vector<NvmeDriver::RequestHandle> handles;
       std::vector<std::function<void()>> callbacks;
+      std::vector<uint64_t> seqs;
       for (size_t k = i; k < j; ++k) {
         merged->insert(merged->end(), (*list)[k].data->begin(), (*list)[k].data->end());
         handles.push_back((*list)[k].handle);
         callbacks.push_back((*list)[k].on_complete);
+        seqs.push_back((*list)[k].record_seq);
       }
       (void)nvme_->SubmitWrite(
           tls_queue, (*list)[i].lba, merged.get(), false, 0, 0,
-          [merged, handles, callbacks] {
+          [this, merged, handles, callbacks, seqs] {
             for (size_t k = 0; k < handles.size(); ++k) {
+              RecordCompletion(seqs[k]);
               if (callbacks[k]) {
                 callbacks[k]();
               }
@@ -140,8 +145,8 @@ NvmeDriver::RequestHandle BlockLayer::SubmitWrite(uint64_t lba, const Buffer* da
   Simulator::Sleep(costs_.block_layer_submit_ns);
   if (tls_plugged && flags == 0) {
     // Batched: hand back a placeholder handle completed at merge dispatch.
-    Record(BioOp::kWrite, lba, flags, 0, data);
     PluggedWrite w;
+    w.record_seq = Record(BioOp::kWrite, lba, flags, 0, data);
     w.lba = lba;
     w.data = data;
     w.handle = std::make_shared<NvmeDriver::Request>(sim_);

@@ -18,29 +18,12 @@
 #include <memory>
 #include <vector>
 
+#include "src/block/bio_event.h"
 #include "src/ccnvme/ccnvme_driver.h"
 #include "src/common/status.h"
 #include "src/driver/nvme_driver.h"
 
 namespace ccnvme {
-
-enum class BioOp { kRead, kWrite, kFlush, kComplete };
-
-// Bio flags (subset of the kernel's REQ_*).
-inline constexpr uint32_t kBioFua = 1u << 0;       // force unit access
-inline constexpr uint32_t kBioPreflush = 1u << 1;  // flush cache before this write
-inline constexpr uint32_t kBioTx = 1u << 2;        // ccNVMe: transaction member
-inline constexpr uint32_t kBioTxCommit = 1u << 3;  // ccNVMe: commit record
-
-struct BioEvent {
-  BioOp op;
-  uint64_t seq = 0;  // submission sequence; kComplete references this
-  uint64_t lba = 0;
-  uint32_t flags = 0;
-  uint64_t tx_id = 0;
-  Buffer data;  // copy of the payload for write events
-};
-using BioRecorder = std::function<void(const BioEvent&)>;
 
 class BlockLayer {
  public:
@@ -95,6 +78,7 @@ class BlockLayer {
   struct PluggedWrite {
     uint64_t lba;
     const Buffer* data;
+    uint64_t record_seq = 0;  // recorder seq of the submission event
     NvmeDriver::RequestHandle handle;
     std::function<void()> on_complete;
   };

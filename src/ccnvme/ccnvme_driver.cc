@@ -10,9 +10,14 @@ CcNvmeDriver::CcNvmeDriver(Simulator* sim, PcieLink* link, NvmeController* contr
   const uint16_t depth = controller->config().queue_depth;
   CCNVME_CHECK_LE(PmrQueueBase(options.num_queues, depth), controller->pmr().size())
       << "P-SQs do not fit in the PMR";
+  // Capture the unfinished window left behind by the previous boot BEFORE
+  // the per-queue reinitialization below zeroes the persistent doorbells —
+  // the upper layer's recovery consumes exactly this window (§4.4).
+  recovered_window_ = ScanUnfinished(controller->pmr(), options_.num_queues, depth);
   for (uint16_t qid = 0; qid < options_.num_queues; ++qid) {
     auto q = std::make_unique<Queue>();
     Queue* raw = q.get();
+    q->qid = qid;
     q->pmr_base = PmrQueueBase(qid, depth);
     q->wc = std::make_unique<WcBuffer>(link);
     q->irq_pending = std::make_unique<SimSemaphore>(sim, 0);
@@ -39,6 +44,29 @@ size_t CcNvmeDriver::DoorbellOffset(const Queue& q) const {
 }
 
 size_t CcNvmeDriver::HeadOffset(const Queue& q) const { return DoorbellOffset(q) + 4; }
+
+void CcNvmeDriver::RecordPmr(BioOp op, uint16_t qid, size_t offset,
+                             std::span<const uint8_t> bytes, uint32_t flags, uint64_t tx_id) {
+  if (!recorder_) {
+    return;
+  }
+  BioEvent ev;
+  ev.op = op;
+  ev.lba = offset;
+  ev.flags = flags;
+  ev.tx_id = tx_id;
+  ev.qid = qid;
+  ev.data.assign(bytes.begin(), bytes.end());
+  recorder_(ev);
+}
+
+void CcNvmeDriver::PmrStoreU32(Queue& q, BioOp op, size_t offset, uint32_t value,
+                               uint64_t tx_id) {
+  controller_->pmr().WriteU32(offset, value);
+  uint8_t raw[4];
+  PutU32(raw, 0, value);
+  RecordPmr(op, q.qid, offset, raw, /*flags=*/0, tx_id);
+}
 
 CcNvmeDriver::Queue& CcNvmeDriver::GetQueue(uint16_t qid) {
   CCNVME_CHECK_LT(qid, queues_.size());
@@ -68,11 +96,14 @@ uint16_t CcNvmeDriver::StageCommand(Queue& q, NvmeCommand cmd, const Buffer* dat
   controller_->pmr().Write(q.pmr_base + static_cast<size_t>(slot) * kSqeSize,
                            std::span<const uint8_t>(raw, kSqeSize));
   q.wc->Store(kSqeSize);
+  RecordPmr(BioOp::kPmrWrite, q.qid, q.pmr_base + static_cast<size_t>(slot) * kSqeSize,
+            std::span<const uint8_t>(raw, kSqeSize), kBioPmrWc, cmd.tx_id);
 
   if (!options_.tx_aware_mmio) {
     // Naive per-request mode: flush and ring for every request.
     q.wc->FlushPersistent();
-    controller_->pmr().WriteU32(DoorbellOffset(q), q.sq_tail);
+    RecordPmr(BioOp::kPmrFence, q.qid, 0, {}, 0, cmd.tx_id);
+    PmrStoreU32(q, BioOp::kPmrDoorbell, DoorbellOffset(q), q.sq_tail, cmd.tx_id);
     link_->MmioWrite(4);
     controller_->RingSqDoorbell(q.qp, q.sq_tail);
   }
@@ -154,7 +185,8 @@ CcNvmeDriver::TxHandle CcNvmeDriver::CommitTx(uint16_t qid, uint64_t tx_id, uint
     // Transaction-aware MMIO & doorbell: one persistence flush and one
     // doorbell ring for the whole transaction (Figure 4(b)).
     q.wc->FlushPersistent();
-    controller_->pmr().WriteU32(DoorbellOffset(q), q.sq_tail);
+    RecordPmr(BioOp::kPmrFence, q.qid, 0, {}, 0, tx_id);
+    PmrStoreU32(q, BioOp::kPmrDoorbell, DoorbellOffset(q), q.sq_tail, tx_id);
     link_->MmioWrite(4);
     controller_->RingSqDoorbell(q.qp, q.sq_tail);
   }
@@ -183,9 +215,10 @@ void CcNvmeDriver::CompleteReadyTransactions(Queue& q) {
       TxHandle tx = front;
       q.inflight_txs.pop_front();
       // Chain the completion doorbell: persistently advance P-SQ-head, then
-      // ring the CQDB (§4.4).
+      // ring the CQDB (§4.4). The head store is uncached: durable the moment
+      // it issues, which is what lets recovery trust everything behind it.
       q.psq_head = tx->end_slot;
-      controller_->pmr().WriteU32(HeadOffset(q), q.psq_head);
+      PmrStoreU32(q, BioOp::kPmrWrite, HeadOffset(q), q.psq_head, tx->tx_id);
       link_->MmioWrite(4);
       link_->MmioWrite(4);
       controller_->RingCqDoorbell(q.qp, q.cq_head);
@@ -206,7 +239,7 @@ void CcNvmeDriver::CompleteReadyTransactions(Queue& q) {
         it = q.inflight_txs.erase(it);
         if (q.inflight_txs.empty()) {
           q.psq_head = tx->end_slot;
-          controller_->pmr().WriteU32(HeadOffset(q), q.psq_head);
+          PmrStoreU32(q, BioOp::kPmrWrite, HeadOffset(q), q.psq_head, tx->tx_id);
           link_->MmioWrite(4);
         }
         link_->MmioWrite(4);

@@ -33,6 +33,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/block/bio_event.h"
 #include "src/common/status.h"
 #include "src/driver/host_costs.h"
 #include "src/nvme/controller.h"
@@ -107,6 +108,18 @@ class CcNvmeDriver {
   static std::vector<UnfinishedRequest> ScanUnfinished(const Pmr& pmr, uint16_t num_queues,
                                                        uint16_t queue_depth);
 
+  // The unfinished window found in the PMR at driver bring-up, captured
+  // BEFORE the driver reinitializes the persistent doorbells (§4.4: the
+  // window identifies transactions whose completion is not guaranteed; the
+  // upper layer validates exactly those during its recovery). Empty on a
+  // factory-fresh device.
+  const std::vector<UnfinishedRequest>& recovered_window() const { return recovered_window_; }
+
+  // Observer for the crash-state recorder: every PMR mutation (SQE staging,
+  // persistence fences, doorbell rings, head advances) is reported so a
+  // crash tester can reconstruct the PMR bytes at any point of a run.
+  void set_recorder(BioRecorder recorder) { recorder_ = std::move(recorder); }
+
   // PMR layout: per queue, the SQE ring followed by P-SQDB and P-SQ-head.
   static size_t PmrRegionSize(uint16_t queue_depth) {
     return static_cast<size_t>(queue_depth) * kSqeSize + 64;
@@ -124,6 +137,7 @@ class CcNvmeDriver {
  private:
   struct Queue {
     IoQueuePair* qp = nullptr;
+    uint16_t qid = 0;
     size_t pmr_base = 0;
     std::unique_ptr<WcBuffer> wc;
     uint16_t sq_tail = 0;
@@ -142,6 +156,11 @@ class CcNvmeDriver {
 
   size_t DoorbellOffset(const Queue& q) const;
   size_t HeadOffset(const Queue& q) const;
+  // Reports a PMR mutation to the crash-state recorder (no-op when unset).
+  void RecordPmr(BioOp op, uint16_t qid, size_t offset, std::span<const uint8_t> bytes,
+                 uint32_t flags, uint64_t tx_id);
+  // Uncached 4-byte PMR store (doorbell/head) + recorder notification.
+  void PmrStoreU32(Queue& q, BioOp op, size_t offset, uint32_t value, uint64_t tx_id);
   // Stages a command into the P-SQ via WC stores; returns the slot used.
   uint16_t StageCommand(Queue& q, NvmeCommand cmd, const Buffer* data);
   void BottomHalfLoop(Queue* q);
@@ -155,6 +174,8 @@ class CcNvmeDriver {
   CcNvmeOptions options_;
   std::vector<std::unique_ptr<Queue>> queues_;
   uint64_t transactions_completed_ = 0;
+  std::vector<UnfinishedRequest> recovered_window_;
+  BioRecorder recorder_;
 };
 
 }  // namespace ccnvme

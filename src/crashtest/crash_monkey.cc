@@ -1,270 +1,30 @@
 #include "src/crashtest/crash_monkey.h"
 
-#include <map>
-
 #include "src/common/logging.h"
 
 namespace ccnvme {
 
-OracleFact OracleFact::FileExists(std::string path) {
-  OracleFact f;
-  f.kind = Kind::kFileExists;
-  f.path = std::move(path);
-  return f;
-}
-
-OracleFact OracleFact::FileAbsent(std::string path) {
-  OracleFact f;
-  f.kind = Kind::kFileAbsent;
-  f.path = std::move(path);
-  return f;
-}
-
-OracleFact OracleFact::DirExists(std::string path) {
-  OracleFact f;
-  f.kind = Kind::kDirExists;
-  f.path = std::move(path);
-  return f;
-}
-
-OracleFact OracleFact::FileContent(ExtFs& fs, const std::string& path) {
-  OracleFact f;
-  f.kind = Kind::kFileContent;
-  f.path = path;
-  auto ino = fs.Lookup(path);
-  CCNVME_CHECK(ino.ok()) << "FileContent fact for missing " << path;
-  auto size = fs.FileSize(*ino);
-  CCNVME_CHECK(size.ok());
-  f.size = *size;
-  Buffer content(f.size);
-  if (f.size > 0) {
-    Status st = fs.Read(*ino, 0, content);
-    CCNVME_CHECK(st.ok());
-  }
-  f.content_hash = Fnv1a(content);
-  return f;
-}
-
-namespace {
-
-class ContextImpl : public CrashTestContext {
- public:
-  ContextImpl(ExtFs& fs, std::vector<CrashMonkey::FactEvent>* facts,
-              const std::vector<BioEvent>* events)
-      : fs_(fs), facts_(facts), events_(events) {}
-
-  ExtFs& fs() override { return fs_; }
-  void AddFact(const OracleFact& fact) override {
-    facts_->push_back({events_->size(), false, fact});
-  }
-  void InvalidateFact(const std::string& path) override {
-    OracleFact f;
-    f.path = path;
-    facts_->push_back({events_->size(), true, f});
-  }
-
- private:
-  ExtFs& fs_;
-  std::vector<CrashMonkey::FactEvent>* facts_;
-  const std::vector<BioEvent>* events_;
-};
-
-std::string DescribeFact(const OracleFact& f) {
-  switch (f.kind) {
-    case OracleFact::Kind::kFileExists:
-      return "exists(" + f.path + ")";
-    case OracleFact::Kind::kFileAbsent:
-      return "absent(" + f.path + ")";
-    case OracleFact::Kind::kDirExists:
-      return "dir(" + f.path + ")";
-    case OracleFact::Kind::kFileContent:
-      return "content(" + f.path + ", size=" + std::to_string(f.size) + ")";
-  }
-  return "?";
-}
-
-}  // namespace
-
-CrashMonkey::Recording CrashMonkey::Record(const CrashWorkload& workload) {
-  Recording rec;
-  StorageStack stack(config_);
-  Status st = stack.MkfsAndMount();
-  CCNVME_CHECK(st.ok()) << st.ToString();
-  rec.base = stack.CaptureCrashImage();
-
-  stack.blk().set_recorder([&rec](const BioEvent& ev) { rec.events.push_back(ev); });
-  ContextImpl ctx(stack.fs(), &rec.facts, &rec.events);
-  stack.Run([&] { workload(ctx); });
-  return rec;
-}
-
-CrashImage CrashMonkey::BuildCrashState(const Recording& rec, size_t crash_index) {
-  // Durability analysis over the prefix [0, crash_index).
-  struct WriteInfo {
-    size_t submit_index;
-    const BioEvent* ev;
-    size_t complete_index = SIZE_MAX;
-  };
-  std::map<uint64_t, WriteInfo> writes;          // seq -> info
-  std::vector<size_t> flush_completions;         // event indices
-  for (size_t i = 0; i < crash_index && i < rec.events.size(); ++i) {
-    const BioEvent& ev = rec.events[i];
-    if (ev.op == BioOp::kWrite) {
-      writes[ev.seq] = WriteInfo{i, &ev};
-    } else if (ev.op == BioOp::kComplete) {
-      auto it = writes.find(ev.seq);
-      if (it != writes.end()) {
-        it->second.complete_index = i;
-      } else {
-        // Completion of a flush.
-        flush_completions.push_back(i);
-      }
-    }
-  }
-  const bool plp = config_.ssd.power_loss_protection || !config_.ssd.volatile_cache;
-
-  CrashImage image;
-  image.media = rec.base.media;
-  image.pmr.assign(rec.base.pmr.begin(), rec.base.pmr.end());
-
-  auto apply = [&](const BioEvent& ev, bool whole, Rng& rng) {
-    const size_t blocks = ev.data.size() / kFsBlockSize;
-    for (size_t b = 0; b < blocks; ++b) {
-      // Per-4KB persistence decision: the device may tear multi-block
-      // writes at block granularity, never within a block.
-      if (!whole && rng.OneIn(2)) {
-        continue;
-      }
-      Buffer& dst = image.media[ev.lba + b];
-      dst.assign(ev.data.begin() + static_cast<long>(b * kFsBlockSize),
-                 ev.data.begin() + static_cast<long>((b + 1) * kFsBlockSize));
-    }
-  };
-
-  // Apply in submission order: durable writes fully, in-flight ones as a
-  // random per-block subset.
-  std::vector<const WriteInfo*> ordered;
-  for (auto& [seq, info] : writes) {
-    (void)seq;
-    ordered.push_back(&info);
-  }
-  std::sort(ordered.begin(), ordered.end(),
-            [](const WriteInfo* a, const WriteInfo* b) {
-              return a->submit_index < b->submit_index;
-            });
-  for (const WriteInfo* w : ordered) {
-    bool durable = false;
-    if (w->complete_index != SIZE_MAX) {
-      if (plp || (w->ev->flags & kBioFua) != 0 || (w->ev->flags & kBioTx) != 0) {
-        // ccNVMe transaction members get their completion event only when
-        // the whole transaction is durably complete (the commit carries an
-        // implicit flush barrier + FUA on cache-backed drives, §4.2).
-        durable = true;
-      } else {
-        // Volatile cache: durable once a flush completed after this write's
-        // completion.
-        for (size_t fc : flush_completions) {
-          if (fc > w->complete_index) {
-            durable = true;
-            break;
-          }
-        }
-      }
-    }
-    apply(*w->ev, durable, rng_);
-  }
-  return image;
-}
-
-std::string CrashMonkey::CheckCrashState(const Recording& rec, size_t crash_index) {
-  const CrashImage image = BuildCrashState(rec, crash_index);
-  StorageStack stack(config_, image);
-  Status mount = stack.MountExisting();
-  if (!mount.ok()) {
-    return "mount failed: " + mount.ToString();
-  }
-
-  // Latest fact per path wins (a later unlink supersedes an earlier
-  // create); an invalidation disarms the path until the next fact.
-  std::map<std::string, OracleFact> active;
-  for (const auto& fe : rec.facts) {
-    if (fe.event_index > crash_index) {
-      break;
-    }
-    if (fe.invalidate) {
-      active.erase(fe.fact.path);
-    } else {
-      active[fe.fact.path] = fe.fact;
-    }
-  }
-
-  std::string failure;
-  stack.Run([&] {
-    Status consistent = stack.fs().CheckConsistency();
-    if (!consistent.ok()) {
-      failure = "inconsistent fs: " + consistent.ToString();
-      return;
-    }
-    for (const auto& [path, fact] : active) {
-      auto ino = stack.fs().Lookup(path);
-      switch (fact.kind) {
-        case OracleFact::Kind::kFileAbsent:
-          if (ino.ok()) {
-            failure = DescribeFact(fact) + " violated: path still exists";
-            return;
-          }
-          break;
-        case OracleFact::Kind::kFileExists:
-        case OracleFact::Kind::kDirExists:
-          if (!ino.ok()) {
-            failure = DescribeFact(fact) + " violated: path missing";
-            return;
-          }
-          break;
-        case OracleFact::Kind::kFileContent: {
-          if (!ino.ok()) {
-            failure = DescribeFact(fact) + " violated: path missing";
-            return;
-          }
-          auto size = stack.fs().FileSize(*ino);
-          if (!size.ok() || *size != fact.size) {
-            failure = DescribeFact(fact) + " violated: size mismatch";
-            return;
-          }
-          Buffer content(fact.size);
-          if (fact.size > 0) {
-            Status st = stack.fs().Read(*ino, 0, content);
-            if (!st.ok()) {
-              failure = DescribeFact(fact) + " violated: unreadable";
-              return;
-            }
-          }
-          if (Fnv1a(content) != fact.content_hash) {
-            failure = DescribeFact(fact) + " violated: content mismatch";
-            return;
-          }
-          break;
-        }
-      }
-    }
-  });
-  return failure;
-}
-
 CrashTestReport CrashMonkey::Run(const CrashWorkload& workload, int num_crash_points) {
-  const Recording rec = Record(workload);
+  const CrashRecording rec = RecordWorkload(config_, workload);
   CrashTestReport report;
   report.crash_points = num_crash_points;
+  constexpr uint8_t kTornVariants = 2;
   for (int i = 0; i < num_crash_points; ++i) {
-    // Deterministic spread of crash points over the whole event stream,
-    // plus random subsets of the in-flight window each time.
-    const size_t crash_index =
-        rec.events.empty() ? 0 : rng_.Uniform(rec.events.size() + 1);
-    const std::string failure = CheckCrashState(rec, crash_index);
+    // Random crash index, then a random fate for every uncertain item:
+    // absent, present, or one of the torn variants.
+    CrashPlan plan;
+    plan.crash_index = rec.events.empty() ? 0 : rng_.Uniform(rec.events.size() + 1);
+    const std::vector<UncertainItem> items = CollectUncertain(rec, plan.crash_index);
+    plan.choices.reserve(items.size());
+    for (size_t k = 0; k < items.size(); ++k) {
+      plan.choices.push_back(
+          static_cast<uint8_t>(rng_.Uniform(kChoiceTornBase + kTornVariants)));
+    }
+    const std::string failure = CheckCrashState(rec, plan, seed_);
     if (failure.empty()) {
       report.passed++;
     } else if (report.failures.size() < 10) {
-      report.failures.push_back("crash@" + std::to_string(crash_index) + ": " + failure);
+      report.failures.push_back("crash@" + std::to_string(plan.crash_index) + ": " + failure);
     }
   }
   return report;
@@ -449,6 +209,43 @@ CrashWorkload CrashMonkey::OverwriteMixed() {
       CCNVME_CHECK(fs.Fsync(*f).ok());
       ctx.AddFact(OracleFact::FileContent(fs, "/ow"));
     }
+  };
+}
+
+CrashWorkload CrashMonkey::AtomicOverwrite() {
+  return [](CrashTestContext& ctx) {
+    ExtFs& fs = ctx.fs();
+    auto f = fs.Create("/at");
+    CCNVME_CHECK(f.ok());
+    CCNVME_CHECK(fs.Write(*f, 0, Buffer(3 * kFsBlockSize, 0xA1)).ok());
+    CCNVME_CHECK(fs.Fsync(*f).ok());
+    const OracleFact before = OracleFact::FileContent(fs, "/at");
+    ctx.AddFact(before);
+
+    // Multi-block in-place overwrite made atomic by fatomic (§5.1): after a
+    // crash the file holds the old bytes or the new ones, never a mix. The
+    // new content's hash is read back through the page cache before any of
+    // it is persisted.
+    CCNVME_CHECK(fs.Write(*f, 0, Buffer(3 * kFsBlockSize, 0xB2)).ok());
+    const OracleFact after = OracleFact::FileContent(fs, "/at");
+    ctx.InvalidateFact("/at");
+    ctx.AddFact(OracleFact::ContentOneOf(before, after));
+    CCNVME_CHECK(fs.Fatomic(*f).ok());
+
+    // fatomic returned at the atomicity point; durability needs the fsync.
+    CCNVME_CHECK(fs.Fsync(*f).ok());
+    ctx.InvalidateFact("/at");
+    ctx.AddFact(after);
+
+    // Second round through fdataatomic.
+    CCNVME_CHECK(fs.Write(*f, 0, Buffer(3 * kFsBlockSize, 0xC3)).ok());
+    const OracleFact after2 = OracleFact::FileContent(fs, "/at");
+    ctx.InvalidateFact("/at");
+    ctx.AddFact(OracleFact::ContentOneOf(after, after2));
+    CCNVME_CHECK(fs.Fdataatomic(*f).ok());
+    CCNVME_CHECK(fs.Fsync(*f).ok());
+    ctx.InvalidateFact("/at");
+    ctx.AddFact(after2);
   };
 }
 

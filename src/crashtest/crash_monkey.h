@@ -2,59 +2,30 @@
 //
 // Methodology (after Mohan et al., OSDI'18):
 //   1. Run a workload against a fresh file system while recording the
-//      block-level stream: write submissions (with payloads), flushes, and
-//      completions. The workload also registers *oracle facts* — assertions
-//      that become guaranteed the moment an fsync/fatomic returns ("file X
-//      exists with content hash H").
-//   2. For each crash point, reconstruct the device state a power cut at
-//      that moment could leave behind: writes whose durable completion was
-//      observed before the crash point MUST be present; writes submitted
-//      but not yet durable persist as an arbitrary subset (the device
-//      completes out of order).
+//      block-level stream: write submissions (with payloads), flushes,
+//      completions, and the ccNVMe driver's PMR traffic. The workload also
+//      registers *oracle facts* — assertions that become guaranteed the
+//      moment an fsync/fatomic returns ("file X exists with content H").
+//   2. For each crash point, reconstruct a device state a power cut at
+//      that moment could leave behind (src/crashtest/crash_state.h):
+//      durable writes are present, doorbell-gated transactional writes and
+//      in-flight requests persist as a random choice per item — absent,
+//      present, or torn at sector/MMIO-word granularity.
 //   3. Boot a fresh stack from that state, mount (running journal
-//      recovery), run the file-system consistency checker, and verify every
-//      oracle fact registered before the crash point.
+//      recovery), run the file-system consistency checker, and verify
+//      every oracle fact registered before the crash point.
+//
+// CrashMonkey samples random crash states; its systematic sibling
+// (src/crashtest/crash_explorer.h) enumerates them.
 #ifndef SRC_CRASHTEST_CRASH_MONKEY_H_
 #define SRC_CRASHTEST_CRASH_MONKEY_H_
 
-#include <functional>
 #include <string>
 #include <vector>
 
-#include "src/common/rng.h"
-#include "src/harness/stack.h"
+#include "src/crashtest/crash_state.h"
 
 namespace ccnvme {
-
-struct OracleFact {
-  enum class Kind { kFileExists, kFileAbsent, kFileContent, kDirExists };
-  Kind kind = Kind::kFileExists;
-  std::string path;
-  uint64_t size = 0;
-  uint64_t content_hash = 0;  // FNV-1a of the full file content
-
-  static OracleFact FileExists(std::string path);
-  static OracleFact FileAbsent(std::string path);
-  static OracleFact DirExists(std::string path);
-  // Reads the file's current content through |fs| and freezes it as a fact.
-  static OracleFact FileContent(ExtFs& fs, const std::string& path);
-};
-
-// Handle the workload uses to talk to the tester.
-class CrashTestContext {
- public:
-  virtual ~CrashTestContext() = default;
-  virtual ExtFs& fs() = 0;
-  // Registers a fact that is guaranteed from this moment on (call it right
-  // after the corresponding fsync/fdatasync returns).
-  virtual void AddFact(const OracleFact& fact) = 0;
-  // The workload is about to legally mutate |path|: its previous fact may
-  // stop holding once the mutation commits, so the tester must not check it
-  // until a new fact re-arms the path. Call before rename/unlink/etc.
-  virtual void InvalidateFact(const std::string& path) = 0;
-};
-
-using CrashWorkload = std::function<void(CrashTestContext&)>;
 
 struct CrashTestReport {
   int crash_points = 0;
@@ -66,9 +37,10 @@ struct CrashTestReport {
 class CrashMonkey {
  public:
   explicit CrashMonkey(const StackConfig& config, uint64_t seed = 1234)
-      : config_(config), rng_(seed) {}
+      : config_(config), seed_(seed), rng_(seed) {}
 
-  // Records the workload once, then tests |num_crash_points| crash states.
+  // Records the workload once, then tests |num_crash_points| random crash
+  // states (random crash index, random choice per uncertain item).
   CrashTestReport Run(const CrashWorkload& workload, int num_crash_points);
 
   // --- The paper's four workloads (Table 4) ------------------------------
@@ -80,30 +52,14 @@ class CrashMonkey {
   // --- Additional workloads beyond the paper -----------------------------
   static CrashWorkload TruncateShrinkGrow();  // truncate + block reuse
   static CrashWorkload OverwriteMixed();      // in-place overwrites + appends
-
- public:
-  struct FactEvent {
-    size_t event_index = 0;
-    bool invalidate = false;  // true: stop checking this path until re-armed
-    OracleFact fact;
-  };
+  // fatomic multi-block overwrite: registers a ContentOneOf fact, so every
+  // crash state must show the old content or the new one, never a mix.
+  // Requires a data-journaling MQFS config for true data atomicity.
+  static CrashWorkload AtomicOverwrite();
 
  private:
-  struct Recording {
-    CrashImage base;               // device state before the workload
-    std::vector<BioEvent> events;  // block-level stream
-    std::vector<FactEvent> facts;
-  };
-
-  Recording Record(const CrashWorkload& workload);
-  // Builds the media image for a crash at |crash_index| (events with index
-  // < crash_index happened; durability per the recorded completions).
-  CrashImage BuildCrashState(const Recording& rec, size_t crash_index);
-  // Mounts the state and checks consistency + facts. Returns error text on
-  // failure, empty string on success.
-  std::string CheckCrashState(const Recording& rec, size_t crash_index);
-
   StackConfig config_;
+  uint64_t seed_;
   Rng rng_;
 };
 

@@ -1,0 +1,463 @@
+#include "src/crashtest/crash_state.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/common/logging.h"
+#include "src/nvme/pmr.h"
+
+namespace ccnvme {
+
+OracleFact OracleFact::FileExists(std::string path) {
+  OracleFact f;
+  f.kind = Kind::kFileExists;
+  f.path = std::move(path);
+  return f;
+}
+
+OracleFact OracleFact::FileAbsent(std::string path) {
+  OracleFact f;
+  f.kind = Kind::kFileAbsent;
+  f.path = std::move(path);
+  return f;
+}
+
+OracleFact OracleFact::DirExists(std::string path) {
+  OracleFact f;
+  f.kind = Kind::kDirExists;
+  f.path = std::move(path);
+  return f;
+}
+
+OracleFact OracleFact::FileContent(ExtFs& fs, const std::string& path) {
+  OracleFact f;
+  f.kind = Kind::kFileContent;
+  f.path = path;
+  auto ino = fs.Lookup(path);
+  CCNVME_CHECK(ino.ok()) << "FileContent fact for missing " << path;
+  auto size = fs.FileSize(*ino);
+  CCNVME_CHECK(size.ok());
+  f.size = *size;
+  Buffer content(f.size);
+  if (f.size > 0) {
+    Status st = fs.Read(*ino, 0, content);
+    CCNVME_CHECK(st.ok());
+  }
+  f.content_hash = Fnv1a(content);
+  return f;
+}
+
+OracleFact OracleFact::ContentOneOf(const OracleFact& before, const OracleFact& after) {
+  CCNVME_CHECK(before.kind == Kind::kFileContent && after.kind == Kind::kFileContent);
+  CCNVME_CHECK(before.path == after.path);
+  OracleFact f;
+  f.kind = Kind::kFileContentOneOf;
+  f.path = before.path;
+  f.size = before.size;
+  f.content_hash = before.content_hash;
+  f.alt_size = after.size;
+  f.alt_content_hash = after.content_hash;
+  return f;
+}
+
+std::string DescribeFact(const OracleFact& f) {
+  switch (f.kind) {
+    case OracleFact::Kind::kFileExists:
+      return "exists(" + f.path + ")";
+    case OracleFact::Kind::kFileAbsent:
+      return "absent(" + f.path + ")";
+    case OracleFact::Kind::kDirExists:
+      return "dir(" + f.path + ")";
+    case OracleFact::Kind::kFileContent:
+      return "content(" + f.path + ", size=" + std::to_string(f.size) + ")";
+    case OracleFact::Kind::kFileContentOneOf:
+      return "one-of(" + f.path + ", sizes=" + std::to_string(f.size) + "|" +
+             std::to_string(f.alt_size) + ")";
+  }
+  return "?";
+}
+
+namespace {
+
+inline constexpr size_t kSectorSize = 512;
+inline constexpr size_t kSectorsPerBlock = kFsBlockSize / kSectorSize;
+
+class ContextImpl : public CrashTestContext {
+ public:
+  ContextImpl(ExtFs& fs, std::vector<FactEvent>* facts, const std::vector<BioEvent>* events)
+      : fs_(fs), facts_(facts), events_(events) {}
+
+  ExtFs& fs() override { return fs_; }
+  void AddFact(const OracleFact& fact) override {
+    facts_->push_back({events_->size(), false, fact});
+  }
+  void InvalidateFact(const std::string& path) override {
+    OracleFact f;
+    f.path = path;
+    facts_->push_back({events_->size(), true, f});
+  }
+
+ private:
+  ExtFs& fs_;
+  std::vector<FactEvent>* facts_;
+  const std::vector<BioEvent>* events_;
+};
+
+// Persistence classification of a recorded event under a crash at a given
+// index: guaranteed gone, guaranteed present, or up to the device.
+enum class WState : uint8_t { kAbsent, kDurable, kUncertain };
+
+// Classifies every kWrite and every WC kPmrWrite in the prefix
+// [0, crash_index). Entries for other events stay kAbsent (unused).
+std::vector<WState> Classify(const CrashRecording& rec, size_t crash_index) {
+  const auto& events = rec.events;
+  const size_t n = std::min(crash_index, events.size());
+  std::vector<WState> state(events.size(), WState::kAbsent);
+
+  const bool plp =
+      rec.config.ssd.power_loss_protection || !rec.config.ssd.volatile_cache;
+
+  // First pass: index the prefix.
+  std::map<uint64_t, size_t> submit_at;  // media seq -> submit event index
+  std::set<uint64_t> flush_seqs;
+  std::map<uint64_t, size_t> complete_at;     // media seq -> completion index
+  std::vector<size_t> flush_complete_at;      // completion indices of flushes
+  std::vector<std::pair<size_t, uint64_t>> doorbells;  // (index, tx_id)
+  std::set<uint64_t> head_advanced_txs;  // txs whose P-SQ-head advance landed
+  std::map<uint16_t, std::vector<size_t>> fences_by_qid;
+  for (size_t i = 0; i < n; ++i) {
+    const BioEvent& ev = events[i];
+    switch (ev.op) {
+      case BioOp::kWrite:
+        submit_at[ev.seq] = i;
+        break;
+      case BioOp::kFlush:
+        flush_seqs.insert(ev.seq);
+        break;
+      case BioOp::kComplete:
+        if (flush_seqs.count(ev.seq) != 0) {
+          flush_complete_at.push_back(i);
+        } else {
+          complete_at[ev.seq] = i;
+        }
+        break;
+      case BioOp::kPmrDoorbell:
+        doorbells.emplace_back(i, ev.tx_id);
+        break;
+      case BioOp::kPmrWrite:
+        if ((ev.flags & kBioPmrWc) == 0) {
+          // The only uncached PMR data stores the driver emits are P-SQ-head
+          // advances, the persistent completion record of a transaction.
+          head_advanced_txs.insert(ev.tx_id);
+        }
+        break;
+      case BioOp::kPmrFence:
+        fences_by_qid[ev.qid].push_back(i);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Second pass: classify.
+  for (size_t i = 0; i < n; ++i) {
+    const BioEvent& ev = events[i];
+    if (ev.op == BioOp::kWrite) {
+      const auto cit = complete_at.find(ev.seq);
+      const bool completed = cit != complete_at.end();
+      if ((ev.flags & kBioTx) != 0) {
+        // ccNVMe transactional write. The controller fetches it only after
+        // its transaction's doorbell, so without a doorbell before the cut
+        // it cannot have touched media. It is guaranteed durable once the
+        // transaction's in-order completion (P-SQ-head advance, or the
+        // block layer's durable-completion record) precedes the cut.
+        const bool durable = completed || head_advanced_txs.count(ev.tx_id) != 0;
+        if (durable) {
+          state[i] = WState::kDurable;
+          continue;
+        }
+        bool doorbelled = false;
+        for (const auto& [di, tx] : doorbells) {
+          if (di > i && tx == ev.tx_id) {
+            doorbelled = true;
+            break;
+          }
+        }
+        state[i] = doorbelled ? WState::kUncertain : WState::kAbsent;
+      } else {
+        // Stock path: eligible from submission (the device may execute it
+        // any time). Durable per the cache model.
+        bool durable = false;
+        if (completed) {
+          if (plp || (ev.flags & kBioFua) != 0) {
+            durable = true;
+          } else {
+            for (size_t fc : flush_complete_at) {
+              if (fc > cit->second) {
+                durable = true;
+                break;
+              }
+            }
+          }
+        }
+        state[i] = durable ? WState::kDurable : WState::kUncertain;
+      }
+    } else if (ev.op == BioOp::kPmrWrite) {
+      if ((ev.flags & kBioPmrWc) == 0) {
+        state[i] = WState::kDurable;  // uncached store: durable immediately
+        continue;
+      }
+      // WC-buffered SQE store: persistent once a fence on its queue
+      // follows; otherwise any word subset may have landed.
+      bool fenced = false;
+      auto fit = fences_by_qid.find(ev.qid);
+      if (fit != fences_by_qid.end()) {
+        for (size_t fi : fit->second) {
+          if (fi > i) {
+            fenced = true;
+            break;
+          }
+        }
+      }
+      state[i] = fenced ? WState::kDurable : WState::kUncertain;
+    }
+  }
+  return state;
+}
+
+size_t MediaBlocks(const BioEvent& ev) {
+  return ev.data.empty() ? 0 : (ev.data.size() + kFsBlockSize - 1) / kFsBlockSize;
+}
+
+}  // namespace
+
+CrashRecording RecordWorkload(const StackConfig& config, const CrashWorkload& workload) {
+  CrashRecording rec;
+  rec.config = config;
+  StorageStack stack(config);
+  Status st = stack.MkfsAndMount();
+  CCNVME_CHECK(st.ok()) << st.ToString();
+  rec.base = stack.CaptureCrashImage();
+
+  stack.SetRecorder([&rec](const BioEvent& ev) { rec.events.push_back(ev); });
+  ContextImpl ctx(stack.fs(), &rec.facts, &rec.events);
+  stack.Run([&] { workload(ctx); });
+  return rec;
+}
+
+std::vector<size_t> ConsistencyBoundaries(const std::vector<BioEvent>& events) {
+  std::vector<size_t> out;
+  out.push_back(0);
+  for (size_t i = 0; i < events.size(); ++i) {
+    const BioOp op = events[i].op;
+    if (op == BioOp::kComplete || op == BioOp::kFlush || op == BioOp::kPmrDoorbell) {
+      out.push_back(i + 1);
+    }
+  }
+  if (out.back() != events.size()) {
+    out.push_back(events.size());
+  }
+  return out;
+}
+
+std::vector<UncertainItem> CollectUncertain(const CrashRecording& rec, size_t crash_index) {
+  const std::vector<WState> state = Classify(rec, crash_index);
+  const size_t n = std::min(crash_index, rec.events.size());
+  std::vector<UncertainItem> items;
+  for (size_t i = 0; i < n; ++i) {
+    if (state[i] != WState::kUncertain) {
+      continue;
+    }
+    const BioEvent& ev = rec.events[i];
+    if (ev.op == BioOp::kWrite) {
+      const size_t blocks = MediaBlocks(ev);
+      for (size_t b = 0; b < blocks; ++b) {
+        items.push_back(UncertainItem{i, static_cast<uint32_t>(b), false});
+      }
+    } else if (ev.op == BioOp::kPmrWrite) {
+      items.push_back(UncertainItem{i, 0, true});
+    }
+  }
+  return items;
+}
+
+uint64_t TornMask(uint64_t torn_seed, const UncertainItem& item, uint8_t variant,
+                  size_t units) {
+  CCNVME_CHECK(units >= 1 && units <= 64);
+  if (units == 1) {
+    return 1;  // a one-unit payload cannot tear
+  }
+  uint8_t key[32];
+  PutU64(key, 0, torn_seed);
+  PutU64(key, 8, item.event_index);
+  PutU64(key, 16, (static_cast<uint64_t>(item.block) << 1) | (item.is_pmr ? 1 : 0));
+  PutU64(key, 24, variant);
+  const uint64_t h = Fnv1a(key);
+  const uint64_t non_trivial = (units == 64 ? ~0ull - 1 : (1ull << units) - 2);
+  return 1 + (h % non_trivial);  // in [1, 2^units - 2]: strict, non-empty
+}
+
+CrashImage BuildCrashState(const CrashRecording& rec, const CrashPlan& plan,
+                           uint64_t torn_seed) {
+  const std::vector<WState> state = Classify(rec, plan.crash_index);
+  const std::vector<UncertainItem> items = CollectUncertain(rec, plan.crash_index);
+  std::map<std::pair<size_t, uint32_t>, uint8_t> choice_of;
+  for (size_t k = 0; k < items.size(); ++k) {
+    const uint8_t c = k < plan.choices.size() ? plan.choices[k] : kChoiceAbsent;
+    choice_of[{items[k].event_index, items[k].block}] = c;
+  }
+
+  CrashImage image;
+  image.media = rec.base.media;
+  image.pmr.assign(rec.base.pmr.begin(), rec.base.pmr.end());
+  Pmr pmr(image.pmr.size());
+  std::copy(image.pmr.begin(), image.pmr.end(), pmr.mutable_bytes().begin());
+
+  const size_t n = std::min(plan.crash_index, rec.events.size());
+  for (size_t i = 0; i < n; ++i) {
+    const BioEvent& ev = rec.events[i];
+    if (ev.op == BioOp::kWrite) {
+      if (state[i] == WState::kAbsent) {
+        continue;
+      }
+      const size_t blocks = MediaBlocks(ev);
+      for (size_t b = 0; b < blocks; ++b) {
+        uint64_t mask = ~0ull;  // all sectors
+        if (state[i] == WState::kUncertain) {
+          const uint8_t c = choice_of[{i, static_cast<uint32_t>(b)}];
+          if (c == kChoiceAbsent) {
+            continue;
+          }
+          if (c >= kChoiceTornBase) {
+            mask = TornMask(torn_seed, UncertainItem{i, static_cast<uint32_t>(b), false},
+                            static_cast<uint8_t>(c - kChoiceTornBase), kSectorsPerBlock);
+          }
+        }
+        const size_t begin = b * kFsBlockSize;
+        const size_t end = std::min(begin + kFsBlockSize, ev.data.size());
+        Buffer& dst = image.media[ev.lba + b];
+        if (dst.size() != kFsBlockSize) {
+          dst.assign(kFsBlockSize, 0);
+        }
+        for (size_t s = 0; s * kSectorSize < end - begin; ++s) {
+          if (((mask >> s) & 1) == 0) {
+            continue;
+          }
+          const size_t so = begin + s * kSectorSize;
+          const size_t len = std::min(kSectorSize, end - so);
+          std::copy(ev.data.begin() + static_cast<long>(so),
+                    ev.data.begin() + static_cast<long>(so + len), dst.begin() + s * kSectorSize);
+        }
+      }
+    } else if (ev.op == BioOp::kPmrWrite || ev.op == BioOp::kPmrDoorbell) {
+      if (ev.op == BioOp::kPmrWrite && state[i] == WState::kUncertain) {
+        const uint8_t c = choice_of[{i, 0}];
+        if (c == kChoiceAbsent) {
+          continue;
+        }
+        if (c >= kChoiceTornBase) {
+          const size_t words = (ev.data.size() + kMmioWordSize - 1) / kMmioWordSize;
+          pmr.ApplyTornWords(ev.lba, ev.data,
+                             TornMask(torn_seed, UncertainItem{i, 0, true},
+                                      static_cast<uint8_t>(c - kChoiceTornBase), words));
+          continue;
+        }
+      }
+      pmr.Write(ev.lba, ev.data);
+    }
+  }
+  image.pmr.assign(pmr.bytes().begin(), pmr.bytes().end());
+  return image;
+}
+
+std::string CheckCrashState(const CrashRecording& rec, const CrashPlan& plan,
+                            uint64_t torn_seed) {
+  const CrashImage image = BuildCrashState(rec, plan, torn_seed);
+  StorageStack stack(rec.config, image);
+  Status mount = stack.MountExisting();
+  if (!mount.ok()) {
+    return "mount failed: " + mount.ToString();
+  }
+
+  // Latest fact per path wins (a later unlink supersedes an earlier
+  // create); an invalidation disarms the path until the next fact.
+  std::map<std::string, OracleFact> active;
+  for (const auto& fe : rec.facts) {
+    if (fe.event_index > plan.crash_index) {
+      break;
+    }
+    if (fe.invalidate) {
+      active.erase(fe.fact.path);
+    } else {
+      active[fe.fact.path] = fe.fact;
+    }
+  }
+
+  std::string failure;
+  stack.Run([&] {
+    Status consistent = stack.fs().CheckConsistency();
+    if (!consistent.ok()) {
+      failure = "inconsistent fs: " + consistent.ToString();
+      return;
+    }
+    for (const auto& [path, fact] : active) {
+      auto ino = stack.fs().Lookup(path);
+      switch (fact.kind) {
+        case OracleFact::Kind::kFileAbsent:
+          if (ino.ok()) {
+            failure = DescribeFact(fact) + " violated: path still exists";
+            return;
+          }
+          break;
+        case OracleFact::Kind::kFileExists:
+        case OracleFact::Kind::kDirExists:
+          if (!ino.ok()) {
+            failure = DescribeFact(fact) + " violated: path missing";
+            return;
+          }
+          break;
+        case OracleFact::Kind::kFileContent:
+        case OracleFact::Kind::kFileContentOneOf: {
+          if (!ino.ok()) {
+            failure = DescribeFact(fact) + " violated: path missing";
+            return;
+          }
+          auto size = stack.fs().FileSize(*ino);
+          if (!size.ok()) {
+            failure = DescribeFact(fact) + " violated: size unreadable";
+            return;
+          }
+          auto hash_matches = [&](uint64_t want_size, uint64_t want_hash) -> bool {
+            if (*size != want_size) {
+              return false;
+            }
+            Buffer content(want_size);
+            if (want_size > 0 && !stack.fs().Read(*ino, 0, content).ok()) {
+              return false;
+            }
+            return Fnv1a(content) == want_hash;
+          };
+          if (fact.kind == OracleFact::Kind::kFileContent) {
+            if (*size != fact.size) {
+              failure = DescribeFact(fact) + " violated: size mismatch";
+              return;
+            }
+            if (!hash_matches(fact.size, fact.content_hash)) {
+              failure = DescribeFact(fact) + " violated: content mismatch";
+              return;
+            }
+          } else if (!hash_matches(fact.size, fact.content_hash) &&
+                     !hash_matches(fact.alt_size, fact.alt_content_hash)) {
+            failure = DescribeFact(fact) + " violated: content matches neither version";
+            return;
+          }
+          break;
+        }
+      }
+    }
+  });
+  return failure;
+}
+
+}  // namespace ccnvme

@@ -1,0 +1,146 @@
+// Shared crash-state model for the crash testers.
+//
+// A workload runs once against a fresh stack while a recorder captures the
+// unified event stream of both persistence domains (src/block/bio_event.h):
+// media bios with their durable completions, and the ccNVMe driver's PMR
+// traffic (SQE stores, persistence fences, doorbell rings, P-SQ-head
+// advances). From that recording, any power-cut state is a pure function of
+//
+//   * a crash index C — the cut falls between events C-1 and C, and
+//   * a choice vector — one entry per item whose persistence the cut
+//     leaves uncertain: absent, fully present, or TORN (a deterministic
+//     sub-unit subset: 512-byte sectors for media blocks, 8-byte MMIO
+//     words for PMR stores).
+//
+// The model is transaction-aware: a REQ_TX write can reach media only if
+// its transaction's doorbell precedes the cut (the controller fetches
+// commands only after their doorbell), and is guaranteed durable once its
+// transaction's in-order completion — the P-SQ-head advance — precedes it.
+//
+// CrashMonkey (random sampling) and CrashExplorer (systematic enumeration)
+// are both thin drivers over these functions.
+#ifndef SRC_CRASHTEST_CRASH_STATE_H_
+#define SRC_CRASHTEST_CRASH_STATE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/harness/stack.h"
+
+namespace ccnvme {
+
+struct OracleFact {
+  enum class Kind {
+    kFileExists,
+    kFileAbsent,
+    kFileContent,
+    kDirExists,
+    // fatomic/fdataatomic atomicity: the file's content is EITHER
+    // (size, content_hash) OR (alt_size, alt_content_hash) — all-or-nothing,
+    // never a mix of the two versions.
+    kFileContentOneOf,
+  };
+  Kind kind = Kind::kFileExists;
+  std::string path;
+  uint64_t size = 0;
+  uint64_t content_hash = 0;  // FNV-1a of the full file content
+  uint64_t alt_size = 0;      // kFileContentOneOf only
+  uint64_t alt_content_hash = 0;
+
+  static OracleFact FileExists(std::string path);
+  static OracleFact FileAbsent(std::string path);
+  static OracleFact DirExists(std::string path);
+  // Reads the file's current content through |fs| and freezes it as a fact.
+  static OracleFact FileContent(ExtFs& fs, const std::string& path);
+  // |before| and |after| must be kFileContent facts for the same path.
+  static OracleFact ContentOneOf(const OracleFact& before, const OracleFact& after);
+};
+
+std::string DescribeFact(const OracleFact& f);
+
+// Handle the workload uses to talk to the tester.
+class CrashTestContext {
+ public:
+  virtual ~CrashTestContext() = default;
+  virtual ExtFs& fs() = 0;
+  // Registers a fact that is guaranteed from this moment on (call it right
+  // after the corresponding fsync/fdatasync returns).
+  virtual void AddFact(const OracleFact& fact) = 0;
+  // The workload is about to legally mutate |path|: its previous fact may
+  // stop holding once the mutation commits, so the tester must not check it
+  // until a new fact re-arms the path. Call before rename/unlink/etc.
+  virtual void InvalidateFact(const std::string& path) = 0;
+};
+
+using CrashWorkload = std::function<void(CrashTestContext&)>;
+
+struct FactEvent {
+  size_t event_index = 0;
+  bool invalidate = false;  // true: stop checking this path until re-armed
+  OracleFact fact;
+};
+
+struct CrashRecording {
+  StackConfig config;
+  CrashImage base;               // device state before the workload
+  std::vector<BioEvent> events;  // unified media + PMR stream
+  std::vector<FactEvent> facts;
+};
+
+// Runs |workload| once against a fresh stack built from |config| and
+// records the full event stream plus the oracle facts.
+CrashRecording RecordWorkload(const StackConfig& config, const CrashWorkload& workload);
+
+// Consistency boundaries: the crash indices where the set of guaranteed-
+// durable state changes — {0}, the index after every durable completion
+// (kComplete), flush submission (kFlush) and doorbell ring (kPmrDoorbell),
+// and {events.size()}. A crash anywhere between two adjacent boundaries
+// differs only in its uncertain-item set, which the choice vector covers.
+std::vector<size_t> ConsistencyBoundaries(const std::vector<BioEvent>& events);
+
+// One item whose persistence a crash at the given index leaves uncertain.
+struct UncertainItem {
+  size_t event_index = 0;  // the kWrite (media) or kPmrWrite (PMR) event
+  uint32_t block = 0;      // 4 KB block within a multi-block media write
+  bool is_pmr = false;
+};
+
+// Choice encoding: 0 = absent, 1 = fully present, 2+t = torn variant t.
+inline constexpr uint8_t kChoiceAbsent = 0;
+inline constexpr uint8_t kChoicePresent = 1;
+inline constexpr uint8_t kChoiceTornBase = 2;
+
+// A fully-determined crash state: cut position + one choice per uncertain
+// item (parallel to CollectUncertain's order). An empty/short choice vector
+// defaults the remaining items to kChoiceAbsent.
+struct CrashPlan {
+  size_t crash_index = 0;
+  std::vector<uint8_t> choices;
+};
+
+// The uncertain items for a crash at |crash_index|, in a deterministic
+// order (event order, then block order).
+std::vector<UncertainItem> CollectUncertain(const CrashRecording& rec, size_t crash_index);
+
+// Deterministic survivor mask for torn variant |variant| of an item:
+// bit u set = sub-unit u (sector or MMIO word) of the |units|-unit payload
+// persisted. Always a strict non-empty subset, so a torn choice is never
+// equivalent to absent or present.
+uint64_t TornMask(uint64_t torn_seed, const UncertainItem& item, uint8_t variant, size_t units);
+
+// Reconstructs the durable bytes (media + PMR) the plan's power cut leaves
+// behind. Pure function of (recording, plan, torn_seed).
+CrashImage BuildCrashState(const CrashRecording& rec, const CrashPlan& plan,
+                           uint64_t torn_seed);
+
+// Boots a stack from the plan's crash state, mounts (running recovery),
+// runs the FS consistency check and verifies every oracle fact armed
+// before the cut. Returns the failure description, or "" on success.
+std::string CheckCrashState(const CrashRecording& rec, const CrashPlan& plan,
+                            uint64_t torn_seed);
+
+}  // namespace ccnvme
+
+#endif  // SRC_CRASHTEST_CRASH_STATE_H_

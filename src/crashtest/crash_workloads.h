@@ -1,0 +1,22 @@
+// Name -> workload registry, so a replay artifact can reference the
+// workload it was recorded from and tools/crash_replay can reconstruct it.
+#ifndef SRC_CRASHTEST_CRASH_WORKLOADS_H_
+#define SRC_CRASHTEST_CRASH_WORKLOADS_H_
+
+#include <map>
+#include <string>
+
+#include "src/crashtest/crash_state.h"
+
+namespace ccnvme {
+
+// All registered workloads, keyed by stable name (the paper's four Table-4
+// workloads plus the beyond-paper ones).
+const std::map<std::string, CrashWorkload>& CrashWorkloadRegistry();
+
+// Looks up a workload by name; NotFound if unregistered.
+Result<CrashWorkload> FindCrashWorkload(const std::string& name);
+
+}  // namespace ccnvme
+
+#endif  // SRC_CRASHTEST_CRASH_WORKLOADS_H_

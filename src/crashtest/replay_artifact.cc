@@ -1,0 +1,252 @@
+#include "src/crashtest/replay_artifact.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "src/crashtest/crash_workloads.h"
+
+namespace ccnvme {
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+const char* JournalKindName(JournalKind k) {
+  switch (k) {
+    case JournalKind::kNone:
+      return "none";
+    case JournalKind::kClassic:
+      return "classic";
+    case JournalKind::kHorae:
+      return "horae";
+    case JournalKind::kCcNvmeJbd2:
+      return "ccnvme_jbd2";
+    case JournalKind::kMultiQueue:
+      return "multi_queue";
+  }
+  return "?";
+}
+
+Result<JournalKind> ParseJournalKind(const std::string& s) {
+  for (JournalKind k : {JournalKind::kNone, JournalKind::kClassic, JournalKind::kHorae,
+                        JournalKind::kCcNvmeJbd2, JournalKind::kMultiQueue}) {
+    if (s == JournalKindName(k)) {
+      return k;
+    }
+  }
+  return InvalidArgument("unknown journal kind: " + s);
+}
+
+Result<SsdConfig> SsdByName(const std::string& name) {
+  for (const SsdConfig& c :
+       {SsdConfig::Intel750(), SsdConfig::Optane905P(), SsdConfig::OptaneP5800X()}) {
+    if (c.name == name) {
+      return c;
+    }
+  }
+  return InvalidArgument("unknown SSD preset: " + name);
+}
+
+// --- Targeted readers for the flat artifact schema ------------------------
+
+Result<size_t> ValueStart(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  size_t p = json.find(needle);
+  if (p == std::string::npos) {
+    return NotFound("artifact missing key: " + key);
+  }
+  p = json.find(':', p + needle.size());
+  if (p == std::string::npos) {
+    return InvalidArgument("artifact key without value: " + key);
+  }
+  ++p;
+  while (p < json.size() && std::isspace(static_cast<unsigned char>(json[p])) != 0) {
+    ++p;
+  }
+  return p;
+}
+
+Result<std::string> GetString(const std::string& json, const std::string& key) {
+  CCNVME_ASSIGN_OR_RETURN(size_t p, ValueStart(json, key));
+  if (p >= json.size() || json[p] != '"') {
+    return InvalidArgument("expected string for key: " + key);
+  }
+  std::string out;
+  for (++p; p < json.size(); ++p) {
+    if (json[p] == '\\' && p + 1 < json.size()) {
+      out.push_back(json[++p]);
+    } else if (json[p] == '"') {
+      return out;
+    } else {
+      out.push_back(json[p]);
+    }
+  }
+  return InvalidArgument("unterminated string for key: " + key);
+}
+
+Result<uint64_t> GetUInt(const std::string& json, const std::string& key) {
+  CCNVME_ASSIGN_OR_RETURN(size_t p, ValueStart(json, key));
+  size_t end = p;
+  while (end < json.size() && std::isdigit(static_cast<unsigned char>(json[end])) != 0) {
+    ++end;
+  }
+  if (end == p) {
+    return InvalidArgument("expected number for key: " + key);
+  }
+  return std::stoull(json.substr(p, end - p));
+}
+
+Result<bool> GetBool(const std::string& json, const std::string& key) {
+  CCNVME_ASSIGN_OR_RETURN(size_t p, ValueStart(json, key));
+  if (json.compare(p, 4, "true") == 0) {
+    return true;
+  }
+  if (json.compare(p, 5, "false") == 0) {
+    return false;
+  }
+  return InvalidArgument("expected bool for key: " + key);
+}
+
+Result<std::vector<uint8_t>> GetByteArray(const std::string& json, const std::string& key) {
+  CCNVME_ASSIGN_OR_RETURN(size_t p, ValueStart(json, key));
+  if (p >= json.size() || json[p] != '[') {
+    return InvalidArgument("expected array for key: " + key);
+  }
+  std::vector<uint8_t> out;
+  uint32_t value = 0;
+  bool in_number = false;
+  for (++p; p < json.size(); ++p) {
+    const char c = json[p];
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      value = value * 10 + static_cast<uint32_t>(c - '0');
+      in_number = true;
+    } else if (c == ',' || c == ']') {
+      if (in_number) {
+        if (value > 255) {
+          return InvalidArgument("choice out of range in key: " + key);
+        }
+        out.push_back(static_cast<uint8_t>(value));
+        value = 0;
+        in_number = false;
+      }
+      if (c == ']') {
+        return out;
+      }
+    } else if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+      return InvalidArgument("bad array element for key: " + key);
+    }
+  }
+  return InvalidArgument("unterminated array for key: " + key);
+}
+
+}  // namespace
+
+std::string ReplayArtifact::ToJson() const {
+  std::ostringstream out;
+  auto b = [](bool v) { return v ? "true" : "false"; };
+  out << "{\n";
+  out << "  \"version\": 1,\n";
+  out << "  \"workload\": \"" << EscapeJson(workload) << "\",\n";
+  out << "  \"ssd\": \"" << EscapeJson(config.ssd.name) << "\",\n";
+  out << "  \"num_queues\": " << config.num_queues << ",\n";
+  out << "  \"queue_depth\": " << config.queue_depth << ",\n";
+  out << "  \"enable_ccnvme\": " << b(config.enable_ccnvme) << ",\n";
+  out << "  \"tx_aware_mmio\": " << b(config.cc_options.tx_aware_mmio) << ",\n";
+  out << "  \"in_order_completion\": " << b(config.cc_options.in_order_completion) << ",\n";
+  out << "  \"fs_total_blocks\": " << config.fs_total_blocks << ",\n";
+  out << "  \"journal\": \"" << JournalKindName(config.fs.journal) << "\",\n";
+  out << "  \"journal_areas\": " << config.fs.journal_areas << ",\n";
+  out << "  \"journal_blocks\": " << config.fs.journal_blocks << ",\n";
+  out << "  \"data_journaling\": " << b(config.fs.data_journaling) << ",\n";
+  out << "  \"metadata_shadow_paging\": " << b(config.fs.metadata_shadow_paging) << ",\n";
+  out << "  \"selective_revocation\": " << b(config.fs.selective_revocation) << ",\n";
+  out << "  \"test_skip_psq_window_scan\": " << b(config.fs.test_skip_psq_window_scan) << ",\n";
+  out << "  \"torn_seed\": " << torn_seed << ",\n";
+  out << "  \"crash_index\": " << plan.crash_index << ",\n";
+  out << "  \"choices\": [";
+  for (size_t i = 0; i < plan.choices.size(); ++i) {
+    out << (i == 0 ? "" : ",") << static_cast<uint32_t>(plan.choices[i]);
+  }
+  out << "],\n";
+  out << "  \"failure\": \"" << EscapeJson(failure) << "\"\n";
+  out << "}\n";
+  return out.str();
+}
+
+Result<ReplayArtifact> ReplayArtifact::FromJson(const std::string& json) {
+  ReplayArtifact art;
+  CCNVME_ASSIGN_OR_RETURN(uint64_t version, GetUInt(json, "version"));
+  if (version != 1) {
+    return InvalidArgument("unsupported artifact version: " + std::to_string(version));
+  }
+  CCNVME_ASSIGN_OR_RETURN(art.workload, GetString(json, "workload"));
+  CCNVME_ASSIGN_OR_RETURN(std::string ssd_name, GetString(json, "ssd"));
+  CCNVME_ASSIGN_OR_RETURN(art.config.ssd, SsdByName(ssd_name));
+  CCNVME_ASSIGN_OR_RETURN(uint64_t num_queues, GetUInt(json, "num_queues"));
+  art.config.num_queues = static_cast<uint16_t>(num_queues);
+  CCNVME_ASSIGN_OR_RETURN(uint64_t queue_depth, GetUInt(json, "queue_depth"));
+  art.config.queue_depth = static_cast<uint16_t>(queue_depth);
+  CCNVME_ASSIGN_OR_RETURN(art.config.enable_ccnvme, GetBool(json, "enable_ccnvme"));
+  CCNVME_ASSIGN_OR_RETURN(art.config.cc_options.tx_aware_mmio, GetBool(json, "tx_aware_mmio"));
+  CCNVME_ASSIGN_OR_RETURN(art.config.cc_options.in_order_completion,
+                          GetBool(json, "in_order_completion"));
+  CCNVME_ASSIGN_OR_RETURN(art.config.fs_total_blocks, GetUInt(json, "fs_total_blocks"));
+  CCNVME_ASSIGN_OR_RETURN(std::string journal, GetString(json, "journal"));
+  CCNVME_ASSIGN_OR_RETURN(art.config.fs.journal, ParseJournalKind(journal));
+  CCNVME_ASSIGN_OR_RETURN(uint64_t areas, GetUInt(json, "journal_areas"));
+  art.config.fs.journal_areas = static_cast<uint32_t>(areas);
+  CCNVME_ASSIGN_OR_RETURN(art.config.fs.journal_blocks, GetUInt(json, "journal_blocks"));
+  CCNVME_ASSIGN_OR_RETURN(art.config.fs.data_journaling, GetBool(json, "data_journaling"));
+  CCNVME_ASSIGN_OR_RETURN(art.config.fs.metadata_shadow_paging,
+                          GetBool(json, "metadata_shadow_paging"));
+  CCNVME_ASSIGN_OR_RETURN(art.config.fs.selective_revocation,
+                          GetBool(json, "selective_revocation"));
+  CCNVME_ASSIGN_OR_RETURN(art.config.fs.test_skip_psq_window_scan,
+                          GetBool(json, "test_skip_psq_window_scan"));
+  CCNVME_ASSIGN_OR_RETURN(art.torn_seed, GetUInt(json, "torn_seed"));
+  CCNVME_ASSIGN_OR_RETURN(art.plan.crash_index, GetUInt(json, "crash_index"));
+  CCNVME_ASSIGN_OR_RETURN(art.plan.choices, GetByteArray(json, "choices"));
+  CCNVME_ASSIGN_OR_RETURN(art.failure, GetString(json, "failure"));
+  return art;
+}
+
+Status ReplayArtifact::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return InvalidArgument("cannot open artifact file for writing: " + path);
+  }
+  out << ToJson();
+  out.close();
+  if (!out) {
+    return InvalidArgument("failed writing artifact file: " + path);
+  }
+  return OkStatus();
+}
+
+Result<ReplayArtifact> ReplayArtifact::ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFound("cannot open artifact file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return FromJson(buf.str());
+}
+
+Result<std::string> ReplayArtifactCheck(const ReplayArtifact& artifact) {
+  CCNVME_ASSIGN_OR_RETURN(CrashWorkload workload, FindCrashWorkload(artifact.workload));
+  const CrashRecording rec = RecordWorkload(artifact.config, workload);
+  return CheckCrashState(rec, artifact.plan, artifact.torn_seed);
+}
+
+}  // namespace ccnvme

@@ -158,6 +158,7 @@ Status ExtFs::Mount() {
       MqJournalOptions mopts;
       mopts.shadow_paging = options_.metadata_shadow_paging;
       mopts.selective_revocation = options_.selective_revocation;
+      mopts.test_skip_psq_window_scan = options_.test_skip_psq_window_scan;
       journal_ = std::make_unique<MqJournal>(sim_, blk_, &cache_, layout_, costs_, this, mopts);
       break;
     }

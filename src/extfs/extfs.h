@@ -40,6 +40,11 @@ struct ExtFsOptions {
   // MQFS knobs (§5.3, §5.4); ignored by the other journals.
   bool metadata_shadow_paging = true;
   bool selective_revocation = true;
+  // TEST ONLY: recovery ignores the driver's P-SQ window and trusts every
+  // scanned descriptor without validating its per-block content checksums.
+  // This is the paper's recovery contract broken on purpose — the crash
+  // explorer must catch it (replaying half-persisted transactions).
+  bool test_skip_psq_window_scan = false;
 };
 
 struct DirEntry {

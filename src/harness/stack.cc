@@ -74,6 +74,13 @@ Status StorageStack::Unmount() {
   return result;
 }
 
+void StorageStack::SetRecorder(BioRecorder recorder) {
+  if (cc_ != nullptr) {
+    cc_->set_recorder(recorder);
+  }
+  blk_->set_recorder(std::move(recorder));
+}
+
 CrashImage StorageStack::CaptureCrashImage() const {
   CrashImage image;
   image.media = ssd_->media().SnapshotDurable();

@@ -59,6 +59,12 @@ class StorageStack {
   // Spawn without running (for multi-actor setups); call sim().Run() after.
   void Spawn(const std::string& name, std::function<void()> body, uint16_t queue = 0);
 
+  // Installs |recorder| on every event source in the stack: the block layer
+  // (media bios + completions) and, when present, the ccNVMe driver (PMR
+  // stores, fences, doorbell rings, head advances). The two domains share
+  // one stream so a crash tester sees their true interleaving.
+  void SetRecorder(BioRecorder recorder);
+
   Simulator& sim() { return *sim_; }
   PcieLink& link() { return *link_; }
   SsdModel& ssd() { return *ssd_; }

@@ -344,6 +344,17 @@ Status Jbd2Journal::Recover() {
   uint64_t pos = sb.start_offset;
   uint64_t prev_txid = sb.cleared_txid;
 
+  // Over ccNVMe the driver's recovered P-SQ window separates completed
+  // transactions (trusted as-is, §4.4) from in-doubt ones that must pass
+  // the descriptor's per-block content checksums.
+  const bool have_window = options_.over_ccnvme && blk_->has_ccnvme();
+  std::set<uint64_t> in_doubt;
+  if (have_window) {
+    for (const auto& req : blk_->ccnvme()->recovered_window()) {
+      in_doubt.insert(req.tx_id);
+    }
+  }
+
   for (;;) {
     Buffer block;
     CCNVME_RETURN_IF_ERROR(blk_->ReadSync(AreaLba(pos), 1, &block));
@@ -353,14 +364,17 @@ Status Jbd2Journal::Recover() {
     }
     ReplayTx rt;
     rt.desc = std::move(*desc);
+    const bool must_validate = !have_window || in_doubt.count(rt.desc.tx_id) != 0;
     uint64_t p = NextOff(pos);
     bool valid = true;
     for (const JournalEntry& entry : rt.desc.entries) {
-      Buffer content;
-      CCNVME_RETURN_IF_ERROR(blk_->ReadSync(AreaLba(p), 1, &content));
-      if (Fnv1a(content) != entry.content_checksum) {
-        valid = false;
-        break;
+      if (must_validate) {
+        Buffer content;
+        CCNVME_RETURN_IF_ERROR(blk_->ReadSync(AreaLba(p), 1, &content));
+        if (Fnv1a(content) != entry.content_checksum) {
+          valid = false;
+          break;
+        }
       }
       rt.journal_lbas.push_back(AreaLba(p));
       p = NextOff(p);

@@ -414,6 +414,23 @@ Status MqJournal::Recover() {
   };
   std::vector<ReplayTx> txs;
 
+  // §4.4: the driver captured each queue's P-SQ window [P-SQ-head, P-SQDB)
+  // at bring-up. Transactions NOT in the window completed before the crash
+  // — the device guarantees their blocks reached media, so recovery trusts
+  // them without re-hashing content. Only in-window ("in-doubt")
+  // transactions are validated against the descriptor's per-block content
+  // checksums. Without a ccNVMe driver there is no window: validate all.
+  bool have_window = false;
+  std::set<uint64_t> in_doubt;
+  if (blk_->has_ccnvme()) {
+    have_window = true;
+    if (!options_.test_skip_psq_window_scan) {
+      for (const auto& req : blk_->ccnvme()->recovered_window()) {
+        in_doubt.insert(req.tx_id);
+      }
+    }
+  }
+
   for (auto& area_ptr : areas_) {
     Area& area = *area_ptr;
     Buffer raw;
@@ -430,14 +447,17 @@ Status MqJournal::Recover() {
       }
       ReplayTx rt;
       rt.desc = std::move(*desc);
+      const bool must_validate = !have_window || in_doubt.count(rt.desc.tx_id) != 0;
       uint64_t p = NextOff(area, pos);
       bool valid = true;
       for (const JournalEntry& e : rt.desc.entries) {
-        Buffer content;
-        CCNVME_RETURN_IF_ERROR(blk_->ReadSync(area.start + p, 1, &content));
-        if (Fnv1a(content) != e.content_checksum) {
-          valid = false;  // transaction never fully reached media: discard
-          break;
+        if (must_validate) {
+          Buffer content;
+          CCNVME_RETURN_IF_ERROR(blk_->ReadSync(area.start + p, 1, &content));
+          if (Fnv1a(content) != e.content_checksum) {
+            valid = false;  // transaction never fully reached media: discard
+            break;
+          }
         }
         rt.journal_lbas.push_back(area.start + p);
         p = NextOff(area, p);

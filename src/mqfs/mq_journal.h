@@ -44,6 +44,8 @@ class ExtFs;
 struct MqJournalOptions {
   bool shadow_paging = true;         // §5.3
   bool selective_revocation = true;  // §5.4 (false = naive JR, incorrect)
+  // TEST ONLY: skip the P-SQ window scan during recovery (see ExtFsOptions).
+  bool test_skip_psq_window_scan = false;
 };
 
 enum class JhState : uint8_t { kLog, kChp, kLogged };

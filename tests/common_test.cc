@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -126,6 +128,89 @@ TEST(HistogramTest, MergeCombinesCounts) {
   EXPECT_EQ(a.count(), 2u);
   EXPECT_EQ(a.min(), 10u);
   EXPECT_EQ(a.max(), 20u);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Stddev(), 0.0);
+  EXPECT_EQ(h.Percentile(0.0), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_EQ(h.Percentile(1.0), 0u);
+}
+
+TEST(HistogramTest, PercentileEndpoints) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) {
+    h.Add(v);
+  }
+  // q=0 lands in the minimum's bucket, q=1 is clamped to the true max even
+  // though the final bucket's upper bound overshoots it.
+  EXPECT_EQ(h.Percentile(0.0), 1u);
+  EXPECT_EQ(h.Percentile(1.0), 100u);
+  // Out-of-range q is clamped, not UB.
+  EXPECT_EQ(h.Percentile(-0.5), h.Percentile(0.0));
+  EXPECT_EQ(h.Percentile(2.0), h.Percentile(1.0));
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram h;
+  h.Add(42);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 42.0);
+  EXPECT_DOUBLE_EQ(h.Stddev(), 0.0);
+  EXPECT_EQ(h.Percentile(0.0), 42u);
+  EXPECT_EQ(h.Percentile(0.5), 42u);
+  EXPECT_EQ(h.Percentile(1.0), 42u);
+}
+
+TEST(HistogramTest, MergeWithEmptyPreservesStats) {
+  Histogram a;
+  a.Add(10);
+  a.Add(30);
+  Histogram empty;
+  a.Merge(empty);
+  // Merging an empty histogram must not clobber min() with the empty
+  // histogram's sentinel.
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 30u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 20.0);
+
+  // And the symmetric direction: empty absorbing a populated one.
+  Histogram b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.min(), 10u);
+  EXPECT_EQ(b.max(), 30u);
+}
+
+TEST(HistogramTest, QuantileErrorStaysUnderSixPercent) {
+  // 16 linear sub-buckets per power of two bound the relative quantile
+  // error at 1/16 = 6.25% (the documented "~6%").
+  Rng rng(2026);
+  Histogram h;
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    // Spread from ~1 up to ~2^39, inside the histogram's documented ~2^40
+    // range, so many exponent buckets are exercised without saturating
+    // the final bucket.
+    const uint64_t v = 1 + (rng.Next() >> (25 + rng.Uniform(38)));
+    samples.push_back(v);
+    h.Add(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const size_t rank =
+        static_cast<size_t>(q * static_cast<double>(samples.size() - 1));
+    const double exact = static_cast<double>(samples[rank]);
+    const double approx = static_cast<double>(h.Percentile(q));
+    EXPECT_NEAR(approx, exact, exact * 0.0625 + 1.0) << "q=" << q;
+  }
 }
 
 TEST(CounterSetTest, AddAndGet) {

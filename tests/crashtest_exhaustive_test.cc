@@ -1,0 +1,223 @@
+// Systematic crash-state exploration tests (ctest label: "exhaustive").
+//
+// Unlike crashtest_test.cc — which samples random crash states — these
+// tests walk EVERY consistency boundary of each workload's recorded event
+// stream and enumerate/sample the uncertain-item choice space at each one:
+// the paper's four Table-4 workloads plus two beyond-paper workloads must
+// survive all of it, an injected recovery bug must NOT, and every failure
+// must be deterministically reproducible from its replay artifact.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "src/crashtest/crash_explorer.h"
+#include "src/crashtest/crash_workloads.h"
+#include "src/crashtest/replay_artifact.h"
+
+namespace ccnvme {
+namespace {
+
+StackConfig MqfsConfig() {
+  StackConfig cfg;
+  cfg.num_queues = 2;
+  cfg.fs.journal = JournalKind::kMultiQueue;
+  cfg.fs.journal_areas = 2;
+  cfg.fs.journal_blocks = 2048;
+  return cfg;
+}
+
+StackConfig Ext4Config() {
+  StackConfig cfg;
+  cfg.num_queues = 2;
+  cfg.enable_ccnvme = false;
+  cfg.fs.journal = JournalKind::kClassic;
+  cfg.fs.journal_areas = 1;
+  cfg.fs.journal_blocks = 2048;
+  return cfg;
+}
+
+size_t TestThreads() {
+  // At least 4 so the worker-pool code path (and its determinism) is
+  // exercised even on small CI machines.
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw < 4 ? 4 : hw;
+}
+
+ExplorerOptions TestOptions() {
+  ExplorerOptions opt;
+  opt.seed = 42;
+  opt.threads = TestThreads();
+  return opt;
+}
+
+void ExpectAllPassed(const ExplorerReport& report) {
+  EXPECT_TRUE(report.AllPassed()) << report.Summary();
+  // Every workload ends with durable events, so there are real boundaries
+  // beyond the trivial {0, N} pair, and the small per-boundary in-flight
+  // windows mean most choice spaces fit the exhaustive budget.
+  EXPECT_GT(report.boundaries, 2u);
+  EXPECT_GT(report.boundaries_exhaustive, 0u);
+  EXPECT_GT(report.states_checked, report.boundaries);
+}
+
+// The paper's four Table-4 workloads + two beyond-paper ones, each fully
+// explored under MQFS over ccNVMe. Zero failures allowed.
+class ExhaustiveMqfsTest : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ExhaustiveMqfsTest,
+                         ::testing::Values("create_delete", "generic_035", "generic_106",
+                                           "generic_321", "truncate_shrink_grow",
+                                           "overwrite_mixed"),
+                         [](const ::testing::TestParamInfo<const char*>& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '_') {
+                               c = 'X';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST_P(ExhaustiveMqfsTest, AllBoundariesRecover) {
+  ExpectAllPassed(ExploreWorkload(MqfsConfig(), GetParam(), TestOptions()));
+}
+
+// The classic (non-ccNVMe) stack explored the same way: boundary
+// enumeration must be journal-agnostic.
+class ExhaustiveExt4Test : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ExhaustiveExt4Test,
+                         ::testing::Values("create_delete", "generic_035",
+                                           "truncate_shrink_grow", "overwrite_mixed"),
+                         [](const ::testing::TestParamInfo<const char*>& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '_') {
+                               c = 'X';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST_P(ExhaustiveExt4Test, AllBoundariesRecover) {
+  ExpectAllPassed(ExploreWorkload(Ext4Config(), GetParam(), TestOptions()));
+}
+
+// fatomic/fdataatomic all-or-nothing semantics, checked with the
+// kFileContentOneOf oracle. Requires data journaling: only a journaled
+// data block can be rolled back as a unit.
+TEST(ExhaustiveAtomicTest, FatomicAllOrNothing) {
+  StackConfig cfg = MqfsConfig();
+  cfg.fs.data_journaling = true;
+  ExpectAllPassed(ExploreWorkload(cfg, "atomic_overwrite", TestOptions()));
+}
+
+// Boundary completeness: every durable completion, flush submission and
+// doorbell ring must open its own boundary, plus the two stream ends.
+TEST(ExhaustiveCoverageTest, EveryDurabilityEventIsABoundary) {
+  Result<CrashWorkload> workload = FindCrashWorkload("create_delete");
+  ASSERT_TRUE(workload.ok());
+  const CrashRecording rec = RecordWorkload(MqfsConfig(), *workload);
+  const std::vector<size_t> boundaries = ConsistencyBoundaries(rec.events);
+  auto has = [&](size_t b) {
+    return std::find(boundaries.begin(), boundaries.end(), b) != boundaries.end();
+  };
+  EXPECT_TRUE(has(0));
+  EXPECT_TRUE(has(rec.events.size()));
+  size_t durability_events = 0;
+  for (size_t i = 0; i < rec.events.size(); ++i) {
+    const BioOp op = rec.events[i].op;
+    if (op == BioOp::kComplete || op == BioOp::kFlush || op == BioOp::kPmrDoorbell) {
+      ++durability_events;
+      EXPECT_TRUE(has(i + 1)) << "missing boundary after event " << i;
+    }
+  }
+  EXPECT_GT(durability_events, 0u);
+  // A ccNVMe workload exercises both domains: media completions AND
+  // doorbell rings must both appear in the stream.
+  const auto count_op = [&](BioOp op) {
+    size_t n = 0;
+    for (const BioEvent& ev : rec.events) {
+      n += ev.op == op ? 1 : 0;
+    }
+    return n;
+  };
+  EXPECT_GT(count_op(BioOp::kComplete), 0u);
+  EXPECT_GT(count_op(BioOp::kPmrDoorbell), 0u);
+}
+
+// Injected recovery bug: skipping the P-SQ window scan makes recovery
+// trust every journal descriptor without re-validating member checksums,
+// so it replays half-persisted transactions. The explorer must catch it.
+TEST(ExhaustiveInjectedBugTest, SkippedWindowScanIsCaught) {
+  StackConfig cfg = MqfsConfig();
+  cfg.fs.test_skip_psq_window_scan = true;
+  const ExplorerReport report = ExploreWorkload(cfg, "overwrite_mixed", TestOptions());
+  EXPECT_FALSE(report.AllPassed())
+      << "explorer failed to catch the deliberately broken recovery path";
+  EXPECT_FALSE(report.failures.empty());
+}
+
+// A forced failure must produce a replay artifact, and replaying that
+// artifact must reproduce the exact same failure string.
+TEST(ExhaustiveReplayTest, ArtifactReproducesFailure) {
+  StackConfig cfg = MqfsConfig();
+  cfg.fs.test_skip_psq_window_scan = true;
+  ExplorerOptions opt = TestOptions();
+  opt.emit_artifacts = true;
+  opt.artifact_dir = ".";  // the build dir ctest runs in; gitignored
+  const ExplorerReport report = ExploreWorkload(cfg, "overwrite_mixed", opt);
+  ASSERT_FALSE(report.failures.empty());
+
+  const ExplorerFailure& failure = report.failures[0];
+  ASSERT_FALSE(failure.artifact_path.empty());
+  Result<ReplayArtifact> art = ReplayArtifact::ReadFile(failure.artifact_path);
+  ASSERT_TRUE(art.ok()) << art.status().ToString();
+  EXPECT_EQ(art->workload, "overwrite_mixed");
+  EXPECT_EQ(art->failure, failure.message);
+
+  // JSON round-trip is exact.
+  Result<ReplayArtifact> round = ReplayArtifact::FromJson(art->ToJson());
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round->ToJson(), art->ToJson());
+
+  // Deterministic replay: the same failure string, twice in a row.
+  Result<std::string> replayed = ReplayArtifactCheck(*art);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_EQ(*replayed, failure.message);
+  Result<std::string> again = ReplayArtifactCheck(*art);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *replayed);
+}
+
+// The parallel executor must produce a byte-identical report to the serial
+// reference execution — failures included, in the same order.
+TEST(ExhaustiveDeterminismTest, ParallelMatchesSerialByteForByte) {
+  Result<CrashWorkload> workload = FindCrashWorkload("generic_035");
+  ASSERT_TRUE(workload.ok());
+  const CrashRecording rec = RecordWorkload(MqfsConfig(), *workload);
+
+  ExplorerOptions serial = TestOptions();
+  serial.threads = 1;
+  ExplorerOptions parallel = TestOptions();
+  parallel.threads = TestThreads();
+
+  const ExplorerReport a = ExploreRecording(rec, serial);
+  const ExplorerReport b = ExploreRecording(rec, parallel);
+  EXPECT_EQ(a.Summary(), b.Summary());
+  EXPECT_EQ(a.states_checked, b.states_checked);
+  EXPECT_EQ(a.total_failures, b.total_failures);
+
+  // Same property on a failing configuration, where the report actually
+  // carries failure lines.
+  StackConfig broken = MqfsConfig();
+  broken.fs.test_skip_psq_window_scan = true;
+  const CrashRecording bad = RecordWorkload(broken, *workload);
+  const ExplorerReport c = ExploreRecording(bad, serial);
+  const ExplorerReport d = ExploreRecording(bad, parallel);
+  EXPECT_EQ(c.Summary(), d.Summary());
+}
+
+}  // namespace
+}  // namespace ccnvme

@@ -67,6 +67,16 @@ TEST(CrashMonkeyExt4Test, Generic035Rename) {
   ExpectAllPass(monkey.Run(CrashMonkey::Generic035(), 40));
 }
 
+TEST(CrashMonkeyExt4Test, TruncateShrinkGrow) {
+  CrashMonkey monkey(Ext4Config(), /*seed=*/11);
+  ExpectAllPass(monkey.Run(CrashMonkey::TruncateShrinkGrow(), 40));
+}
+
+TEST(CrashMonkeyExt4Test, OverwriteMixed) {
+  CrashMonkey monkey(Ext4Config(), /*seed=*/12);
+  ExpectAllPass(monkey.Run(CrashMonkey::OverwriteMixed(), 40));
+}
+
 TEST(CrashMonkeyMqfsTest, TruncateShrinkGrow) {
   CrashMonkey monkey(MqfsConfig(), /*seed=*/8);
   ExpectAllPass(monkey.Run(CrashMonkey::TruncateShrinkGrow(), 60));

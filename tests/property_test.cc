@@ -7,6 +7,7 @@
 //   * bit-exact determinism of a full multi-threaded file-system run;
 //   * P-SQ window scanning across ring wraparound.
 #include <map>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -116,6 +117,60 @@ TEST_P(RadixOracleTest, MatchesStdMap) {
     want.push_back(k);
   }
   EXPECT_EQ(keys, want);
+}
+
+TEST(RadixTreeTest, BlockReuseOverwrite) {
+  // MQFS reuses freed block numbers: a key that is erased and later
+  // re-created must behave like a fresh slot, and GetOrCreate on a live key
+  // must hand back the same slot (overwrite-in-place), never a duplicate.
+  RadixTree<uint64_t> tree;
+  std::map<uint64_t, uint64_t> model;
+  Rng rng(4242);
+  std::vector<uint64_t> live;
+  for (int round = 0; round < 2000; ++round) {
+    if (!live.empty() && rng.OneIn(3)) {
+      // Free a random live block...
+      const size_t pick = rng.Uniform(live.size());
+      const uint64_t key = live[pick];
+      live.erase(live.begin() + static_cast<long>(pick));
+      ASSERT_TRUE(tree.Erase(key));
+      model.erase(key);
+      // ...and immediately reuse the same number with new contents.
+      const uint64_t fresh = rng.Next();
+      tree.GetOrCreate(key) = fresh;
+      model[key] = fresh;
+      live.push_back(key);
+    } else {
+      const uint64_t key = rng.Uniform(512);  // dense space forces reuse
+      const uint64_t value = rng.Next();
+      const bool existed = tree.Find(key) != nullptr;
+      ASSERT_EQ(existed, model.count(key) != 0);
+      tree.GetOrCreate(key) = value;  // create or overwrite in place
+      model[key] = value;
+      if (!existed) {
+        live.push_back(key);
+      }
+    }
+    ASSERT_EQ(tree.size(), model.size());
+  }
+  for (const auto& [key, value] : model) {
+    auto* found = tree.Find(key);
+    ASSERT_NE(found, nullptr) << "key " << key;
+    EXPECT_EQ(*found, value) << "key " << key;
+  }
+}
+
+TEST(RadixTreeTest, EraseIsExactAndIdempotent) {
+  RadixTree<uint64_t> tree;
+  tree.GetOrCreate(7) = 70;
+  tree.GetOrCreate(1ull << 40) = 71;  // deep path, far from the dense keys
+  EXPECT_FALSE(tree.Erase(8));        // absent sibling key
+  EXPECT_TRUE(tree.Erase(7));
+  EXPECT_FALSE(tree.Erase(7));  // double-free is a no-op
+  EXPECT_EQ(tree.Find(7), nullptr);
+  ASSERT_NE(tree.Find(1ull << 40), nullptr);
+  EXPECT_EQ(*tree.Find(1ull << 40), 71u);
+  EXPECT_EQ(tree.size(), 1u);
 }
 
 TEST(PropertyTest, BytePackingRoundTripsRandomValues) {

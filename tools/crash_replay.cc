@@ -1,0 +1,43 @@
+// Re-checks a crash-explorer replay artifact.
+//
+// Usage: crash_replay <artifact.json>
+//
+// Reads the artifact, re-records its workload under the recorded stack
+// configuration, reconstructs the exact crash state from (crash_index,
+// choices, torn_seed) and runs recovery plus the oracle checks against it.
+// Exit codes: 0 = the state now passes (failure did not reproduce),
+// 1 = a failure reproduced, 2 = usage / artifact / replay error.
+#include <cstdio>
+
+#include "src/crashtest/replay_artifact.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: crash_replay <artifact.json>\n");
+    return 2;
+  }
+
+  ccnvme::Result<ccnvme::ReplayArtifact> art = ccnvme::ReplayArtifact::ReadFile(argv[1]);
+  if (!art.ok()) {
+    std::fprintf(stderr, "crash_replay: %s\n", art.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("workload:         %s\n", art->workload.c_str());
+  std::printf("crash index:      %zu\n", art->plan.crash_index);
+  std::printf("choices:          %zu uncertain item(s)\n", art->plan.choices.size());
+  std::printf("recorded failure: %s\n", art->failure.c_str());
+
+  ccnvme::Result<std::string> replayed = ccnvme::ReplayArtifactCheck(*art);
+  if (!replayed.ok()) {
+    std::fprintf(stderr, "crash_replay: %s\n", replayed.status().ToString().c_str());
+    return 2;
+  }
+  if (replayed->empty()) {
+    std::printf("replayed state:   PASS (failure did not reproduce)\n");
+    return 0;
+  }
+  std::printf("replayed failure: %s\n", replayed->c_str());
+  std::printf("reproduction:     %s\n",
+              *replayed == art->failure ? "identical failure string" : "DIFFERENT failure string");
+  return 1;
+}
