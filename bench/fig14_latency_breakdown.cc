@@ -5,6 +5,10 @@
 // S = submit, W = wait; iD = the file's data, iM = its inode metadata,
 // pM = parent-directory metadata (incl. bitmaps), JH = journal description.
 //
+// The per-phase numbers come from the cross-layer tracer: the FS/journal
+// emit kSync* spans (src/trace/trace_point.h) and this bench reads the
+// tracer's per-point aggregation — no bench-specific plumbing in the stack.
+//
 // Expected shape (paper, nanoseconds):
 //   MQFS:    S-iD~6790 S-iM~1782 S-pM~1599 S-JH~1107, fatomic~10300,
 //            fsync~22387 — the CPU keeps submitting without idling; the
@@ -18,28 +22,16 @@
 namespace ccnvme {
 namespace {
 
-struct Avg {
-  SyncPhaseTrace sum;
-  int n = 0;
-  void Add(const SyncPhaseTrace& t) {
-    sum.s_data_ns += t.s_data_ns;
-    sum.s_inode_ns += t.s_inode_ns;
-    sum.s_parent_ns += t.s_parent_ns;
-    sum.s_desc_ns += t.s_desc_ns;
-    sum.atomic_ns += t.atomic_ns;
-    sum.wait_ns += t.wait_ns;
-    sum.w_data_ns += t.w_data_ns;
-    sum.w_inode_ns += t.w_inode_ns;
-    sum.w_parent_ns += t.w_parent_ns;
-    sum.total_ns += t.total_ns;
-    n++;
-  }
-  double Of(uint64_t SyncPhaseTrace::* field) const {
-    return n == 0 ? 0.0 : static_cast<double>(sum.*field) / n;
-  }
+// Per-sync mean of each phase over the measured iterations: a phase may fire
+// several times per sync (e.g. one kSyncSubmitParent span per parent block),
+// so its spans are summed and divided by the number of syncs, not by the
+// number of spans.
+struct Breakdown {
+  double mean[kNumTracePoints] = {};
+  double Of(TracePoint p) const { return mean[static_cast<size_t>(p)]; }
 };
 
-Avg RunBreakdown(JournalKind kind, SyncMode mode) {
+Breakdown RunBreakdown(JournalKind kind, SyncMode mode) {
   StackConfig cfg;
   cfg.ssd = SsdConfig::Optane905P();
   cfg.enable_ccnvme = kind == JournalKind::kMultiQueue;
@@ -47,29 +39,33 @@ Avg RunBreakdown(JournalKind kind, SyncMode mode) {
   cfg.fs.journal_areas = 1;
   cfg.fs.journal_blocks = 4096;
   StorageStack stack(cfg);
+  Tracer& tracer = stack.EnableTracing();
   Status st = stack.MkfsAndMount();
   CCNVME_CHECK(st.ok()) << st.ToString();
 
-  Avg avg;
   stack.Run([&] {
-    SyncPhaseTrace trace;
-    stack.fs().set_sync_trace(&trace);
     for (int i = 0; i < 100; ++i) {
+      if (i == 10) {  // skip warm-up
+        tracer.ResetAggregation();
+      }
       auto ino = stack.fs().Create("/bd_" + std::to_string(i));
       CCNVME_CHECK(ino.ok());
       Buffer data(kFsBlockSize, static_cast<uint8_t>(i));
       CCNVME_CHECK(stack.fs().Write(*ino, 0, data).ok());
-      trace = SyncPhaseTrace{};
       Status sst = mode == SyncMode::kFsync ? stack.fs().Fsync(*ino)
                                             : stack.fs().Fatomic(*ino);
       CCNVME_CHECK(sst.ok());
-      if (i >= 10) {  // skip warm-up
-        avg.Add(trace);
-      }
     }
-    stack.fs().set_sync_trace(nullptr);
   });
-  return avg;
+
+  Breakdown bd;
+  const uint64_t syncs = tracer.agg(TracePoint::kSyncTotal).count;
+  CCNVME_CHECK_GT(syncs, 0u);
+  for (size_t p = 0; p < kNumTracePoints; ++p) {
+    bd.mean[p] = static_cast<double>(tracer.agg(static_cast<TracePoint>(p)).total_ns) /
+                 static_cast<double>(syncs);
+  }
+  return bd;
 }
 
 }  // namespace
@@ -79,30 +75,30 @@ int main() {
   using namespace ccnvme;
 
   std::printf("Figure 14(a): MQFS fsync()/fatomic() path of a newly created file (ns, 905P)\n\n");
-  const Avg mqfs = RunBreakdown(JournalKind::kMultiQueue, SyncMode::kFsync);
-  const Avg mqfs_atomic = RunBreakdown(JournalKind::kMultiQueue, SyncMode::kFatomic);
+  const Breakdown mqfs = RunBreakdown(JournalKind::kMultiQueue, SyncMode::kFsync);
+  const Breakdown mqfs_atomic = RunBreakdown(JournalKind::kMultiQueue, SyncMode::kFatomic);
   std::printf("%10s %10s %10s %10s %10s | %10s %10s\n", "S-iD", "S-iM", "S-pM", "S-JH",
               "W(durable)", "fatomic", "fsync");
   std::printf("%10.0f %10.0f %10.0f %10.0f %10.0f | %10.0f %10.0f\n",
-              mqfs.Of(&SyncPhaseTrace::s_data_ns), mqfs.Of(&SyncPhaseTrace::s_inode_ns),
-              mqfs.Of(&SyncPhaseTrace::s_parent_ns), mqfs.Of(&SyncPhaseTrace::s_desc_ns),
-              mqfs.Of(&SyncPhaseTrace::wait_ns), mqfs_atomic.Of(&SyncPhaseTrace::total_ns),
-              mqfs.Of(&SyncPhaseTrace::total_ns));
+              mqfs.Of(TracePoint::kSyncSubmitData), mqfs.Of(TracePoint::kSyncSubmitInode),
+              mqfs.Of(TracePoint::kSyncSubmitParent), mqfs.Of(TracePoint::kSyncSubmitDesc),
+              mqfs.Of(TracePoint::kSyncWaitDurable),
+              mqfs_atomic.Of(TracePoint::kSyncTotal), mqfs.Of(TracePoint::kSyncTotal));
   std::printf("(paper:  6790       1782       1599       1107      ~12000 |      10300      22387)\n");
 
   std::printf("\nFigure 14(b): Ext4-NJ fsync() path of a newly created file (ns, 905P)\n\n");
-  const Avg nj = RunBreakdown(JournalKind::kNone, SyncMode::kFsync);
+  const Breakdown nj = RunBreakdown(JournalKind::kNone, SyncMode::kFsync);
   std::printf("%14s %14s %14s | %10s\n", "S-iD + W-iD", "S-iM + W-iM", "S-pM + W-pM",
               "fsync");
   std::printf("%14.0f %14.0f %14.0f | %10.0f\n",
-              nj.Of(&SyncPhaseTrace::s_data_ns) + nj.Of(&SyncPhaseTrace::w_data_ns),
-              nj.Of(&SyncPhaseTrace::s_inode_ns) + nj.Of(&SyncPhaseTrace::w_inode_ns),
-              nj.Of(&SyncPhaseTrace::s_parent_ns) + nj.Of(&SyncPhaseTrace::w_parent_ns),
-              nj.Of(&SyncPhaseTrace::total_ns));
+              nj.Of(TracePoint::kSyncSubmitData) + nj.Of(TracePoint::kSyncWaitData),
+              nj.Of(TracePoint::kSyncSubmitInode) + nj.Of(TracePoint::kSyncWaitInode),
+              nj.Of(TracePoint::kSyncSubmitParent) + nj.Of(TracePoint::kSyncWaitParent),
+              nj.Of(TracePoint::kSyncTotal));
   std::printf("(paper:         17928          10519          10040 |      38487)\n");
 
-  const double speedup = 1.0 - mqfs.Of(&SyncPhaseTrace::total_ns) /
-                                   nj.Of(&SyncPhaseTrace::total_ns);
+  const double speedup =
+      1.0 - mqfs.Of(TracePoint::kSyncTotal) / nj.Of(TracePoint::kSyncTotal);
   std::printf("\nMQFS decreases fsync latency by %.0f%% vs Ext4-NJ (paper: 42%%)\n",
               speedup * 100);
   return 0;

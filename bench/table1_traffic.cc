@@ -30,11 +30,25 @@ struct Row {
   const char* paper_irq;
 };
 
-TrafficStats MeasureOne(TxEngine engine, int n, bool stop_at_atomic) {
+// The four Table-1 columns, read from the tracer's PCIe-layer counters
+// (the tracer hooks in src/pcie count every link crossing).
+struct Traffic {
+  uint64_t mmio_writes = 0;
+  uint64_t dma_queue_ops = 0;
+  uint64_t block_ios = 0;
+  uint64_t irqs = 0;
+  Traffic operator-(const Traffic& o) const {
+    return {mmio_writes - o.mmio_writes, dma_queue_ops - o.dma_queue_ops,
+            block_ios - o.block_ios, irqs - o.irqs};
+  }
+};
+
+Traffic MeasureOne(TxEngine engine, int n, bool stop_at_atomic) {
   StackConfig cfg;
   cfg.ssd = SsdConfig::OptaneP5800X();
   StorageStack stack(cfg);
-  TrafficStats delta;
+  Tracer& tracer = stack.EnableTracing();
+  Traffic delta;
   stack.Run([&] {
     std::vector<uint64_t> lbas;
     std::vector<Buffer> payloads;
@@ -48,10 +62,16 @@ TrafficStats MeasureOne(TxEngine engine, int n, bool stop_at_atomic) {
     if (warm != nullptr) {
       stack.ccnvme()->WaitDurable(warm);
     }
-    const TrafficStats before = stack.link().SnapshotTraffic();
+    auto snapshot = [&tracer] {
+      return Traffic{tracer.counter(TraceCounter::kMmioWrites),
+                     tracer.counter(TraceCounter::kDmaQueueOps),
+                     tracer.counter(TraceCounter::kBlockIos),
+                     tracer.counter(TraceCounter::kIrqs)};
+    };
+    const Traffic before = snapshot();
     auto tx = RunOneTransaction(stack, engine, 0, 2, lbas, payloads, jd, 6000);
     if (stop_at_atomic) {
-      delta = stack.link().SnapshotTraffic() - before;
+      delta = snapshot() - before;
       if (tx != nullptr) {
         stack.ccnvme()->WaitDurable(tx);  // drain before teardown
       }
@@ -59,7 +79,7 @@ TrafficStats MeasureOne(TxEngine engine, int n, bool stop_at_atomic) {
       if (tx != nullptr) {
         stack.ccnvme()->WaitDurable(tx);
       }
-      delta = stack.link().SnapshotTraffic() - before;
+      delta = snapshot() - before;
     }
   });
   return delta;
@@ -89,7 +109,7 @@ int main() {
   for (int n : {1, 4, 16}) {
     for (const Row& row : rows) {
       const bool atomic_only = row.engine == TxEngine::kCcNvmeAtomic;
-      const TrafficStats d = MeasureOne(row.engine, n, atomic_only);
+      const Traffic d = MeasureOne(row.engine, n, atomic_only);
       auto formula = [&](const char* f) -> int {
         std::string s(f);
         if (s == "2(N+2)") return 2 * (n + 2);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/trace/tracer.h"
 
 namespace ccnvme {
 
@@ -143,6 +144,7 @@ NvmeDriver::RequestHandle BlockLayer::SubmitWrite(uint64_t lba, const Buffer* da
                                                   std::function<void()> on_complete) {
   CCNVME_CHECK(data != nullptr);
   Simulator::Sleep(costs_.block_layer_submit_ns);
+  if (Tracer* t = sim_->tracer()) t->Instant(TracePoint::kBioSubmit, lba);
   if (tls_plugged && flags == 0) {
     // Batched: hand back a placeholder handle completed at merge dispatch.
     PluggedWrite w;
@@ -158,6 +160,7 @@ NvmeDriver::RequestHandle BlockLayer::SubmitWrite(uint64_t lba, const Buffer* da
     // PREFLUSH: drain the device cache before this write (the classic
     // journaling ordering point). The flush is its own command. On PLP
     // drives the flag is stripped here, as the real block layer does.
+    if (Tracer* t = sim_->tracer()) t->Instant(TracePoint::kBioFlush);
     const uint64_t fseq = Record(BioOp::kFlush, 0, flags, 0, nullptr);
     Status st = nvme_->Flush(tls_queue);
     CCNVME_CHECK(st.ok());
@@ -188,6 +191,7 @@ Status BlockLayer::FlushSync() {
   if (!needs_flush_) {
     return OkStatus();
   }
+  if (Tracer* t = sim_->tracer()) t->Instant(TracePoint::kBioFlush);
   const uint64_t seq = Record(BioOp::kFlush, 0, 0, 0, nullptr);
   Status st = nvme_->Flush(tls_queue);
   if (st.ok()) {
@@ -200,6 +204,9 @@ void BlockLayer::SubmitTxWrite(uint64_t tx_id, uint64_t lba, const Buffer* data,
                                std::function<void()> on_complete) {
   CCNVME_CHECK(cc_ != nullptr) << "stack has no ccNVMe extension";
   Simulator::Sleep(costs_.block_layer_submit_ns);
+  if (Tracer* t = sim_->tracer()) {
+    t->InstantWith(TracePoint::kBioSubmit, {CurrentTraceContext().req_id, tx_id}, lba);
+  }
   const uint64_t seq = Record(BioOp::kWrite, lba, kBioTx, tx_id, data);
   if (seq != 0) {
     tx_members_[tx_id].push_back(seq);
@@ -211,6 +218,9 @@ CcNvmeDriver::TxHandle BlockLayer::CommitTx(uint64_t tx_id, uint64_t lba, const 
                                             std::function<void()> on_durable) {
   CCNVME_CHECK(cc_ != nullptr) << "stack has no ccNVMe extension";
   Simulator::Sleep(costs_.block_layer_submit_ns);
+  if (Tracer* t = sim_->tracer()) {
+    t->InstantWith(TracePoint::kBioSubmit, {CurrentTraceContext().req_id, tx_id}, lba);
+  }
   const uint64_t seq = Record(BioOp::kWrite, lba, kBioTx | kBioTxCommit, tx_id, data);
   if (seq != 0) {
     tx_members_[tx_id].push_back(seq);

@@ -1,6 +1,7 @@
 #include "src/ccnvme/ccnvme_driver.h"
 
 #include "src/common/logging.h"
+#include "src/trace/tracer.h"
 
 namespace ccnvme {
 
@@ -28,6 +29,7 @@ CcNvmeDriver::CcNvmeDriver(Simulator* sim, PcieLink* link, NvmeController* contr
         /*irq_handler=*/[raw] { raw->irq_pending->Release(); });
     q->cid_to_tx.resize(q->qp->depth);
     q->cid_callbacks.resize(q->qp->depth);
+    q->cid_req.resize(q->qp->depth, 0);
     for (uint16_t cid = 0; cid < q->qp->depth; ++cid) {
       q->free_cids.push_back(cid);
     }
@@ -74,6 +76,11 @@ CcNvmeDriver::Queue& CcNvmeDriver::GetQueue(uint16_t qid) {
 }
 
 uint16_t CcNvmeDriver::StageCommand(Queue& q, NvmeCommand cmd, const Buffer* data) {
+  Tracer* tracer = sim_->tracer();
+  ScopedSpan span(tracer, TracePoint::kTxStage, cmd.opcode);
+  // Stamp the submitter's trace id into the SQE unconditionally so the PMR
+  // bytes do not depend on whether a tracer is attached.
+  cmd.trace_req = CurrentTraceContext().req_id;
   SimLockGuard guard(*q.submit_mu);
   // The P-SQ window [P-SQ-head, tail) must stay intact for recovery, so a
   // slot is reusable only after P-SQ-head passes it.
@@ -83,6 +90,7 @@ uint16_t CcNvmeDriver::StageCommand(Queue& q, NvmeCommand cmd, const Buffer* dat
   const uint16_t cid = q.free_cids.front();
   q.free_cids.pop_front();
   cmd.cid = cid;
+  q.cid_req[cid] = cmd.trace_req;
   q.qp->data[cid].write_data = data;
 
   const uint16_t slot = q.sq_tail;
@@ -96,12 +104,20 @@ uint16_t CcNvmeDriver::StageCommand(Queue& q, NvmeCommand cmd, const Buffer* dat
   controller_->pmr().Write(q.pmr_base + static_cast<size_t>(slot) * kSqeSize,
                            std::span<const uint8_t>(raw, kSqeSize));
   q.wc->Store(kSqeSize);
+  if (tracer != nullptr) {
+    tracer->InstantWith(TracePoint::kPsqStore, {cmd.trace_req, cmd.tx_id},
+                        q.pmr_base + static_cast<size_t>(slot) * kSqeSize);
+  }
   RecordPmr(BioOp::kPmrWrite, q.qid, q.pmr_base + static_cast<size_t>(slot) * kSqeSize,
             std::span<const uint8_t>(raw, kSqeSize), kBioPmrWc, cmd.tx_id);
 
   if (!options_.tx_aware_mmio) {
     // Naive per-request mode: flush and ring for every request.
     q.wc->FlushPersistent();
+    if (tracer != nullptr) {
+      tracer->InstantWith(TracePoint::kPsqFence, {cmd.trace_req, cmd.tx_id});
+      tracer->InstantWith(TracePoint::kPsqDoorbell, {cmd.trace_req, cmd.tx_id}, q.sq_tail);
+    }
     RecordPmr(BioOp::kPmrFence, q.qid, 0, {}, 0, cmd.tx_id);
     PmrStoreU32(q, BioOp::kPmrDoorbell, DoorbellOffset(q), q.sq_tail, cmd.tx_id);
     link_->MmioWrite(4);
@@ -142,6 +158,8 @@ CcNvmeDriver::TxHandle CcNvmeDriver::CommitTx(uint16_t qid, uint64_t tx_id, uint
                                               std::function<void()> on_durable) {
   CCNVME_CHECK(data != nullptr && !data->empty());
   Queue& q = GetQueue(qid);
+  Tracer* tracer = sim_->tracer();
+  ScopedSpan span(tracer, TracePoint::kTxCommit);
   Simulator::Sleep(costs_.ccnvme_stage_ns);
 
   if (q.open_tx == nullptr) {
@@ -185,6 +203,11 @@ CcNvmeDriver::TxHandle CcNvmeDriver::CommitTx(uint16_t qid, uint64_t tx_id, uint
     // Transaction-aware MMIO & doorbell: one persistence flush and one
     // doorbell ring for the whole transaction (Figure 4(b)).
     q.wc->FlushPersistent();
+    if (tracer != nullptr) {
+      tracer->InstantWith(TracePoint::kPsqFence, {CurrentTraceContext().req_id, tx_id});
+      tracer->InstantWith(TracePoint::kPsqDoorbell, {CurrentTraceContext().req_id, tx_id},
+                          q.sq_tail);
+    }
     RecordPmr(BioOp::kPmrFence, q.qid, 0, {}, 0, tx_id);
     PmrStoreU32(q, BioOp::kPmrDoorbell, DoorbellOffset(q), q.sq_tail, tx_id);
     link_->MmioWrite(4);
@@ -199,6 +222,9 @@ CcNvmeDriver::TxHandle CcNvmeDriver::CommitTx(uint16_t qid, uint64_t tx_id, uint
   // doorbell has been rung. A crash from here on recovers all-or-nothing
   // with "all" available once the device drains the queue.
   tx->atomic_at_ns = sim_->now();
+  if (tracer != nullptr) {
+    tracer->InstantWith(TracePoint::kTxAtomic, {CurrentTraceContext().req_id, tx_id});
+  }
   return tx;
 }
 
@@ -218,12 +244,18 @@ void CcNvmeDriver::CompleteReadyTransactions(Queue& q) {
       // ring the CQDB (§4.4). The head store is uncached: durable the moment
       // it issues, which is what lets recovery trust everything behind it.
       q.psq_head = tx->end_slot;
+      if (Tracer* t = sim_->tracer()) {
+        t->InstantWith(TracePoint::kPsqHead, {0, tx->tx_id}, q.psq_head);
+      }
       PmrStoreU32(q, BioOp::kPmrWrite, HeadOffset(q), q.psq_head, tx->tx_id);
       link_->MmioWrite(4);
       link_->MmioWrite(4);
       controller_->RingCqDoorbell(q.qp, q.cq_head);
       advanced = true;
       tx->durable_at_ns = sim_->now();
+      if (Tracer* t = sim_->tracer()) {
+        t->InstantWith(TracePoint::kTxDurable, {0, tx->tx_id});
+      }
       transactions_completed_++;
       for (auto& cb : tx->on_durable) {
         cb();
@@ -279,6 +311,8 @@ void CcNvmeDriver::BottomHalfLoop(Queue* q) {
       Simulator::Sleep(costs_.irq_per_cqe_ns);
       TxHandle tx = q->cid_to_tx[cqe.cid];
       CCNVME_CHECK(tx != nullptr) << "ccNVMe completion for idle cid " << cqe.cid;
+      ScopedTraceContext trace_ctx({q->cid_req[cqe.cid], tx->tx_id});
+      if (Tracer* t = sim_->tracer()) t->Instant(TracePoint::kCqeHandled, cqe.cid);
       q->cid_to_tx[cqe.cid] = nullptr;
       qp->data[cqe.cid] = IoQueuePair::DataRef{};
       q->free_cids.push_back(cqe.cid);

@@ -148,6 +148,9 @@ class CcNvmeDriver {
     std::deque<TxHandle> inflight_txs;
     std::vector<TxHandle> cid_to_tx;
     std::vector<std::function<void()>> cid_callbacks;
+    // Trace request id per staged cid, restored on the bottom-half actor
+    // when the matching CQE arrives.
+    std::vector<uint64_t> cid_req;
     std::deque<uint16_t> free_cids;
     std::unique_ptr<SimSemaphore> irq_pending;
     std::unique_ptr<SimMutex> submit_mu;

@@ -140,6 +140,7 @@ ExplorerReport ExploreRecording(const CrashRecording& rec, const ExplorerOptions
         art.torn_seed = options.seed;
         art.plan = f.plan;
         art.failure = f.message;
+        art.flight_recorder = rec.trace_tail;
         std::ostringstream path;
         path << options.artifact_dir << "/crash_artifact_" << options.workload_name << "_"
              << f.plan.crash_index << "_" << report.failures.size() << ".json";

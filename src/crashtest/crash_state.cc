@@ -236,6 +236,10 @@ CrashRecording RecordWorkload(const StackConfig& config, const CrashWorkload& wo
   CrashRecording rec;
   rec.config = config;
   StorageStack stack(config);
+  // Small ring: the flight recorder only needs the last moments before the
+  // (simulated) crash. Tracing never perturbs virtual time, so recordings
+  // are identical with or without it.
+  Tracer& tracer = stack.EnableTracing(/*ring_capacity=*/512);
   Status st = stack.MkfsAndMount();
   CCNVME_CHECK(st.ok()) << st.ToString();
   rec.base = stack.CaptureCrashImage();
@@ -243,6 +247,7 @@ CrashRecording RecordWorkload(const StackConfig& config, const CrashWorkload& wo
   stack.SetRecorder([&rec](const BioEvent& ev) { rec.events.push_back(ev); });
   ContextImpl ctx(stack.fs(), &rec.facts, &rec.events);
   stack.Run([&] { workload(ctx); });
+  rec.trace_tail = tracer.FormatTail(32);
   return rec;
 }
 

@@ -87,6 +87,10 @@ struct CrashRecording {
   CrashImage base;               // device state before the workload
   std::vector<BioEvent> events;  // unified media + PMR stream
   std::vector<FactEvent> facts;
+  // Flight recorder: the tail of the cross-layer trace at the end of the
+  // recorded run (human-readable lines). Stored into failing artifacts so a
+  // replayed failure shows what the stack was doing when it crashed.
+  std::vector<std::string> trace_tail;
 };
 
 // Runs |workload| once against a fresh stack built from |config| and

@@ -149,6 +149,37 @@ Result<std::vector<uint8_t>> GetByteArray(const std::string& json, const std::st
   return InvalidArgument("unterminated array for key: " + key);
 }
 
+Result<std::vector<std::string>> GetStringArray(const std::string& json,
+                                                const std::string& key) {
+  CCNVME_ASSIGN_OR_RETURN(size_t p, ValueStart(json, key));
+  if (p >= json.size() || json[p] != '[') {
+    return InvalidArgument("expected array for key: " + key);
+  }
+  std::vector<std::string> out;
+  for (++p; p < json.size(); ++p) {
+    const char c = json[p];
+    if (c == ']') {
+      return out;
+    }
+    if (c == '"') {
+      std::string s;
+      for (++p; p < json.size() && json[p] != '"'; ++p) {
+        if (json[p] == '\\' && p + 1 < json.size()) {
+          ++p;
+        }
+        s.push_back(json[p]);
+      }
+      if (p >= json.size()) {
+        return InvalidArgument("unterminated string in array for key: " + key);
+      }
+      out.push_back(std::move(s));
+    } else if (c != ',' && std::isspace(static_cast<unsigned char>(c)) == 0) {
+      return InvalidArgument("bad array element for key: " + key);
+    }
+  }
+  return InvalidArgument("unterminated array for key: " + key);
+}
+
 }  // namespace
 
 std::string ReplayArtifact::ToJson() const {
@@ -178,7 +209,12 @@ std::string ReplayArtifact::ToJson() const {
     out << (i == 0 ? "" : ",") << static_cast<uint32_t>(plan.choices[i]);
   }
   out << "],\n";
-  out << "  \"failure\": \"" << EscapeJson(failure) << "\"\n";
+  out << "  \"failure\": \"" << EscapeJson(failure) << "\",\n";
+  out << "  \"flight_recorder\": [";
+  for (size_t i = 0; i < flight_recorder.size(); ++i) {
+    out << (i == 0 ? "" : ",") << "\n    \"" << EscapeJson(flight_recorder[i]) << "\"";
+  }
+  out << (flight_recorder.empty() ? "]\n" : "\n  ]\n");
   out << "}\n";
   return out.str();
 }
@@ -217,6 +253,11 @@ Result<ReplayArtifact> ReplayArtifact::FromJson(const std::string& json) {
   CCNVME_ASSIGN_OR_RETURN(art.plan.crash_index, GetUInt(json, "crash_index"));
   CCNVME_ASSIGN_OR_RETURN(art.plan.choices, GetByteArray(json, "choices"));
   CCNVME_ASSIGN_OR_RETURN(art.failure, GetString(json, "failure"));
+  // Optional (older artifacts predate the flight recorder).
+  Result<std::vector<std::string>> tail = GetStringArray(json, "flight_recorder");
+  if (tail.ok()) {
+    art.flight_recorder = *std::move(tail);
+  }
   return art;
 }
 

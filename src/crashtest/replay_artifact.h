@@ -13,6 +13,7 @@
 #define SRC_CRASHTEST_REPLAY_ARTIFACT_H_
 
 #include <string>
+#include <vector>
 
 #include "src/crashtest/crash_state.h"
 
@@ -24,6 +25,10 @@ struct ReplayArtifact {
   uint64_t torn_seed = 0;
   CrashPlan plan;
   std::string failure;  // the failure string observed at record time
+  // Flight recorder: formatted trace-tail lines from the recorded run
+  // (what the stack was doing just before the simulated crash). Optional —
+  // absent in artifacts written before the field existed.
+  std::vector<std::string> flight_recorder;
 
   std::string ToJson() const;
   static Result<ReplayArtifact> FromJson(const std::string& json);

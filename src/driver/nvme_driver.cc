@@ -1,6 +1,7 @@
 #include "src/driver/nvme_driver.h"
 
 #include "src/common/logging.h"
+#include "src/trace/tracer.h"
 
 namespace ccnvme {
 
@@ -33,6 +34,8 @@ NvmeDriver::RequestHandle NvmeDriver::SubmitCommand(uint16_t qid, NvmeCommand cm
   QueueState& q = *queues_[qid];
   IoQueuePair* qp = q.qp;
 
+  Tracer* tracer = sim_->tracer();
+  ScopedSpan span(tracer, TracePoint::kDriverSubmit, cmd.opcode);
   Simulator::Sleep(config_.costs.driver_submit_ns);
 
   SimLockGuard guard(*q.submit_mu);
@@ -51,6 +54,11 @@ NvmeDriver::RequestHandle NvmeDriver::SubmitCommand(uint16_t qid, NvmeCommand cm
   q.inflight[cid] = req;
 
   cmd.cid = cid;
+  // Stamp the submitting request's trace id into the SQE (always, so the
+  // wire bytes do not depend on whether a tracer is attached) and remember
+  // it for CQE-side attribution.
+  cmd.trace_req = CurrentTraceContext().req_id;
+  req->trace_req = cmd.trace_req;
   qp->data[cid].write_data = data;
   qp->data[cid].read_buf = out;
 
@@ -60,6 +68,7 @@ NvmeDriver::RequestHandle NvmeDriver::SubmitCommand(uint16_t qid, NvmeCommand cm
   cmd.Serialize(std::span<uint8_t>(qp->host_sq)
                     .subspan(static_cast<size_t>(slot) * kSqeSize, kSqeSize));
   q.sq_tail = qp->SlotAfter(slot);
+  if (tracer != nullptr) tracer->Instant(TracePoint::kSqDoorbell, q.sq_tail);
   link_->MmioWrite(4);
   controller_->RingSqDoorbell(qp, q.sq_tail);
   return req;
@@ -140,6 +149,8 @@ void NvmeDriver::BottomHalfLoop(QueueState* q) {
       q->sq_head = cqe.sq_head;
       RequestHandle req = q->inflight[cqe.cid];
       CCNVME_CHECK(req != nullptr) << "completion for idle cid " << cqe.cid;
+      ScopedTraceContext trace_ctx({req->trace_req, 0});
+      if (Tracer* t = sim_->tracer()) t->Instant(TracePoint::kCqeHandled, cqe.cid);
       q->inflight[cqe.cid] = nullptr;
       qp->data[cqe.cid] = IoQueuePair::DataRef{};
       q->free_cids.push_back(cqe.cid);
@@ -159,6 +170,7 @@ void NvmeDriver::BottomHalfLoop(QueueState* q) {
     if (handled > 0) {
       // Ring the CQ doorbell once per scan (per request in the synchronous
       // common case, which is what Table 1 counts).
+      if (Tracer* t = sim_->tracer()) t->Instant(TracePoint::kCqDoorbell, q->cq_head);
       link_->MmioWrite(4);
       controller_->RingCqDoorbell(qp, q->cq_head);
       q->slot_available->NotifyAll();

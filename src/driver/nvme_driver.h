@@ -41,6 +41,9 @@ class NvmeDriver {
     uint16_t nvme_status = 0;
     uint16_t cid = 0;
     uint16_t qid = 0;
+    // Trace request id of the submitter, restored on the bottom-half actor
+    // when this request's CQE is handled.
+    uint64_t trace_req = 0;
     // Optional completion callback, invoked from the bottom half before
     // |done| is signaled.
     std::function<void()> on_complete;

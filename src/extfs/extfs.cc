@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/trace/tracer.h"
 #include "src/jbd2/jbd2.h"
 #include "src/mqfs/mq_journal.h"
 
@@ -892,58 +893,64 @@ Status ExtFs::SyncInternal(InodeNum ino, SyncMode mode) {
   inode->lock.Lock();
   Simulator::Sleep(costs_.fs_tx_begin_ns);
 
+  // Every sync is one attributed request flow: the id is allocated
+  // unconditionally (tracing must not change behavior) and follows the
+  // operation down to the SQE and back up through the CQE.
+  ScopedTraceContext trace_ctx({next_req_id_++, 0});
+  Tracer* tracer = sim_->tracer();
+  ScopedSpan total_span(tracer, TracePoint::kSyncTotal);
+
   SyncOp op;
   op.ino = ino;
-  op.trace = sync_trace_;
   std::set<BlockNo> seen;
-  const uint64_t t_start = sim_->now();
 
-  // S-iD: search dirty data blocks and route them.
-  if (!inode->dirty_data.empty()) {
-    Simulator::Sleep(costs_.fs_dirty_search_alloc_ns);
-    for (BlockNo lba : inode->dirty_data) {
-      CCNVME_ASSIGN_OR_RETURN(BlockBufPtr buf, cache_.GetBlock(lba));
-      if (options_.data_journaling || journal_->ForceJournalData(lba)) {
-        if (seen.insert(lba).second) {
-          op.metadata.push_back(buf);
+  {
+    // S-iD: search dirty data blocks and route them.
+    ScopedSpan phase(tracer, TracePoint::kSyncSubmitData);
+    if (!inode->dirty_data.empty()) {
+      Simulator::Sleep(costs_.fs_dirty_search_alloc_ns);
+      for (BlockNo lba : inode->dirty_data) {
+        CCNVME_ASSIGN_OR_RETURN(BlockBufPtr buf, cache_.GetBlock(lba));
+        if (options_.data_journaling || journal_->ForceJournalData(lba)) {
+          if (seen.insert(lba).second) {
+            op.metadata.push_back(buf);
+          }
+        } else {
+          op.data.push_back(buf);
         }
-      } else {
-        op.data.push_back(buf);
+      }
+      inode->dirty_data.clear();
+    }
+  }
+
+  {
+    // S-iM: the inode itself (skipped by fdataatomic when the size is
+    // unchanged, §5.1).
+    ScopedSpan phase(tracer, TracePoint::kSyncSubmitInode);
+    const bool skip_inode = mode == SyncMode::kFdataatomic &&
+                            inode->disk.size == inode->size_at_last_sync && !inode->dirty;
+    if (!skip_inode) {
+      Simulator::Sleep(costs_.fs_inode_update_ns);
+      CCNVME_ASSIGN_OR_RETURN(BlockBufPtr table, FlushInodeToTable(inode));
+      if (seen.insert(table->block_no).second) {
+        op.metadata.push_back(table);
       }
     }
-    inode->dirty_data.clear();
   }
-  const uint64_t t_data = sim_->now();
 
-  // S-iM: the inode itself (skipped by fdataatomic when the size is
-  // unchanged, §5.1).
-  const bool skip_inode = mode == SyncMode::kFdataatomic &&
-                          inode->disk.size == inode->size_at_last_sync && !inode->dirty;
-  if (!skip_inode) {
-    Simulator::Sleep(costs_.fs_inode_update_ns);
-    CCNVME_ASSIGN_OR_RETURN(BlockBufPtr table, FlushInodeToTable(inode));
-    if (seen.insert(table->block_no).second) {
-      op.metadata.push_back(table);
+  {
+    // S-pM and friends: metadata blocks touched by this inode's operations.
+    ScopedSpan phase(tracer, TracePoint::kSyncSubmitParent);
+    for (BlockNo lba : inode->dirty_metadata) {
+      if (!seen.insert(lba).second) {
+        continue;
+      }
+      CCNVME_ASSIGN_OR_RETURN(BlockBufPtr buf, cache_.GetBlock(lba));
+      op.metadata.push_back(buf);
     }
-  }
-
-  const uint64_t t_inode = sim_->now();
-
-  // S-pM and friends: metadata blocks touched by this inode's operations.
-  for (BlockNo lba : inode->dirty_metadata) {
-    if (!seen.insert(lba).second) {
-      continue;
-    }
-    CCNVME_ASSIGN_OR_RETURN(BlockBufPtr buf, cache_.GetBlock(lba));
-    op.metadata.push_back(buf);
-  }
-  inode->dirty_metadata.clear();
-  inode->size_at_last_sync = inode->disk.size;
-  inode->lock.Unlock();
-  if (sync_trace_ != nullptr) {
-    sync_trace_->s_data_ns = t_data - t_start;
-    sync_trace_->s_inode_ns = t_inode - t_data;
-    sync_trace_->s_parent_ns = sim_->now() - t_inode;
+    inode->dirty_metadata.clear();
+    inode->size_at_last_sync = inode->disk.size;
+    inode->lock.Unlock();
   }
 
   if (op.data.empty() && op.metadata.empty()) {
@@ -952,11 +959,7 @@ Status ExtFs::SyncInternal(InodeNum ino, SyncMode mode) {
   if (mode != SyncMode::kFsync && !journal_->SupportsAtomic()) {
     mode = SyncMode::kFsync;  // Ext4/HoraeFS: fatomic degenerates to fsync
   }
-  Status st = journal_->Sync(op, mode);
-  if (sync_trace_ != nullptr) {
-    sync_trace_->total_ns = sim_->now() - t_start;
-  }
-  return st;
+  return journal_->Sync(op, mode);
 }
 
 Status ExtFs::Fsync(InodeNum ino) { return SyncInternal(ino, SyncMode::kFsync); }

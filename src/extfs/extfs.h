@@ -119,9 +119,6 @@ class ExtFs {
   // verifies inodes, link counts and directory structure parse cleanly.
   Status CheckConsistency();
 
-  // Figure 14 instrumentation: when set, every sync call fills the trace.
-  void set_sync_trace(SyncPhaseTrace* trace) { sync_trace_ = trace; }
-
  private:
   Result<InodePtr> GetInode(InodeNum ino);
   // Serializes the in-memory inode into its inode-table block (page-locked)
@@ -161,12 +158,14 @@ class ExtFs {
   std::unique_ptr<Journal> journal_;
   bool mounted_ = false;
 
-  SyncPhaseTrace* sync_trace_ = nullptr;
   SimMutex inode_cache_mu_;
   std::unordered_map<InodeNum, InodePtr> inode_cache_;
   // Global transaction counter — MQFS's linearization point (§5.1). The
   // classic journal uses it for commit sequence numbers too.
   uint64_t next_tx_id_ = 1;
+  // Trace request-flow ids, one per sync call (allocated whether or not a
+  // tracer is attached so tracing never perturbs behavior).
+  uint64_t next_req_id_ = 1;
 
  public:
   uint64_t AllocTxId() { return next_tx_id_++; }

@@ -74,6 +74,14 @@ Status StorageStack::Unmount() {
   return result;
 }
 
+Tracer& StorageStack::EnableTracing(size_t ring_capacity) {
+  if (tracer_ == nullptr) {
+    tracer_ = std::make_unique<Tracer>(sim_.get(), ring_capacity);
+  }
+  sim_->set_tracer(tracer_.get());
+  return *tracer_;
+}
+
 void StorageStack::SetRecorder(BioRecorder recorder) {
   if (cc_ != nullptr) {
     cc_->set_recorder(recorder);

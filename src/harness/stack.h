@@ -12,6 +12,7 @@
 
 #include "src/block/block_layer.h"
 #include "src/extfs/extfs.h"
+#include "src/trace/tracer.h"
 
 namespace ccnvme {
 
@@ -65,6 +66,13 @@ class StorageStack {
   // one stream so a crash tester sees their true interleaving.
   void SetRecorder(BioRecorder recorder);
 
+  // Creates a Tracer and attaches it to the simulator so every layer's
+  // instrumentation points fire. Idempotent (the first call's capacity
+  // wins); the tracer lives as long as the stack.
+  Tracer& EnableTracing(size_t ring_capacity = Tracer::kDefaultRingCapacity);
+  // The attached tracer, or nullptr when tracing was never enabled.
+  Tracer* tracer() { return tracer_.get(); }
+
   Simulator& sim() { return *sim_; }
   PcieLink& link() { return *link_; }
   SsdModel& ssd() { return *ssd_; }
@@ -79,6 +87,10 @@ class StorageStack {
   void Build(const CrashImage* image);
 
   StackConfig config_;
+  // Declared before sim_ so it outlives the simulator during member
+  // destruction: Shutdown() (run in ~StorageStack's body) unwinds actors
+  // whose RAII spans still call into the tracer.
+  std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<Simulator> sim_;
   std::unique_ptr<PcieLink> link_;
   std::unique_ptr<SsdModel> ssd_;

@@ -2,6 +2,7 @@
 
 #include "src/common/logging.h"
 #include "src/extfs/extfs.h"
+#include "src/trace/tracer.h"
 
 namespace ccnvme {
 
@@ -28,29 +29,28 @@ Status NullJournal::Sync(const SyncOp& op, SyncMode mode) {
     return OkStatus();
   };
 
+  Tracer* tracer = sim_->tracer();
   std::vector<NvmeDriver::RequestHandle> handles;
-  const uint64_t t0 = sim_->now();
-  for (const BlockBufPtr& buf : op.data) {
-    handles.push_back(submit(buf));
+  {
+    ScopedSpan phase(tracer, TracePoint::kSyncWaitData);  // W-iD
+    for (const BlockBufPtr& buf : op.data) {
+      handles.push_back(submit(buf));
+    }
+    CCNVME_RETURN_IF_ERROR(wait_all(handles));
   }
-  CCNVME_RETURN_IF_ERROR(wait_all(handles));  // W-iD
-  const uint64_t t1 = sim_->now();
 
   // The inode-table block first (sync_inode_metadata), then the rest.
-  uint64_t t2 = t1;
   if (!op.metadata.empty()) {
-    handles.push_back(submit(op.metadata.front()));
-    CCNVME_RETURN_IF_ERROR(wait_all(handles));  // W-iM
-    t2 = sim_->now();
+    {
+      ScopedSpan phase(tracer, TracePoint::kSyncWaitInode);  // W-iM
+      handles.push_back(submit(op.metadata.front()));
+      CCNVME_RETURN_IF_ERROR(wait_all(handles));
+    }
+    ScopedSpan phase(tracer, TracePoint::kSyncWaitParent);  // W-pM
     for (size_t i = 1; i < op.metadata.size(); ++i) {
       handles.push_back(submit(op.metadata[i]));
     }
-    CCNVME_RETURN_IF_ERROR(wait_all(handles));  // W-pM
-  }
-  if (op.trace != nullptr) {
-    op.trace->w_data_ns = t1 - t0;
-    op.trace->w_inode_ns = t2 - t1;
-    op.trace->w_parent_ns = sim_->now() - t2;
+    CCNVME_RETURN_IF_ERROR(wait_all(handles));
   }
   for (const BlockBufPtr& buf : op.data) {
     buf->dirty = false;
@@ -124,14 +124,19 @@ Status Jbd2Journal::Sync(const SyncOp& op, SyncMode mode) {
     commit_requested_ = true;
     commit_cv_.NotifyOne();
   }
+  // The request flow now has a (compound) transaction id.
+  MutableTraceContext().tx_id = tx->tx_id;
   // Handoff to the dedicated journaling thread — the context-switch tax the
   // paper calls out for JBD2-style designs.
   Simulator::Sleep(costs_.journal_thread_switch_ns);
   for (auto& h : data_handles) {
     CCNVME_RETURN_IF_ERROR(blk_->Wait(h));
   }
-  tx->durable.Wait();
-  Simulator::Sleep(costs_.wakeup_ns);
+  {
+    ScopedSpan wait_span(sim_->tracer(), TracePoint::kSyncWaitDurable);
+    tx->durable.Wait();
+    Simulator::Sleep(costs_.wakeup_ns);
+  }
   return OkStatus();
 }
 
@@ -172,6 +177,8 @@ void Jbd2Journal::CommitLoop() {
 }
 
 Status Jbd2Journal::CommitOne(const std::shared_ptr<TxState>& tx) {
+  ScopedTraceContext trace_ctx({0, tx->tx_id});
+  ScopedSpan span(sim_->tracer(), TracePoint::kJournalCommit);
   Simulator::Sleep(costs_.journal_thread_switch_ns);  // wake kjournald
   Simulator::Sleep(costs_.fs_journal_desc_ns);
 
@@ -289,6 +296,7 @@ Status Jbd2Journal::CommitOne(const std::shared_ptr<TxState>& tx) {
 }
 
 Status Jbd2Journal::CheckpointUntilFree(uint64_t needed) {
+  ScopedSpan span(sim_->tracer(), TracePoint::kJournalCheckpoint);
   SimLockGuard guard(ckpt_mu_);
   if (free_blocks_ >= needed) {
     return OkStatus();
@@ -332,6 +340,7 @@ Status Jbd2Journal::WriteAreaSuper() {
 }
 
 Status Jbd2Journal::Recover() {
+  ScopedSpan span(sim_->tracer(), TracePoint::kJournalRecover);
   Buffer raw;
   CCNVME_RETURN_IF_ERROR(blk_->ReadSync(area_start_, 1, &raw));
   CCNVME_ASSIGN_OR_RETURN(AreaSuperblock sb, AreaSuperblock::Parse(raw));

@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/extfs/extfs.h"
+#include "src/trace/tracer.h"
 
 namespace ccnvme {
 
@@ -41,6 +42,10 @@ Status MqJournal::Sync(const SyncOp& op, SyncMode mode) {
   Area& area = *areas_[area_idx];
   SimLockGuard build_guard(area.build_mu);
   const uint64_t tx_id = fs_->AllocTxId();
+  // The journal is the layer that learns the transaction id; publish it so
+  // every downstream span of this request flow carries it.
+  MutableTraceContext().tx_id = tx_id;
+  Tracer* tracer = sim_->tracer();
 
   CCNVME_CHECK_LE(op.metadata.size(), DescriptorBlock::kMaxEntries)
       << "metadata set exceeds one descriptor (split the sync op)";
@@ -53,7 +58,11 @@ Status MqJournal::Sync(const SyncOp& op, SyncMode mode) {
   rec->tx_id = tx_id;
   rec->area = area_idx;
   area.inflight++;
-  const uint64_t t_enter = sim_->now();
+  // Atomicity window (Figure 14's "A"): journal entry to P-SQDB ring.
+  if (tracer != nullptr) {
+    tracer->BeginSpan(TracePoint::kSyncAtomic);
+    tracer->BeginSpan(TracePoint::kSyncSubmitData);
+  }
 
   // 1. In-place data blocks ride the same ccNVMe transaction (Figure 14's
   // iD). Pages stay frozen until their own CQE arrives. A transaction must
@@ -80,10 +89,7 @@ Status MqJournal::Sync(const SyncOp& op, SyncMode mode) {
     }
     buf->dirty = false;
   }
-  const uint64_t t_data = sim_->now();
-  if (op.trace != nullptr) {
-    op.trace->s_data_ns += t_data - t_enter;  // S-iD: data rides ccNVMe
-  }
+  if (tracer != nullptr) tracer->EndSpan(TracePoint::kSyncSubmitData);
 
   // 2. Metadata blocks: shadow-page a copy (§5.3) or freeze the page until
   // durability (the ablation showing why shadow paging matters).
@@ -120,9 +126,12 @@ Status MqJournal::Sync(const SyncOp& op, SyncMode mode) {
   }
 
   uint64_t off = NextOff(area, jd_off);
-  uint64_t t_meta_prev = sim_->now();
   bool first_meta = true;
   for (const BlockBufPtr& buf : metadata) {
+    // First metadata block is the inode-table block (S-iM), the rest are
+    // parent/bitmap metadata (S-pM).
+    ScopedSpan meta_span(tracer, first_meta ? TracePoint::kSyncSubmitInode
+                                            : TracePoint::kSyncSubmitParent);
     const BlockNo journal_lba = area.start + off;
     const Buffer* payload = nullptr;
     if (options_.shadow_paging) {
@@ -164,42 +173,32 @@ Status MqJournal::Sync(const SyncOp& op, SyncMode mode) {
       blk_->SubmitTxWrite(tx_id, journal_lba, payload, [keep] { keep->EndWriteback(); });
     }
     off = NextOff(area, off);
-    if (op.trace != nullptr) {
-      const uint64_t t_now = sim_->now();
-      // First metadata block is the inode-table block (S-iM), the rest are
-      // parent/bitmap metadata (S-pM).
-      (first_meta ? op.trace->s_inode_ns : op.trace->s_parent_ns) += t_now - t_meta_prev;
-      t_meta_prev = t_now;
-      first_meta = false;
-    }
+    first_meta = false;
   }
   rec->end_offset = area.head;
 
   // 3. The descriptor commits the transaction (REQ_TX_COMMIT); no separate
   // commit record is needed — the P-SQDB ring plays that role.
+  if (tracer != nullptr) tracer->BeginSpan(TracePoint::kSyncSubmitDesc);
   Simulator::Sleep(costs_.fs_journal_desc_ns);
   rec->jd = std::make_shared<Buffer>(kFsBlockSize, 0);
   desc.Serialize(*rec->jd);
   auto self = this;
-  const uint64_t t_desc0 = sim_->now();
   auto handle = blk_->CommitTx(tx_id, area.start + jd_off, rec->jd.get(),
                                [self, rec] { self->FinishTx(rec); });
   transactions_++;
-  if (op.trace != nullptr) {
-    op.trace->s_desc_ns += sim_->now() - t_desc0 + costs_.fs_journal_desc_ns;
-    op.trace->atomic_ns = sim_->now() - t_enter;
+  if (tracer != nullptr) {
+    tracer->EndSpan(TracePoint::kSyncSubmitDesc);
+    tracer->EndSpan(TracePoint::kSyncAtomic);
   }
 
   for (auto& h : overflow) {
     CCNVME_RETURN_IF_ERROR(blk_->Wait(h));
   }
   if (mode == SyncMode::kFsync) {
-    const uint64_t t_wait0 = sim_->now();
+    ScopedSpan wait_span(tracer, TracePoint::kSyncWaitDurable);
     blk_->ccnvme()->WaitDurable(handle);
     Simulator::Sleep(costs_.wakeup_ns);
-    if (op.trace != nullptr) {
-      op.trace->wait_ns = sim_->now() - t_wait0;
-    }
   }
   // kFatomic / kFdataatomic: the atomicity point has passed (the doorbell
   // was rung inside CommitTx); return immediately.
@@ -268,6 +267,7 @@ bool MqJournal::ForceJournalData(BlockNo block) {
 }
 
 Status MqJournal::Checkpoint(uint32_t needy, uint64_t needed) {
+  ScopedSpan span(sim_->tracer(), TracePoint::kJournalCheckpoint);
   SimLockGuard guard(ckpt_mu_);
   Area& target = *areas_[needy];
   if (target.free >= needed + target.blocks / 8) {
@@ -408,6 +408,7 @@ Status MqJournal::WriteAreaSuper(Area& area) {
 }
 
 Status MqJournal::Recover() {
+  ScopedSpan span(sim_->tracer(), TracePoint::kJournalRecover);
   struct ReplayTx {
     DescriptorBlock desc;
     std::vector<BlockNo> journal_lbas;  // parallel to desc.entries

@@ -11,6 +11,7 @@ void NvmeCommand::Serialize(std::span<uint8_t> out) const {
   PutU16(out, 2, cid);             // CDW0 bytes 2-3: command identifier
   PutU32(out, 4, nsid);            // CDW1: namespace
   PutU64(out, 8, tx_id);           // CDW2-3: ccNVMe transaction ID
+  PutU64(out, 16, trace_req);      // CDW4-5: trace request id (reserved)
   PutU64(out, 24, prp1);           // CDW6-7: PRP entry 1
   PutU64(out, 40, slba);           // CDW10-11: starting LBA
   PutU32(out, 48, cdw12);          // CDW12: NLB | attrs | FUA
@@ -23,6 +24,7 @@ NvmeCommand NvmeCommand::Parse(std::span<const uint8_t> in) {
   cmd.cid = GetU16(in, 2);
   cmd.nsid = GetU32(in, 4);
   cmd.tx_id = GetU64(in, 8);
+  cmd.trace_req = GetU64(in, 16);
   cmd.prp1 = GetU64(in, 24);
   cmd.slba = GetU64(in, 40);
   cmd.cdw12 = GetU32(in, 48);

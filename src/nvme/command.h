@@ -40,6 +40,10 @@ struct NvmeCommand {
   uint16_t cid = 0;
   uint32_t nsid = 1;
   uint64_t tx_id = 0;  // ccNVMe transaction ID (reserved dwords 2-3)
+  // Request-flow attribution id (src/trace). Rides in CDW4-5, which the
+  // 1.2-1.4 specs also reserve; always serialized (even with tracing off)
+  // so enabling a tracer never changes the bytes on the wire.
+  uint64_t trace_req = 0;
   uint64_t prp1 = 0;   // host data handle (models the PRP list)
   uint64_t slba = 0;
   uint32_t cdw12 = 0;

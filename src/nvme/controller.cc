@@ -1,8 +1,8 @@
 #include "src/nvme/controller.h"
 
-#include "src/nvme/admin.h"
-
 #include "src/common/logging.h"
+#include "src/nvme/admin.h"
+#include "src/trace/tracer.h"
 
 namespace ccnvme {
 
@@ -107,6 +107,8 @@ void NvmeController::WorkerLoop(IoQueuePair* qp) {
     }
 
     // Fetch the SQE: device-internal for P-SQ, a PCIe queue DMA otherwise.
+    Tracer* tracer = sim_->tracer();
+    if (tracer != nullptr) tracer->BeginSpan(TracePoint::kSqeFetch);
     if (qp->sq_in_pmr) {
       Simulator::Sleep(config_.pmr_fetch_ns);
     } else {
@@ -115,6 +117,10 @@ void NvmeController::WorkerLoop(IoQueuePair* qp) {
     uint8_t raw[kSqeSize];
     ReadSqe(qp, slot, raw);
     const NvmeCommand cmd = NvmeCommand::Parse(raw);
+    if (tracer != nullptr) tracer->EndSpan(TracePoint::kSqeFetch);
+    // The SQE carries the request/transaction ids across the PCIe boundary;
+    // restore them so the device-side spans join the host-side flow.
+    ScopedTraceContext trace_ctx({cmd.trace_req, cmd.tx_id});
 
     if (qp->is_admin) {
       ExecuteAdmin(qp, cmd);
@@ -143,7 +149,10 @@ void NvmeController::WorkerLoop(IoQueuePair* qp) {
       }
     }
 
-    Execute(qp, cmd);
+    {
+      ScopedSpan span(tracer, TracePoint::kNvmeExecute, cmd.opcode);
+      Execute(qp, cmd);
+    }
 
     {
       SimLockGuard guard(*qp->mu);
@@ -206,6 +215,7 @@ void NvmeController::PostCompletion(IoQueuePair* qp, const NvmeCommand& cmd, uin
   }
   cqe.Serialize(std::span<uint8_t>(qp->host_cq).subspan(
       static_cast<size_t>(cq_slot) * kCqeSize, kCqeSize));
+  if (Tracer* t = sim_->tracer()) t->Instant(TracePoint::kCqePost, cmd.cid);
   link_->DmaQueuePost(kCqeSize);
 
   bool raise = true;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/trace/tracer.h"
+
 namespace ccnvme {
 
 std::string TrafficStats::ToString() const {
@@ -34,6 +36,11 @@ void PcieLink::CpuFlushLines(uint64_t bytes) {
 void PcieLink::MmioWrite(uint64_t bytes) {
   traffic_.mmio_writes++;
   traffic_.mmio_write_bytes += bytes;
+  if (Tracer* t = sim_->tracer()) {
+    t->Instant(TracePoint::kMmioWrite, bytes);
+    t->AddCounter(TraceCounter::kMmioWrites);
+    t->AddCounter(TraceCounter::kMmioWriteBytes, bytes);
+  }
   // CPU-side: fixed TLP issue cost. The burst then drains through the WC
   // engine at mmio_write_bytes_per_sec without stalling the CPU (posted).
   const uint64_t drain_ns = config_.mmio_write_bytes_per_sec == 0
@@ -54,6 +61,9 @@ void PcieLink::MmioWrite(uint64_t bytes) {
 
 void PcieLink::MmioReadFence(uint64_t bytes) {
   traffic_.mmio_reads++;
+  Tracer* tracer = sim_->tracer();
+  if (tracer != nullptr) tracer->AddCounter(TraceCounter::kMmioReads);
+  ScopedSpan span(tracer, TracePoint::kWcFlush, bytes);
   const uint64_t now = sim_->now();
   // The read must not pass posted writes: wait for the drain horizon, then
   // pay a round trip plus payload return time.
@@ -69,6 +79,12 @@ void PcieLink::MmioReadFence(uint64_t bytes) {
 void PcieLink::DmaQueueFetch(uint64_t bytes) {
   traffic_.dma_queue_ops++;
   traffic_.dma_queue_bytes += bytes;
+  Tracer* tracer = sim_->tracer();
+  if (tracer != nullptr) {
+    tracer->AddCounter(TraceCounter::kDmaQueueOps);
+    tracer->AddCounter(TraceCounter::kDmaQueueBytes, bytes);
+  }
+  ScopedSpan span(tracer, TracePoint::kDmaQueue, bytes);
   Simulator::Sleep(config_.dma_setup_ns);
   up_.Transfer(bytes);
 }
@@ -76,6 +92,12 @@ void PcieLink::DmaQueueFetch(uint64_t bytes) {
 void PcieLink::DmaQueuePost(uint64_t bytes) {
   traffic_.dma_queue_ops++;
   traffic_.dma_queue_bytes += bytes;
+  Tracer* tracer = sim_->tracer();
+  if (tracer != nullptr) {
+    tracer->AddCounter(TraceCounter::kDmaQueueOps);
+    tracer->AddCounter(TraceCounter::kDmaQueueBytes, bytes);
+  }
+  ScopedSpan span(tracer, TracePoint::kDmaQueue, bytes);
   Simulator::Sleep(config_.dma_setup_ns);
   up_.Transfer(bytes);
 }
@@ -83,6 +105,12 @@ void PcieLink::DmaQueuePost(uint64_t bytes) {
 void PcieLink::DmaData(uint64_t bytes, bool to_device) {
   traffic_.block_ios++;
   traffic_.block_io_bytes += bytes;
+  Tracer* tracer = sim_->tracer();
+  if (tracer != nullptr) {
+    tracer->AddCounter(TraceCounter::kBlockIos);
+    tracer->AddCounter(TraceCounter::kBlockIoBytes, bytes);
+  }
+  ScopedSpan span(tracer, TracePoint::kDmaData, bytes);
   Simulator::Sleep(config_.dma_setup_ns);
   if (to_device) {
     down_.Transfer(bytes);
@@ -93,6 +121,10 @@ void PcieLink::DmaData(uint64_t bytes, bool to_device) {
 
 void PcieLink::RaiseIrq(std::function<void()> handler) {
   traffic_.irqs++;
+  if (Tracer* t = sim_->tracer()) {
+    t->Instant(TracePoint::kMsix);
+    t->AddCounter(TraceCounter::kIrqs);
+  }
   sim_->Schedule(config_.irq_delivery_ns, std::move(handler));
 }
 

@@ -32,6 +32,7 @@
 namespace ccnvme {
 
 class Simulator;
+class Tracer;  // src/trace — the sim only carries the pointer
 
 // Thrown inside actor bodies when the simulation shuts down; the actor
 // trampoline catches it. User code should not catch it (catch(...) handlers
@@ -115,6 +116,12 @@ class Simulator {
   // Number of events processed so far (for tests and debugging).
   uint64_t events_processed() const { return events_processed_; }
 
+  // Optional cross-layer tracer (src/trace). The simulator never
+  // dereferences it — this is only the attachment point components query,
+  // so enabling tracing cannot change event processing. Not owned.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
   // True once Shutdown has begun. Synchronization primitives consult this
   // to tolerate RAII unwinding (e.g. a lock guard releasing a mutex the
   // unwinding actor no longer owns because it was parked in a CondVar).
@@ -146,6 +153,7 @@ class Simulator {
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
   std::vector<std::unique_ptr<Actor>> actors_;
   bool shutdown_ = false;
+  Tracer* tracer_ = nullptr;
 
   // Event-loop side of the handshake.
   std::mutex loop_mu_;

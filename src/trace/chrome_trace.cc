@@ -1,0 +1,115 @@
+#include "src/trace/chrome_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace ccnvme {
+namespace {
+
+// Virtual-time ns -> trace-event microseconds, keeping ns resolution.
+void AppendTimestamp(std::string& out, uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64, ns / 1000, ns % 1000);
+  out += buf;
+}
+
+void AppendCommonFields(std::string& out, const TraceEvent& ev) {
+  out += "\"name\":\"";
+  out += TracePointName(ev.point);
+  out += "\",\"cat\":\"";
+  out += TraceLayerName(TracePointLayer(ev.point));
+  out += "\",\"pid\":1,\"tid\":";
+  out += std::to_string(ev.track);
+  out += ",\"ts\":";
+  AppendTimestamp(out, ev.ts_ns);
+}
+
+void AppendArgs(std::string& out, uint64_t req_id, uint64_t tx_id, uint64_t arg0) {
+  if (req_id == 0 && tx_id == 0 && arg0 == 0) return;
+  out += ",\"args\":{";
+  bool first = true;
+  auto field = [&](const char* key, uint64_t value) {
+    if (value == 0) return;
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += key;
+    out += "\":";
+    out += std::to_string(value);
+  };
+  field("req", req_id);
+  field("tx", tx_id);
+  field("arg0", arg0);
+  out += '}';
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const Tracer& tracer) {
+  std::string out;
+  out.reserve(256 + tracer.size() * 128);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  for (uint32_t id = 0; id < tracer.num_tracks(); ++id) {
+    sep();
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":";
+    out += std::to_string(id);
+    out += ",\"args\":{\"name\":\"";
+    out += tracer.track_name(id);
+    out += "\"}}";
+  }
+
+  for (size_t i = 0; i < tracer.size(); ++i) {
+    const TraceEvent& ev = tracer.event(i);
+    sep();
+    if (ev.is_span) {
+      out += "{\"ph\":\"X\",";
+      AppendCommonFields(out, ev);
+      out += ",\"dur\":";
+      AppendTimestamp(out, ev.dur_ns);
+    } else {
+      out += "{\"ph\":\"i\",";
+      AppendCommonFields(out, ev);
+      out += ",\"s\":\"t\"";
+    }
+    AppendArgs(out, ev.req_id, ev.tx_id, ev.arg0);
+    out += '}';
+  }
+
+  // Spans still open when the trace was captured.
+  for (const auto& [track, span] : tracer.OpenSpans()) {
+    sep();
+    TraceEvent ev;
+    ev.ts_ns = span.begin_ns;
+    ev.req_id = span.req_id;
+    ev.tx_id = span.tx_id;
+    ev.arg0 = span.arg0;
+    ev.point = span.point;
+    ev.track = track;
+    out += "{\"ph\":\"B\",";
+    AppendCommonFields(out, ev);
+    AppendArgs(out, ev.req_id, ev.tx_id, ev.arg0);
+    out += '}';
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return IoError("cannot open " + path);
+  const std::string json = ChromeTraceJson(tracer);
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  f.close();
+  if (!f) return IoError("short write to " + path);
+  return OkStatus();
+}
+
+}  // namespace ccnvme

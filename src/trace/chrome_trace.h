@@ -1,0 +1,24 @@
+// Chrome trace-event JSON exporter (loadable in Perfetto / chrome://tracing).
+#ifndef SRC_TRACE_CHROME_TRACE_H_
+#define SRC_TRACE_CHROME_TRACE_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/trace/tracer.h"
+
+namespace ccnvme {
+
+// Serializes the tracer's retained events as Chrome trace-event JSON
+// ({"traceEvents": [...]} object form). Timestamps are microseconds with
+// nanosecond resolution (the simulator's virtual clock); completed spans
+// become "X" events, still-open spans "B", instants "i", and each actor
+// track gets a thread_name metadata record.
+std::string ChromeTraceJson(const Tracer& tracer);
+
+// ChromeTraceJson + write to |path|.
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path);
+
+}  // namespace ccnvme
+
+#endif  // SRC_TRACE_CHROME_TRACE_H_

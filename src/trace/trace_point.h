@@ -1,0 +1,222 @@
+// Typed instrumentation points for the cross-layer tracer.
+//
+// Every span/instant recorded by the Tracer names one of these points, so
+// aggregation (bench/fig14), export (Chrome trace JSON) and the flight
+// recorder all share one vocabulary. Points are grouped into layers matching
+// the source tree: one end-to-end fsync/fatomic decomposes into vfs →
+// journal → block → driver/ccnvme → nvme → pcie spans.
+#ifndef SRC_TRACE_TRACE_POINT_H_
+#define SRC_TRACE_TRACE_POINT_H_
+
+#include <cstdint>
+
+namespace ccnvme {
+
+// Layer a point belongs to; used as the Chrome trace "cat" field and for
+// per-layer report grouping.
+enum class TraceLayer : uint8_t {
+  kVfs = 0,
+  kJournal,
+  kBlock,
+  kDriver,
+  kCcNvme,
+  kNvme,
+  kPcie,
+  kNumLayers,
+};
+
+enum class TracePoint : uint16_t {
+  // --- vfs/extfs: sync phases (Figure 14 attribution) ---------------------
+  kSyncTotal = 0,      // whole fsync/fatomic, lock→return
+  kSyncSubmitData,     // submit dirty data (S-iD)
+  kSyncSubmitInode,    // submit/journal the inode block (S-iM)
+  kSyncSubmitParent,   // submit/journal remaining metadata (S-pM)
+  kSyncWaitData,       // no-journal mode: wait for data writes (W)
+  kSyncWaitInode,      // no-journal mode: wait for inode write
+  kSyncWaitParent,     // no-journal mode: wait for remaining metadata
+
+  // --- jbd2/mqfs: journal phases ------------------------------------------
+  kSyncSubmitDesc,     // build+commit the journal header/descriptor (S-JH)
+  kSyncAtomic,         // MQFS atomicity window: journal entry → P-SQDB rung
+  kSyncWaitDurable,    // wait for transaction durability (W)
+  kJournalCommit,      // jbd2 kjournald commit of one compound transaction
+  kJournalCheckpoint,  // checkpoint writeback to home locations
+  kJournalRecover,     // mount-time journal scan/replay
+
+  // --- block layer --------------------------------------------------------
+  kBioSubmit,          // instant: one bio entered the block layer (arg0=lba)
+  kBioFlush,           // instant: flush/fua barrier submitted
+
+  // --- classic NVMe driver ------------------------------------------------
+  kDriverSubmit,       // SQE build + ring into the host SQ
+  kSqDoorbell,         // instant: SQ tail doorbell MMIO (arg0=tail)
+  kCqDoorbell,         // instant: CQ head doorbell MMIO (arg0=head)
+  kCqeHandled,         // instant: bottom half consumed one CQE (arg0=cid)
+
+  // --- ccNVMe driver ------------------------------------------------------
+  kTxStage,            // stage one REQ_TX SQE into the P-SQ via WC stores
+  kTxCommit,           // commit path: flush + commit SQE + P-SQDB
+  kTxAtomic,           // instant: MQFS-A point — transaction is atomic
+  kTxDurable,          // instant: MQFS point — transaction is durable
+  kPsqStore,           // instant: SQE bytes stored to PMR (arg0=offset)
+  kPsqFence,           // instant: clflush+mfence+read fence persisted the WC
+  kPsqDoorbell,        // instant: persistent doorbell rung (arg0=tail)
+  kPsqHead,            // instant: P-SQ-head advanced (arg0=head)
+
+  // --- NVMe controller (device side) --------------------------------------
+  kSqeFetch,           // SQE fetch: PMR read or DMA from host memory
+  kNvmeExecute,        // command execution incl. data DMA + media access
+  kCqePost,            // instant: CQE written back to the host CQ
+
+  // --- PCIe link ----------------------------------------------------------
+  kMmioWrite,          // instant: posted MMIO write (arg0=bytes)
+  kWcFlush,            // durable MMIO flush: drain + zero-length read RTT
+  kDmaQueue,           // queue-entry DMA (SQE fetch / CQE post, arg0=bytes)
+  kDmaData,            // data DMA (arg0=bytes)
+  kMsix,               // instant: MSI-X interrupt raised
+
+  kNumPoints,
+};
+
+inline constexpr size_t kNumTracePoints = static_cast<size_t>(TracePoint::kNumPoints);
+inline constexpr size_t kNumTraceLayers = static_cast<size_t>(TraceLayer::kNumLayers);
+
+constexpr const char* TracePointName(TracePoint p) {
+  switch (p) {
+    case TracePoint::kSyncTotal: return "fs.sync";
+    case TracePoint::kSyncSubmitData: return "fs.submit_data";
+    case TracePoint::kSyncSubmitInode: return "fs.submit_inode";
+    case TracePoint::kSyncSubmitParent: return "fs.submit_parent";
+    case TracePoint::kSyncWaitData: return "fs.wait_data";
+    case TracePoint::kSyncWaitInode: return "fs.wait_inode";
+    case TracePoint::kSyncWaitParent: return "fs.wait_parent";
+    case TracePoint::kSyncSubmitDesc: return "journal.submit_desc";
+    case TracePoint::kSyncAtomic: return "journal.atomic_window";
+    case TracePoint::kSyncWaitDurable: return "journal.wait_durable";
+    case TracePoint::kJournalCommit: return "journal.commit";
+    case TracePoint::kJournalCheckpoint: return "journal.checkpoint";
+    case TracePoint::kJournalRecover: return "journal.recover";
+    case TracePoint::kBioSubmit: return "block.bio_submit";
+    case TracePoint::kBioFlush: return "block.bio_flush";
+    case TracePoint::kDriverSubmit: return "driver.submit";
+    case TracePoint::kSqDoorbell: return "driver.sq_doorbell";
+    case TracePoint::kCqDoorbell: return "driver.cq_doorbell";
+    case TracePoint::kCqeHandled: return "driver.cqe_handled";
+    case TracePoint::kTxStage: return "ccnvme.tx_stage";
+    case TracePoint::kTxCommit: return "ccnvme.tx_commit";
+    case TracePoint::kTxAtomic: return "ccnvme.tx_atomic";
+    case TracePoint::kTxDurable: return "ccnvme.tx_durable";
+    case TracePoint::kPsqStore: return "ccnvme.psq_store";
+    case TracePoint::kPsqFence: return "ccnvme.psq_fence";
+    case TracePoint::kPsqDoorbell: return "ccnvme.psq_doorbell";
+    case TracePoint::kPsqHead: return "ccnvme.psq_head";
+    case TracePoint::kSqeFetch: return "nvme.sqe_fetch";
+    case TracePoint::kNvmeExecute: return "nvme.execute";
+    case TracePoint::kCqePost: return "nvme.cqe_post";
+    case TracePoint::kMmioWrite: return "pcie.mmio_write";
+    case TracePoint::kWcFlush: return "pcie.wc_flush";
+    case TracePoint::kDmaQueue: return "pcie.dma_queue";
+    case TracePoint::kDmaData: return "pcie.dma_data";
+    case TracePoint::kMsix: return "pcie.msix";
+    case TracePoint::kNumPoints: break;
+  }
+  return "?";
+}
+
+constexpr TraceLayer TracePointLayer(TracePoint p) {
+  switch (p) {
+    case TracePoint::kSyncTotal:
+    case TracePoint::kSyncSubmitData:
+    case TracePoint::kSyncSubmitInode:
+    case TracePoint::kSyncSubmitParent:
+    case TracePoint::kSyncWaitData:
+    case TracePoint::kSyncWaitInode:
+    case TracePoint::kSyncWaitParent:
+      return TraceLayer::kVfs;
+    case TracePoint::kSyncSubmitDesc:
+    case TracePoint::kSyncAtomic:
+    case TracePoint::kSyncWaitDurable:
+    case TracePoint::kJournalCommit:
+    case TracePoint::kJournalCheckpoint:
+    case TracePoint::kJournalRecover:
+      return TraceLayer::kJournal;
+    case TracePoint::kBioSubmit:
+    case TracePoint::kBioFlush:
+      return TraceLayer::kBlock;
+    case TracePoint::kDriverSubmit:
+    case TracePoint::kSqDoorbell:
+    case TracePoint::kCqDoorbell:
+    case TracePoint::kCqeHandled:
+      return TraceLayer::kDriver;
+    case TracePoint::kTxStage:
+    case TracePoint::kTxCommit:
+    case TracePoint::kTxAtomic:
+    case TracePoint::kTxDurable:
+    case TracePoint::kPsqStore:
+    case TracePoint::kPsqFence:
+    case TracePoint::kPsqDoorbell:
+    case TracePoint::kPsqHead:
+      return TraceLayer::kCcNvme;
+    case TracePoint::kSqeFetch:
+    case TracePoint::kNvmeExecute:
+    case TracePoint::kCqePost:
+      return TraceLayer::kNvme;
+    case TracePoint::kMmioWrite:
+    case TracePoint::kWcFlush:
+    case TracePoint::kDmaQueue:
+    case TracePoint::kDmaData:
+    case TracePoint::kMsix:
+    case TracePoint::kNumPoints:
+      break;
+  }
+  return TraceLayer::kPcie;
+}
+
+constexpr const char* TraceLayerName(TraceLayer l) {
+  switch (l) {
+    case TraceLayer::kVfs: return "vfs";
+    case TraceLayer::kJournal: return "journal";
+    case TraceLayer::kBlock: return "block";
+    case TraceLayer::kDriver: return "driver";
+    case TraceLayer::kCcNvme: return "ccnvme";
+    case TraceLayer::kNvme: return "nvme";
+    case TraceLayer::kPcie: return "pcie";
+    case TraceLayer::kNumLayers: break;
+  }
+  return "?";
+}
+
+// Hot-path traffic counters with compile-time handles. These mirror (and
+// supersede for reporting) the per-field members of pcie::TrafficStats.
+enum class TraceCounter : uint16_t {
+  kMmioWrites = 0,
+  kMmioWriteBytes,
+  kMmioReads,
+  kDmaQueueOps,
+  kDmaQueueBytes,
+  kBlockIos,
+  kBlockIoBytes,
+  kIrqs,
+  kNumCounters,
+};
+
+inline constexpr size_t kNumTraceCounters = static_cast<size_t>(TraceCounter::kNumCounters);
+
+constexpr const char* TraceCounterName(TraceCounter c) {
+  switch (c) {
+    case TraceCounter::kMmioWrites: return "pcie.mmio_writes";
+    case TraceCounter::kMmioWriteBytes: return "pcie.mmio_write_bytes";
+    case TraceCounter::kMmioReads: return "pcie.mmio_reads";
+    case TraceCounter::kDmaQueueOps: return "pcie.dma_queue_ops";
+    case TraceCounter::kDmaQueueBytes: return "pcie.dma_queue_bytes";
+    case TraceCounter::kBlockIos: return "pcie.block_ios";
+    case TraceCounter::kBlockIoBytes: return "pcie.block_io_bytes";
+    case TraceCounter::kIrqs: return "pcie.irqs";
+    case TraceCounter::kNumCounters: break;
+  }
+  return "?";
+}
+
+}  // namespace ccnvme
+
+#endif  // SRC_TRACE_TRACE_POINT_H_

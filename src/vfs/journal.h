@@ -21,22 +21,9 @@
 
 namespace ccnvme {
 
-// Optional per-phase latency instrumentation for a sync call (Figure 14).
-// S-* phases are submissions, W-* phases are waits; names follow the paper:
-// iD = this file's data, iM = its inode metadata, pM = the parent directory
-// metadata, JH = the journal description block.
-struct SyncPhaseTrace {
-  uint64_t s_data_ns = 0;
-  uint64_t s_inode_ns = 0;
-  uint64_t s_parent_ns = 0;
-  uint64_t s_desc_ns = 0;
-  uint64_t atomic_ns = 0;  // time from journal entry to the atomicity point
-  uint64_t wait_ns = 0;    // durability wait
-  uint64_t w_data_ns = 0;  // NullJournal's serialized wait phases
-  uint64_t w_inode_ns = 0;
-  uint64_t w_parent_ns = 0;
-  uint64_t total_ns = 0;
-};
+// Per-phase latency attribution for sync calls (Figure 14) comes from the
+// cross-layer tracer: the FS and journal implementations emit kSync* spans
+// (src/trace/trace_point.h) instead of filling an out-parameter struct.
 
 struct SyncOp {
   InodeNum ino = kInvalidInode;
@@ -46,8 +33,6 @@ struct SyncOp {
   // Data blocks written in place (ordered mode). In data-journaling mode
   // the FS puts data blocks into |metadata| instead.
   std::vector<BlockBufPtr> data;
-  // Filled by the FS and journal when tracing is enabled.
-  SyncPhaseTrace* trace = nullptr;
 };
 
 class Journal {

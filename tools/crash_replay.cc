@@ -26,6 +26,13 @@ int main(int argc, char** argv) {
   std::printf("crash index:      %zu\n", art->plan.crash_index);
   std::printf("choices:          %zu uncertain item(s)\n", art->plan.choices.size());
   std::printf("recorded failure: %s\n", art->failure.c_str());
+  if (!art->flight_recorder.empty()) {
+    std::printf("flight recorder (last %zu trace events before the crash):\n",
+                art->flight_recorder.size());
+    for (const std::string& line : art->flight_recorder) {
+      std::printf("  %s\n", line.c_str());
+    }
+  }
 
   ccnvme::Result<std::string> replayed = ccnvme::ReplayArtifactCheck(*art);
   if (!replayed.ok()) {
