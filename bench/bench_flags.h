@@ -1,0 +1,29 @@
+// Tiny shared flag parsing for the benchmark binaries: every bench that
+// draws pseudo-random numbers accepts --seed=<n> (or --seed <n>) so a run
+// is reproducible from its command line. See EXPERIMENTS.md.
+#ifndef BENCH_BENCH_FLAGS_H_
+#define BENCH_BENCH_FLAGS_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+namespace ccnvme {
+
+// Returns the value of --seed from argv, or |default_seed| when absent.
+inline uint64_t SeedFromArgs(int argc, char** argv, uint64_t default_seed) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+    if (arg.rfind("--seed=", 0) == 0) {
+      return std::strtoull(arg.data() + 7, nullptr, 10);
+    }
+  }
+  return default_seed;
+}
+
+}  // namespace ccnvme
+
+#endif  // BENCH_BENCH_FLAGS_H_

@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "bench/bench_flags.h"
 #include "src/common/logging.h"
 #include "src/crashtest/crash_explorer.h"
 #include "src/crashtest/crash_workloads.h"
@@ -38,8 +39,9 @@ double ExploreMs(const CrashRecording& rec, const ExplorerOptions& opt, Explorer
 int main(int argc, char** argv) {
   using namespace ccnvme;
 
+  const uint64_t seed = SeedFromArgs(argc, argv, 42);
   size_t threads = std::thread::hardware_concurrency();
-  if (argc > 1) {
+  if (argc > 1 && argv[1][0] != '-') {
     threads = std::strtoul(argv[1], nullptr, 10);
   }
   if (threads == 0) {
@@ -62,7 +64,7 @@ int main(int argc, char** argv) {
     const CrashRecording rec = RecordWorkload(MqfsConfig(), *workload);
 
     ExplorerOptions opt;
-    opt.seed = 42;
+    opt.seed = seed;
     opt.workload_name = name;
 
     ExplorerReport serial_report;

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_flags.h"
 #include "bench/tx_engines.h"
 #include "src/common/rng.h"
 
@@ -27,7 +28,7 @@ struct BenchResult {
 };
 
 BenchResult RunEngine(TxEngine engine, int num_threads, uint32_t write_size_kb,
-                      uint64_t duration_ns) {
+                      uint64_t duration_ns, uint64_t seed) {
   StackConfig cfg;
   cfg.ssd = SsdConfig::OptaneP5800X();
   cfg.num_queues = static_cast<uint16_t>(num_threads);
@@ -42,7 +43,7 @@ BenchResult RunEngine(TxEngine engine, int num_threads, uint32_t write_size_kb,
   for (int t = 0; t < num_threads; ++t) {
     const uint16_t qid = static_cast<uint16_t>(t);
     stack.Spawn("tx" + std::to_string(t), [&, qid, t] {
-      Rng rng(42 + static_cast<uint64_t>(t));
+      Rng rng(seed + static_cast<uint64_t>(t));
       std::vector<Buffer> payloads(blocks_per_tx, Buffer(kLbaSize, 1));
       Buffer jd(kLbaSize, 0x3D);
       uint64_t tx_id = static_cast<uint64_t>(t) * 1'000'000 + 1;
@@ -75,8 +76,9 @@ BenchResult RunEngine(TxEngine engine, int num_threads, uint32_t write_size_kb,
 }  // namespace
 }  // namespace ccnvme
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ccnvme;
+  const uint64_t seed = SeedFromArgs(argc, argv, 42);
   const TxEngine engines[] = {TxEngine::kClassic, TxEngine::kHorae, TxEngine::kCcNvme,
                               TxEngine::kCcNvmeAtomic};
   const uint64_t kDuration = 8'000'000;  // 8 ms simulated per point
@@ -91,7 +93,7 @@ int main() {
   for (uint32_t size_kb : {4, 8, 16, 32, 64}) {
     std::printf("%-8u", size_kb);
     for (TxEngine e : engines) {
-      const BenchResult r = RunEngine(e, 1, size_kb, kDuration);
+      const BenchResult r = RunEngine(e, 1, size_kb, kDuration, seed);
       std::printf(" | %13.0f      %4.0f", r.mbps, r.io_util * 100);
     }
     std::printf("\n");
@@ -106,7 +108,7 @@ int main() {
   for (int threads : {1, 2, 4, 8, 12}) {
     std::printf("%-8d", threads);
     for (TxEngine e : engines) {
-      const BenchResult r = RunEngine(e, threads, 4, kDuration);
+      const BenchResult r = RunEngine(e, threads, 4, kDuration, seed);
       std::printf(" | %13.0f      %4.0f", r.tps / 1e3, r.io_util * 100);
     }
     std::printf("\n");

@@ -10,6 +10,7 @@
 // I/O intensive and MQFS overlaps them.
 #include <cstdio>
 
+#include "bench/bench_flags.h"
 #include "src/workload/minikv.h"
 #include "src/workload/varmail.h"
 
@@ -39,7 +40,7 @@ StorageStack MakeStack(const SsdConfig& ssd, JournalKind kind, uint16_t queues) 
   return StorageStack(cfg);
 }
 
-double VarmailKops(const SsdConfig& ssd, JournalKind kind) {
+double VarmailKops(const SsdConfig& ssd, JournalKind kind, uint64_t seed) {
   const uint16_t queues = 8;
   StorageStack stack = MakeStack(ssd, kind, queues);
   Status st = stack.MkfsAndMount();
@@ -48,10 +49,11 @@ double VarmailKops(const SsdConfig& ssd, JournalKind kind) {
   opts.num_threads = 16;
   opts.num_files = 160;
   opts.duration_ns = 8'000'000;
+  opts.seed = seed;
   return RunVarmail(stack, opts).KopsPerSec();
 }
 
-double FillsyncKiops(const SsdConfig& ssd, JournalKind kind) {
+double FillsyncKiops(const SsdConfig& ssd, JournalKind kind, uint64_t seed) {
   const uint16_t queues = 12;
   StorageStack stack = MakeStack(ssd, kind, queues);
   Status st = stack.MkfsAndMount();
@@ -59,6 +61,7 @@ double FillsyncKiops(const SsdConfig& ssd, JournalKind kind) {
   FillsyncOptions opts;
   opts.num_threads = 24;
   opts.duration_ns = 8'000'000;
+  opts.seed = seed;
   if (kind == JournalKind::kMultiQueue) {
     opts.kv.wal_sync = SyncMode::kFsync;  // fillsync semantics: durable
   }
@@ -68,8 +71,11 @@ double FillsyncKiops(const SsdConfig& ssd, JournalKind kind) {
 }  // namespace
 }  // namespace ccnvme
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ccnvme;
+  // Workload defaults: varmail seeds from 99, fillsync from 7; --seed shifts
+  // both streams together.
+  const uint64_t seed_base = SeedFromArgs(argc, argv, 0);
   struct Drive {
     SsdConfig cfg;
     const char* tag;
@@ -88,7 +94,7 @@ int main() {
   for (const auto& d : drives) {
     std::printf("%-12s", d.tag);
     for (const auto& sys : kSystems) {
-      std::printf(" %10.1f", VarmailKops(d.cfg, sys.journal));
+      std::printf(" %10.1f", VarmailKops(d.cfg, sys.journal, seed_base + 99));
     }
     std::printf("\n");
   }
@@ -102,7 +108,7 @@ int main() {
   for (const auto& d : drives) {
     std::printf("%-12s", d.tag);
     for (const auto& sys : kSystems) {
-      std::printf(" %10.1f", FillsyncKiops(d.cfg, sys.journal));
+      std::printf(" %10.1f", FillsyncKiops(d.cfg, sys.journal, seed_base + 7));
     }
     std::printf("\n");
   }

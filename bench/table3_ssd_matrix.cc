@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_flags.h"
 #include "src/common/rng.h"
 #include "src/harness/stack.h"
 
@@ -46,7 +47,7 @@ double SeqBandwidthMBps(const SsdConfig& ssd, bool write) {
   return static_cast<double>(bytes) / (static_cast<double>(duration) / 1e9) / 1e6;
 }
 
-double RandIopsK(const SsdConfig& ssd, bool write) {
+double RandIopsK(const SsdConfig& ssd, bool write, uint64_t seed) {
   StackConfig cfg;
   cfg.ssd = ssd;
   cfg.enable_ccnvme = false;
@@ -56,7 +57,7 @@ double RandIopsK(const SsdConfig& ssd, bool write) {
   const uint64_t duration = 10'000'000;
   for (uint16_t q = 0; q < 4; ++q) {
     stack.Spawn("load" + std::to_string(q), [&, q] {
-      Rng rng(q + 1);
+      Rng rng(seed + q + 1);
       Buffer data(kLbaSize, 1);
       Buffer out;
       std::deque<NvmeDriver::RequestHandle> window;
@@ -84,7 +85,7 @@ double RandIopsK(const SsdConfig& ssd, bool write) {
   return static_cast<double>(ops) / (static_cast<double>(duration) / 1e9) / 1e3;
 }
 
-double LatencyUs(const SsdConfig& ssd, bool write) {
+double LatencyUs(const SsdConfig& ssd, bool write, uint64_t seed) {
   StackConfig cfg;
   cfg.ssd = ssd;
   cfg.enable_ccnvme = false;
@@ -92,7 +93,7 @@ double LatencyUs(const SsdConfig& ssd, bool write) {
   uint64_t total = 0;
   const int kOps = 200;
   stack.Run([&] {
-    Rng rng(7);
+    Rng rng(seed + 7);
     Buffer data(kLbaSize, 1);
     Buffer out;
     for (int i = 0; i < kOps; ++i) {
@@ -112,8 +113,9 @@ double LatencyUs(const SsdConfig& ssd, bool write) {
 }  // namespace
 }  // namespace ccnvme
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ccnvme;
+  const uint64_t seed = SeedFromArgs(argc, argv, 0);
   struct Spec {
     SsdConfig cfg;
     const char* paper;
@@ -132,8 +134,8 @@ int main() {
   for (const Spec& s : specs) {
     std::printf("%-36s | %9.0f %9.0f | %9.0f %9.0f | %8.1f %8.1f\n", s.cfg.name.c_str(),
                 SeqBandwidthMBps(s.cfg, false), SeqBandwidthMBps(s.cfg, true),
-                RandIopsK(s.cfg, false), RandIopsK(s.cfg, true), LatencyUs(s.cfg, false),
-                LatencyUs(s.cfg, true));
+                RandIopsK(s.cfg, false, seed), RandIopsK(s.cfg, true, seed),
+                LatencyUs(s.cfg, false, seed), LatencyUs(s.cfg, true, seed));
     std::printf("%-36s   (paper: %s)\n", "", s.paper);
   }
   return 0;

@@ -3,6 +3,7 @@
 // black-box testing, §7.6). Expected: 1000/1000 pass for every workload.
 #include <cstdio>
 
+#include "bench/bench_flags.h"
 #include "src/crashtest/crash_monkey.h"
 
 namespace ccnvme {
@@ -23,7 +24,7 @@ StackConfig MqfsConfig() {
 int main(int argc, char** argv) {
   using namespace ccnvme;
   int points = 1000;
-  if (argc > 1) {
+  if (argc > 1 && argv[1][0] != '-') {
     points = std::atoi(argv[1]);
   }
   struct Entry {
@@ -43,7 +44,7 @@ int main(int argc, char** argv) {
   std::printf("Table 4: MQFS crash consistency (%d crash points per workload)\n\n", points);
   std::printf("%-15s %-50s %8s %8s\n", "workload", "description", "total", "passed");
   bool all_ok = true;
-  uint64_t seed = 1;
+  uint64_t seed = SeedFromArgs(argc, argv, 1);
   for (const Entry& e : entries) {
     CrashMonkey monkey(MqfsConfig(), seed++);
     const CrashTestReport report = monkey.Run(e.workload, points);

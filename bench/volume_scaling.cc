@@ -1,0 +1,135 @@
+// Device-scaling study for the multi-device volume layer (src/volume).
+//
+// Measures, for 1 -> 4 member devices:
+//   (a) 4KB random-write throughput at fixed queue depth, raw volume I/O
+//       (stripe: aggregate bandwidth should scale near-linearly with
+//       members; mirror: write amplification keeps it at one device's
+//       bandwidth while adding redundancy), and
+//   (b) fsync throughput through a mounted MQFS, where the journal streams
+//       spread across the members.
+//
+// Usage: volume_scaling [--seed N]
+#include <cstdio>
+
+#include "bench/bench_flags.h"
+#include "src/common/rng.h"
+#include "src/harness/stack.h"
+
+namespace ccnvme {
+namespace {
+
+constexpr uint64_t kAddressBlocks = 64 * 1024;  // 256 MB working set
+constexpr uint32_t kQueueDepth = 16;            // per worker
+constexpr int kWorkers = 4;
+
+StackConfig VolumeStack(uint16_t devices, VolumeKind kind) {
+  StackConfig cfg;
+  cfg.num_queues = kWorkers;
+  cfg.num_devices = devices;
+  cfg.volume.kind = kind;
+  cfg.volume.chunk_blocks = 1;  // spread even adjacent blocks across members
+  return cfg;
+}
+
+// 4KB random writes, |kWorkers| submitters, queue depth kQueueDepth each.
+// Returns MB/s of completed writes over |duration_ns| simulated time.
+double RandomWriteMbps(uint16_t devices, VolumeKind kind, uint64_t duration_ns,
+                       uint64_t seed) {
+  StorageStack stack(VolumeStack(devices, kind));
+  uint64_t completed = 0;
+  for (int w = 0; w < kWorkers; ++w) {
+    const uint16_t qid = static_cast<uint16_t>(w);
+    stack.Spawn("wr" + std::to_string(w), [&, qid, w] {
+      Rng rng(seed + static_cast<uint64_t>(w));
+      const Buffer data(kLbaSize, static_cast<uint8_t>(0xA0 + w));
+      std::vector<NvmeDriver::RequestHandle> window;
+      const uint64_t end_ns = duration_ns;
+      while (stack.sim().now() < end_ns) {
+        const uint64_t lba = rng.Uniform(kAddressBlocks);
+        if (stack.volume() != nullptr) {
+          window.push_back(stack.volume()->SubmitWrite(qid, lba, &data, 0));
+        } else {
+          window.push_back(stack.nvme().SubmitWrite(qid, lba, &data, false));
+        }
+        if (window.size() >= kQueueDepth) {
+          window.front()->done.Wait();
+          window.erase(window.begin());
+          ++completed;
+        }
+      }
+      for (auto& h : window) {
+        h->done.Wait();
+        ++completed;
+      }
+    }, qid);
+  }
+  stack.sim().Run();
+  const double secs = static_cast<double>(stack.sim().now()) / 1e9;
+  return secs == 0 ? 0.0 : static_cast<double>(completed) * kLbaSize / 1e6 / secs;
+}
+
+// Append + fsync loops through a mounted MQFS on the volume. Returns K
+// fsyncs per second.
+double FsyncKops(uint16_t devices, VolumeKind kind, uint64_t duration_ns, uint64_t seed) {
+  StackConfig cfg = VolumeStack(devices, kind);
+  cfg.fs.journal = JournalKind::kMultiQueue;
+  cfg.fs.journal_areas = kWorkers;
+  cfg.fs.journal_blocks = 4096;
+  StorageStack stack(cfg);
+  CCNVME_CHECK(stack.MkfsAndMount().ok());
+  uint64_t fsyncs = 0;
+  for (int w = 0; w < kWorkers; ++w) {
+    const uint16_t qid = static_cast<uint16_t>(w);
+    stack.Spawn("fs" + std::to_string(w), [&, qid, w] {
+      auto ino = stack.fs().Create("/f" + std::to_string(w));
+      CCNVME_CHECK(ino.ok());
+      Rng rng(seed + 100 + static_cast<uint64_t>(w));
+      Buffer data(kFsBlockSize);
+      for (auto& b : data) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+      uint64_t off = 0;
+      while (stack.sim().now() < duration_ns) {
+        CCNVME_CHECK(stack.fs().Write(*ino, off, data).ok());
+        CCNVME_CHECK(stack.fs().Fsync(*ino).ok());
+        off += kFsBlockSize;
+        ++fsyncs;
+      }
+    }, qid);
+  }
+  stack.sim().Run();
+  const double secs = static_cast<double>(stack.sim().now()) / 1e9;
+  return secs == 0 ? 0.0 : static_cast<double>(fsyncs) / 1e3 / secs;
+}
+
+}  // namespace
+}  // namespace ccnvme
+
+int main(int argc, char** argv) {
+  using namespace ccnvme;
+  const uint64_t seed = SeedFromArgs(argc, argv, 42);
+  const uint64_t kWriteDuration = 4'000'000;  // 4 ms simulated per point
+  const uint64_t kFsyncDuration = 8'000'000;
+
+  std::printf("Volume device scaling (4 workers, QD %u, seed %llu)\n\n", kQueueDepth,
+              static_cast<unsigned long long>(seed));
+  std::printf("%-8s %-8s %16s %12s\n", "devices", "kind", "randwrite_MB/s", "fsync_K/s");
+
+  const double base = RandomWriteMbps(1, VolumeKind::kStripe, kWriteDuration, seed);
+  std::printf("%-8u %-8s %16.0f %12.1f\n", 1, "single", base,
+              FsyncKops(1, VolumeKind::kStripe, kFsyncDuration, seed));
+
+  for (uint16_t n : {2, 4}) {
+    const double mbps = RandomWriteMbps(n, VolumeKind::kStripe, kWriteDuration, seed);
+    std::printf("%-8u %-8s %16.0f %12.1f   (%.2fx single)\n", n, "stripe", mbps,
+                FsyncKops(n, VolumeKind::kStripe, kFsyncDuration, seed),
+                base == 0 ? 0.0 : mbps / base);
+  }
+  for (uint16_t n : {2, 4}) {
+    const double mbps = RandomWriteMbps(n, VolumeKind::kMirror, kWriteDuration, seed);
+    std::printf("%-8u %-8s %16.0f %12.1f   (%.2fx single)\n", n, "mirror", mbps,
+                FsyncKops(n, VolumeKind::kMirror, kFsyncDuration, seed),
+                base == 0 ? 0.0 : mbps / base);
+  }
+  return 0;
+}

@@ -68,7 +68,7 @@ int main() {
 
   // The PMR survives the crash; a recovery pass reads the window from it.
   Pmr recovered_pmr;
-  recovered_pmr.Write(0, image.pmr);
+  recovered_pmr.Write(0, image.pmr());
   PrintWindow(recovered_pmr, 1, depth);
   std::printf("\n  Recovery policy (ccNVMe -> upper layer): transactions in the\n");
   std::printf("  window are replayed only if their journal content validates\n");

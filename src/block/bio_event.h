@@ -53,11 +53,12 @@ inline constexpr uint32_t kBioPmrWc = 1u << 8;
 struct BioEvent {
   BioOp op;
   uint64_t seq = 0;  // submission sequence; kComplete references this
-  uint64_t lba = 0;  // media block for bios, byte offset for PMR events
+  uint64_t lba = 0;  // DEVICE-local media block for bios, byte offset for PMR
   uint32_t flags = 0;
   uint64_t tx_id = 0;
-  uint16_t qid = 0;  // hardware queue (PMR events)
-  Buffer data;       // payload copy for write events
+  uint16_t qid = 0;     // hardware queue (PMR events)
+  uint16_t device = 0;  // member device of a multi-device volume (0 otherwise)
+  Buffer data;          // payload copy for write events
 };
 using BioRecorder = std::function<void(const BioEvent&)>;
 

@@ -61,6 +61,22 @@ void BlockLayer::RecordCompletion(uint64_t seq) {
   recorder_(std::move(ev));
 }
 
+NvmeDriver::RequestHandle BlockLayer::DispatchWrite(uint64_t lba, const Buffer* data, bool fua,
+                                                    uint32_t flags,
+                                                    std::function<void()> on_complete) {
+  if (volume_ != nullptr) {
+    return volume_->SubmitWrite(tls_queue, lba, data, flags, std::move(on_complete));
+  }
+  return nvme_->SubmitWrite(tls_queue, lba, data, fua, 0, 0, std::move(on_complete));
+}
+
+Status BlockLayer::DispatchFlush() {
+  if (volume_ != nullptr) {
+    return volume_->Flush(tls_queue);
+  }
+  return nvme_->Flush(tls_queue);
+}
+
 void BlockLayer::RecordTxDurable(uint64_t tx_id) {
   auto it = tx_members_.find(tx_id);
   if (it == tx_members_.end()) {
@@ -104,7 +120,7 @@ void BlockLayer::Unplug() {
       auto handle = w.handle;
       auto cb = w.on_complete;
       const uint64_t seq = w.record_seq;
-      (void)nvme_->SubmitWrite(tls_queue, w.lba, w.data, false, 0, 0, [this, seq, handle, cb] {
+      (void)DispatchWrite(w.lba, w.data, false, 0, [this, seq, handle, cb] {
         RecordCompletion(seq);
         if (cb) {
           cb();
@@ -123,8 +139,8 @@ void BlockLayer::Unplug() {
         callbacks.push_back((*list)[k].on_complete);
         seqs.push_back((*list)[k].record_seq);
       }
-      (void)nvme_->SubmitWrite(
-          tls_queue, (*list)[i].lba, merged.get(), false, 0, 0,
+      (void)DispatchWrite(
+          (*list)[i].lba, merged.get(), false, 0,
           [this, merged, handles, callbacks, seqs] {
             for (size_t k = 0; k < handles.size(); ++k) {
               RecordCompletion(seqs[k]);
@@ -162,7 +178,7 @@ NvmeDriver::RequestHandle BlockLayer::SubmitWrite(uint64_t lba, const Buffer* da
     // drives the flag is stripped here, as the real block layer does.
     if (Tracer* t = sim_->tracer()) t->Instant(TracePoint::kBioFlush);
     const uint64_t fseq = Record(BioOp::kFlush, 0, flags, 0, nullptr);
-    Status st = nvme_->Flush(tls_queue);
+    Status st = DispatchFlush();
     CCNVME_CHECK(st.ok());
     RecordCompletion(fseq);
   }
@@ -173,8 +189,7 @@ NvmeDriver::RequestHandle BlockLayer::SubmitWrite(uint64_t lba, const Buffer* da
       cb();
     }
   };
-  return nvme_->SubmitWrite(tls_queue, lba, data, (flags & kBioFua) != 0, 0, 0,
-                            std::move(wrapped));
+  return DispatchWrite(lba, data, (flags & kBioFua) != 0, flags, std::move(wrapped));
 }
 
 Status BlockLayer::WriteSync(uint64_t lba, const Buffer& data, uint32_t flags) {
@@ -183,6 +198,9 @@ Status BlockLayer::WriteSync(uint64_t lba, const Buffer& data, uint32_t flags) {
 
 Status BlockLayer::ReadSync(uint64_t lba, uint32_t num_blocks, Buffer* out) {
   Simulator::Sleep(costs_.block_layer_submit_ns);
+  if (volume_ != nullptr) {
+    return volume_->Read(tls_queue, lba, num_blocks, out);
+  }
   return nvme_->Read(tls_queue, lba, num_blocks, out);
 }
 
@@ -193,7 +211,7 @@ Status BlockLayer::FlushSync() {
   }
   if (Tracer* t = sim_->tracer()) t->Instant(TracePoint::kBioFlush);
   const uint64_t seq = Record(BioOp::kFlush, 0, 0, 0, nullptr);
-  Status st = nvme_->Flush(tls_queue);
+  Status st = DispatchFlush();
   if (st.ok()) {
     RecordCompletion(seq);
   }
@@ -206,6 +224,10 @@ void BlockLayer::SubmitTxWrite(uint64_t tx_id, uint64_t lba, const Buffer* data,
   Simulator::Sleep(costs_.block_layer_submit_ns);
   if (Tracer* t = sim_->tracer()) {
     t->InstantWith(TracePoint::kBioSubmit, {CurrentTraceContext().req_id, tx_id}, lba);
+  }
+  if (volume_ != nullptr) {
+    volume_->SubmitTx(tls_queue, tx_id, lba, data, std::move(on_complete));
+    return;
   }
   const uint64_t seq = Record(BioOp::kWrite, lba, kBioTx, tx_id, data);
   if (seq != 0) {
@@ -221,6 +243,9 @@ CcNvmeDriver::TxHandle BlockLayer::CommitTx(uint64_t tx_id, uint64_t lba, const 
   if (Tracer* t = sim_->tracer()) {
     t->InstantWith(TracePoint::kBioSubmit, {CurrentTraceContext().req_id, tx_id}, lba);
   }
+  if (volume_ != nullptr) {
+    return volume_->CommitTx(tls_queue, tx_id, lba, data, std::move(on_durable));
+  }
   const uint64_t seq = Record(BioOp::kWrite, lba, kBioTx | kBioTxCommit, tx_id, data);
   if (seq != 0) {
     tx_members_[tx_id].push_back(seq);
@@ -232,6 +257,18 @@ CcNvmeDriver::TxHandle BlockLayer::CommitTx(uint64_t tx_id, uint64_t lba, const 
     }
   };
   return cc_->CommitTx(tls_queue, tx_id, lba, data, std::move(wrapped));
+}
+
+void BlockLayer::WaitTxDurable(const CcNvmeDriver::TxHandle& tx) { tx->durable.Wait(); }
+
+std::vector<CcNvmeDriver::UnfinishedRequest> BlockLayer::RecoveredWindow() const {
+  if (volume_ != nullptr) {
+    return volume_->RecoveredWindow();
+  }
+  if (cc_ != nullptr) {
+    return cc_->recovered_window();
+  }
+  return {};
 }
 
 }  // namespace ccnvme

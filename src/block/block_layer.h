@@ -22,6 +22,7 @@
 #include "src/ccnvme/ccnvme_driver.h"
 #include "src/common/status.h"
 #include "src/driver/nvme_driver.h"
+#include "src/volume/volume.h"
 
 namespace ccnvme {
 
@@ -29,6 +30,13 @@ class BlockLayer {
  public:
   // |cc| may be null for stacks without the ccNVMe extension.
   BlockLayer(Simulator* sim, NvmeDriver* nvme, CcNvmeDriver* cc, const HostCosts& costs);
+
+  // Routes all I/O through |volume| instead of the single device drivers.
+  // The volume does its own event recording (per-member device), so the
+  // block-layer recorder should stay unset in volume mode.
+  void set_volume(Volume* volume) { volume_ = volume; }
+  bool has_volume() const { return volume_ != nullptr; }
+  Volume* volume() { return volume_; }
 
   // Binds the calling actor to hardware queue |qid| (per-core queues).
   void BindQueue(uint16_t qid);
@@ -68,6 +76,15 @@ class BlockLayer {
   CcNvmeDriver::TxHandle CommitTx(uint64_t tx_id, uint64_t lba, const Buffer* data,
                                   std::function<void()> on_durable = nullptr);
 
+  // Blocks until the transaction is durable — for a volume-level handle
+  // that means durable on EVERY member device. Journals use this instead of
+  // reaching for ccnvme()->WaitDurable so they work on both stack shapes.
+  void WaitTxDurable(const CcNvmeDriver::TxHandle& tx);
+
+  // The in-doubt window found at driver bring-up: the single device's
+  // [P-SQ-head, P-SQDB) window, or the union across all volume members.
+  std::vector<CcNvmeDriver::UnfinishedRequest> RecoveredWindow() const;
+
   void set_recorder(BioRecorder recorder) { recorder_ = std::move(recorder); }
 
   // True when the device has a volatile write cache without power-loss
@@ -84,6 +101,10 @@ class BlockLayer {
   };
 
  private:
+  // Single-device or volume dispatch for plain writes / flushes.
+  NvmeDriver::RequestHandle DispatchWrite(uint64_t lba, const Buffer* data, bool fua,
+                                          uint32_t flags, std::function<void()> on_complete);
+  Status DispatchFlush();
   // Returns the submission sequence number of the recorded event.
   uint64_t Record(BioOp op, uint64_t lba, uint32_t flags, uint64_t tx_id, const Buffer* data);
   void RecordCompletion(uint64_t seq);
@@ -92,6 +113,7 @@ class BlockLayer {
   Simulator* sim_;
   NvmeDriver* nvme_;
   CcNvmeDriver* cc_;
+  Volume* volume_ = nullptr;
   HostCosts costs_;
   BioRecorder recorder_;
   bool needs_flush_ = false;

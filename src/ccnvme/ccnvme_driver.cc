@@ -47,6 +47,22 @@ size_t CcNvmeDriver::DoorbellOffset(const Queue& q) const {
 
 size_t CcNvmeDriver::HeadOffset(const Queue& q) const { return DoorbellOffset(q) + 4; }
 
+void CcNvmeDriver::FlushAndRing(Queue& q, uint64_t tx_id) {
+  q.wc->FlushPersistent();
+  if (Tracer* tracer = sim_->tracer()) {
+    tracer->InstantWith(TracePoint::kPsqFence,
+                        {CurrentTraceContext().req_id, tx_id, device_id_});
+    tracer->InstantWith(TracePoint::kPsqDoorbell,
+                        {CurrentTraceContext().req_id, tx_id, device_id_}, q.sq_tail);
+  }
+  RecordPmr(BioOp::kPmrFence, q.qid, 0, {}, 0, tx_id);
+  PmrStoreU32(q, BioOp::kPmrDoorbell, DoorbellOffset(q), q.sq_tail, tx_id);
+  link_->MmioWrite(4);
+  controller_->RingSqDoorbell(q.qp, q.sq_tail);
+  q.last_rung_tail = q.sq_tail;
+  q.unrung_cids.clear();
+}
+
 void CcNvmeDriver::RecordPmr(BioOp op, uint16_t qid, size_t offset,
                              std::span<const uint8_t> bytes, uint32_t flags, uint64_t tx_id) {
   if (!recorder_) {
@@ -58,6 +74,7 @@ void CcNvmeDriver::RecordPmr(BioOp op, uint16_t qid, size_t offset,
   ev.flags = flags;
   ev.tx_id = tx_id;
   ev.qid = qid;
+  ev.device = device_id_;
   ev.data.assign(bytes.begin(), bytes.end());
   recorder_(ev);
 }
@@ -92,6 +109,7 @@ uint16_t CcNvmeDriver::StageCommand(Queue& q, NvmeCommand cmd, const Buffer* dat
   cmd.cid = cid;
   q.cid_req[cid] = cmd.trace_req;
   q.qp->data[cid].write_data = data;
+  q.unrung_cids.push_back(cid);
 
   const uint16_t slot = q.sq_tail;
   q.sq_tail = q.qp->SlotAfter(slot);
@@ -113,15 +131,7 @@ uint16_t CcNvmeDriver::StageCommand(Queue& q, NvmeCommand cmd, const Buffer* dat
 
   if (!options_.tx_aware_mmio) {
     // Naive per-request mode: flush and ring for every request.
-    q.wc->FlushPersistent();
-    if (tracer != nullptr) {
-      tracer->InstantWith(TracePoint::kPsqFence, {cmd.trace_req, cmd.tx_id});
-      tracer->InstantWith(TracePoint::kPsqDoorbell, {cmd.trace_req, cmd.tx_id}, q.sq_tail);
-    }
-    RecordPmr(BioOp::kPmrFence, q.qid, 0, {}, 0, cmd.tx_id);
-    PmrStoreU32(q, BioOp::kPmrDoorbell, DoorbellOffset(q), q.sq_tail, cmd.tx_id);
-    link_->MmioWrite(4);
-    controller_->RingSqDoorbell(q.qp, q.sq_tail);
+    FlushAndRing(q, cmd.tx_id);
   }
   return cid;
 }
@@ -202,16 +212,7 @@ CcNvmeDriver::TxHandle CcNvmeDriver::CommitTx(uint16_t qid, uint64_t tx_id, uint
   if (options_.tx_aware_mmio) {
     // Transaction-aware MMIO & doorbell: one persistence flush and one
     // doorbell ring for the whole transaction (Figure 4(b)).
-    q.wc->FlushPersistent();
-    if (tracer != nullptr) {
-      tracer->InstantWith(TracePoint::kPsqFence, {CurrentTraceContext().req_id, tx_id});
-      tracer->InstantWith(TracePoint::kPsqDoorbell, {CurrentTraceContext().req_id, tx_id},
-                          q.sq_tail);
-    }
-    RecordPmr(BioOp::kPmrFence, q.qid, 0, {}, 0, tx_id);
-    PmrStoreU32(q, BioOp::kPmrDoorbell, DoorbellOffset(q), q.sq_tail, tx_id);
-    link_->MmioWrite(4);
-    controller_->RingSqDoorbell(q.qp, q.sq_tail);
+    FlushAndRing(q, tx_id);
   }
 
   tx->committed = true;
@@ -223,9 +224,71 @@ CcNvmeDriver::TxHandle CcNvmeDriver::CommitTx(uint16_t qid, uint64_t tx_id, uint
   // with "all" available once the device drains the queue.
   tx->atomic_at_ns = sim_->now();
   if (tracer != nullptr) {
-    tracer->InstantWith(TracePoint::kTxAtomic, {CurrentTraceContext().req_id, tx_id});
+    tracer->InstantWith(TracePoint::kTxAtomic,
+                        {CurrentTraceContext().req_id, tx_id, device_id_});
   }
   return tx;
+}
+
+CcNvmeDriver::TxHandle CcNvmeDriver::SealTx(uint16_t qid, uint64_t tx_id,
+                                            std::function<void()> on_durable) {
+  Queue& q = GetQueue(qid);
+  Tracer* tracer = sim_->tracer();
+  Simulator::Sleep(costs_.ccnvme_stage_ns);
+
+  CCNVME_CHECK(q.open_tx != nullptr) << "SealTx with no staged requests on queue " << qid;
+  TxHandle tx = q.open_tx;
+  CCNVME_CHECK_EQ(tx->tx_id, tx_id);
+  if (on_durable) {
+    tx->on_durable.push_back(std::move(on_durable));
+  }
+
+  const SsdConfig& ssd = controller_->ssd().config();
+  if (ssd.volatile_cache && !ssd.power_loss_protection) {
+    // No commit record to carry the FUA bit here, so a flush command rides
+    // with the members: the sealed transaction's in-order completion then
+    // still implies its slices are durable (§4.2 applied per member).
+    NvmeCommand flush;
+    flush.opcode = static_cast<uint8_t>(NvmeOpcode::kFlush);
+    flush.cdw12 |= kCdw12ReqTx;
+    flush.tx_id = tx_id;
+    const uint16_t fcid = StageCommand(q, flush, nullptr);
+    q.cid_to_tx[fcid] = tx;
+    tx->outstanding++;
+  }
+
+  if (options_.tx_aware_mmio) {
+    FlushAndRing(q, tx_id);
+  }
+  tx->committed = true;
+  tx->end_slot = q.sq_tail;
+  q.inflight_txs.push_back(tx);
+  q.open_tx = nullptr;
+  tx->atomic_at_ns = sim_->now();
+  if (tracer != nullptr) {
+    tracer->InstantWith(TracePoint::kTxAtomic,
+                        {CurrentTraceContext().req_id, tx_id, device_id_});
+  }
+  return tx;
+}
+
+void CcNvmeDriver::AbortOpenTx(uint16_t qid) {
+  Queue& q = GetQueue(qid);
+  if (q.open_tx == nullptr) {
+    return;
+  }
+  for (uint16_t cid : q.unrung_cids) {
+    q.cid_to_tx[cid] = nullptr;
+    q.cid_callbacks[cid] = nullptr;
+    q.cid_req[cid] = 0;
+    q.qp->data[cid] = IoQueuePair::DataRef{};
+    q.free_cids.push_back(cid);
+  }
+  q.unrung_cids.clear();
+  q.sq_tail = q.last_rung_tail;
+  q.wc->Discard();
+  q.open_tx = nullptr;
+  q.slot_available->NotifyAll();
 }
 
 void CcNvmeDriver::WaitDurable(const TxHandle& tx) { tx->durable.Wait(); }
@@ -245,7 +308,7 @@ void CcNvmeDriver::CompleteReadyTransactions(Queue& q) {
       // it issues, which is what lets recovery trust everything behind it.
       q.psq_head = tx->end_slot;
       if (Tracer* t = sim_->tracer()) {
-        t->InstantWith(TracePoint::kPsqHead, {0, tx->tx_id}, q.psq_head);
+        t->InstantWith(TracePoint::kPsqHead, {0, tx->tx_id, device_id_}, q.psq_head);
       }
       PmrStoreU32(q, BioOp::kPmrWrite, HeadOffset(q), q.psq_head, tx->tx_id);
       link_->MmioWrite(4);
@@ -254,7 +317,7 @@ void CcNvmeDriver::CompleteReadyTransactions(Queue& q) {
       advanced = true;
       tx->durable_at_ns = sim_->now();
       if (Tracer* t = sim_->tracer()) {
-        t->InstantWith(TracePoint::kTxDurable, {0, tx->tx_id});
+        t->InstantWith(TracePoint::kTxDurable, {0, tx->tx_id, device_id_});
       }
       transactions_completed_++;
       for (auto& cb : tx->on_durable) {
@@ -311,7 +374,7 @@ void CcNvmeDriver::BottomHalfLoop(Queue* q) {
       Simulator::Sleep(costs_.irq_per_cqe_ns);
       TxHandle tx = q->cid_to_tx[cqe.cid];
       CCNVME_CHECK(tx != nullptr) << "ccNVMe completion for idle cid " << cqe.cid;
-      ScopedTraceContext trace_ctx({q->cid_req[cqe.cid], tx->tx_id});
+      ScopedTraceContext trace_ctx({q->cid_req[cqe.cid], tx->tx_id, device_id_});
       if (Tracer* t = sim_->tracer()) t->Instant(TracePoint::kCqeHandled, cqe.cid);
       q->cid_to_tx[cqe.cid] = nullptr;
       qp->data[cqe.cid] = IoQueuePair::DataRef{};

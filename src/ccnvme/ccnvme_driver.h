@@ -91,6 +91,23 @@ class CcNvmeDriver {
   TxHandle CommitTx(uint16_t qid, uint64_t tx_id, uint64_t slba, const Buffer* data,
                     std::function<void()> on_durable = nullptr);
 
+  // Closes |qid|'s open transaction WITHOUT staging a commit record: one
+  // persistence flush + one doorbell ring over the staged member SQEs, then
+  // the transaction completes in order like any other. This is the member
+  // half of a cross-device volume commit — every member device's slices
+  // must be persistently submitted (sealed) before the volume rings the
+  // commit device's REQ_TX_COMMIT doorbell. On drives with a volatile cache
+  // a flush command rides along so completion still implies durability.
+  TxHandle SealTx(uint16_t qid, uint64_t tx_id, std::function<void()> on_durable = nullptr);
+
+  // Drops |qid|'s open (not yet committed/sealed) transaction: staged but
+  // unrung SQEs are reclaimed, the tail rewinds to the last rung value and
+  // the WC buffer is discarded. The persistent window [P-SQ-head, P-SQDB)
+  // is untouched — the doorbell was never advanced, so recovery never sees
+  // the aborted requests. Used when a volume member device is failed while
+  // a transaction is being built on it.
+  void AbortOpenTx(uint16_t qid);
+
   // Blocks until |tx| is durable.
   void WaitDurable(const TxHandle& tx);
 
@@ -102,6 +119,9 @@ class CcNvmeDriver {
     uint64_t slba = 0;
     uint32_t num_blocks = 0;
     bool is_commit = false;
+    // Member index, stamped by the volume layer when windows of several
+    // devices are unioned (0 on single-device stacks).
+    uint16_t device = 0;
   };
   // Parses a PMR image (typically from a previous "boot") and returns the
   // requests in every queue's unfinished window [P-SQ-head, P-SQDB).
@@ -131,6 +151,12 @@ class CcNvmeDriver {
   uint16_t num_queues() const { return options_.num_queues; }
   const CcNvmeOptions& options() const { return options_; }
 
+  // Member index within a multi-device volume, stamped into every recorded
+  // event and trace context so the crash model reconstructs each device's
+  // PMR separately. 0 for single-device stacks.
+  void set_device_id(uint16_t device) { device_id_ = device; }
+  uint16_t device_id() const { return device_id_; }
+
   // Number of transactions durably completed (tests/benches).
   uint64_t transactions_completed() const { return transactions_completed_; }
 
@@ -142,6 +168,10 @@ class CcNvmeDriver {
     std::unique_ptr<WcBuffer> wc;
     uint16_t sq_tail = 0;
     uint16_t psq_head = 0;  // host copy of the persistent head
+    // Tail value of the last doorbell ring, and the cids staged since: an
+    // abort rewinds to here (the device never saw anything past it).
+    uint16_t last_rung_tail = 0;
+    std::vector<uint16_t> unrung_cids;
     uint16_t cq_head = 0;
     bool cq_phase = true;
     TxHandle open_tx;
@@ -159,6 +189,9 @@ class CcNvmeDriver {
 
   size_t DoorbellOffset(const Queue& q) const;
   size_t HeadOffset(const Queue& q) const;
+  // One persistence flush + one P-SQDB ring covering everything staged on
+  // |q| (the transaction-aware MMIO sequence shared by commit and seal).
+  void FlushAndRing(Queue& q, uint64_t tx_id);
   // Reports a PMR mutation to the crash-state recorder (no-op when unset).
   void RecordPmr(BioOp op, uint16_t qid, size_t offset, std::span<const uint8_t> bytes,
                  uint32_t flags, uint64_t tx_id);
@@ -179,6 +212,7 @@ class CcNvmeDriver {
   uint64_t transactions_completed_ = 0;
   std::vector<UnfinishedRequest> recovered_window_;
   BioRecorder recorder_;
+  uint16_t device_id_ = 0;
 };
 
 }  // namespace ccnvme

@@ -118,14 +118,20 @@ std::vector<WState> Classify(const CrashRecording& rec, size_t crash_index) {
   const bool plp =
       rec.config.ssd.power_loss_protection || !rec.config.ssd.volatile_cache;
 
-  // First pass: index the prefix.
+  // First pass: index the prefix. Everything device-related is keyed by
+  // the member device: each device of a multi-device volume has its own
+  // write cache, PMR and queues, so a flush, fence, doorbell or head
+  // advance on one member says nothing about the others.
   std::map<uint64_t, size_t> submit_at;  // media seq -> submit event index
   std::set<uint64_t> flush_seqs;
-  std::map<uint64_t, size_t> complete_at;     // media seq -> completion index
-  std::vector<size_t> flush_complete_at;      // completion indices of flushes
-  std::vector<std::pair<size_t, uint64_t>> doorbells;  // (index, tx_id)
-  std::set<uint64_t> head_advanced_txs;  // txs whose P-SQ-head advance landed
-  std::map<uint16_t, std::vector<size_t>> fences_by_qid;
+  std::map<uint64_t, size_t> complete_at;  // media seq -> completion index
+  // Per-device completion indices of flushes.
+  std::map<uint16_t, std::vector<size_t>> flush_complete_at;
+  // (index, device, tx_id) of every P-SQDB ring.
+  std::vector<std::tuple<size_t, uint16_t, uint64_t>> doorbells;
+  // (device, tx_id) pairs whose P-SQ-head advance landed.
+  std::set<std::pair<uint16_t, uint64_t>> head_advanced_txs;
+  std::map<std::pair<uint16_t, uint16_t>, std::vector<size_t>> fences_by_dev_qid;
   for (size_t i = 0; i < n; ++i) {
     const BioEvent& ev = events[i];
     switch (ev.op) {
@@ -137,23 +143,23 @@ std::vector<WState> Classify(const CrashRecording& rec, size_t crash_index) {
         break;
       case BioOp::kComplete:
         if (flush_seqs.count(ev.seq) != 0) {
-          flush_complete_at.push_back(i);
+          flush_complete_at[ev.device].push_back(i);
         } else {
           complete_at[ev.seq] = i;
         }
         break;
       case BioOp::kPmrDoorbell:
-        doorbells.emplace_back(i, ev.tx_id);
+        doorbells.emplace_back(i, ev.device, ev.tx_id);
         break;
       case BioOp::kPmrWrite:
         if ((ev.flags & kBioPmrWc) == 0) {
           // The only uncached PMR data stores the driver emits are P-SQ-head
           // advances, the persistent completion record of a transaction.
-          head_advanced_txs.insert(ev.tx_id);
+          head_advanced_txs.emplace(ev.device, ev.tx_id);
         }
         break;
       case BioOp::kPmrFence:
-        fences_by_qid[ev.qid].push_back(i);
+        fences_by_dev_qid[{ev.device, ev.qid}].push_back(i);
         break;
       default:
         break;
@@ -168,18 +174,19 @@ std::vector<WState> Classify(const CrashRecording& rec, size_t crash_index) {
       const bool completed = cit != complete_at.end();
       if ((ev.flags & kBioTx) != 0) {
         // ccNVMe transactional write. The controller fetches it only after
-        // its transaction's doorbell, so without a doorbell before the cut
-        // it cannot have touched media. It is guaranteed durable once the
-        // transaction's in-order completion (P-SQ-head advance, or the
-        // block layer's durable-completion record) precedes the cut.
-        const bool durable = completed || head_advanced_txs.count(ev.tx_id) != 0;
+        // its transaction's doorbell ON ITS OWN DEVICE, so without one
+        // before the cut it cannot have touched media. It is guaranteed
+        // durable once that device's in-order completion (P-SQ-head
+        // advance, or the durable-completion record) precedes the cut.
+        const bool durable =
+            completed || head_advanced_txs.count({ev.device, ev.tx_id}) != 0;
         if (durable) {
           state[i] = WState::kDurable;
           continue;
         }
         bool doorbelled = false;
-        for (const auto& [di, tx] : doorbells) {
-          if (di > i && tx == ev.tx_id) {
+        for (const auto& [di, dev, tx] : doorbells) {
+          if (di > i && dev == ev.device && tx == ev.tx_id) {
             doorbelled = true;
             break;
           }
@@ -187,13 +194,15 @@ std::vector<WState> Classify(const CrashRecording& rec, size_t crash_index) {
         state[i] = doorbelled ? WState::kUncertain : WState::kAbsent;
       } else {
         // Stock path: eligible from submission (the device may execute it
-        // any time). Durable per the cache model.
+        // any time). Durable per the cache model; only flushes on the same
+        // member device drain this write's cache.
         bool durable = false;
         if (completed) {
           if (plp || (ev.flags & kBioFua) != 0) {
             durable = true;
-          } else {
-            for (size_t fc : flush_complete_at) {
+          } else if (auto fit = flush_complete_at.find(ev.device);
+                     fit != flush_complete_at.end()) {
+            for (size_t fc : fit->second) {
               if (fc > cit->second) {
                 durable = true;
                 break;
@@ -208,11 +217,11 @@ std::vector<WState> Classify(const CrashRecording& rec, size_t crash_index) {
         state[i] = WState::kDurable;  // uncached store: durable immediately
         continue;
       }
-      // WC-buffered SQE store: persistent once a fence on its queue
+      // WC-buffered SQE store: persistent once a fence on its device+queue
       // follows; otherwise any word subset may have landed.
       bool fenced = false;
-      auto fit = fences_by_qid.find(ev.qid);
-      if (fit != fences_by_qid.end()) {
+      auto fit = fences_by_dev_qid.find({ev.device, ev.qid});
+      if (fit != fences_by_dev_qid.end()) {
         for (size_t fi : fit->second) {
           if (fi > i) {
             fenced = true;
@@ -258,6 +267,21 @@ std::vector<size_t> ConsistencyBoundaries(const std::vector<BioEvent>& events) {
     const BioOp op = events[i].op;
     if (op == BioOp::kComplete || op == BioOp::kFlush || op == BioOp::kPmrDoorbell) {
       out.push_back(i + 1);
+    } else if (op == BioOp::kPmrWrite && (events[i].flags & kBioPmrWc) == 0) {
+      // An uncached P-SQ-head advance moves a transaction OUT of its
+      // device's in-doubt window, changing what recovery trusts — a real
+      // boundary on multi-device volumes, where other members' doorbells
+      // may still be pending. On a single device the advance is followed
+      // immediately by the transaction's durable-completion records, so
+      // the boundary is only emitted when the next event is not already a
+      // boundary op (keeping single-device state counts unchanged).
+      const bool next_is_boundary =
+          i + 1 < events.size() &&
+          (events[i + 1].op == BioOp::kComplete || events[i + 1].op == BioOp::kFlush ||
+           events[i + 1].op == BioOp::kPmrDoorbell);
+      if (!next_is_boundary) {
+        out.push_back(i + 1);
+      }
     }
   }
   if (out.back() != events.size()) {
@@ -314,14 +338,19 @@ CrashImage BuildCrashState(const CrashRecording& rec, const CrashPlan& plan,
   }
 
   CrashImage image;
-  image.media = rec.base.media;
-  image.pmr.assign(rec.base.pmr.begin(), rec.base.pmr.end());
-  Pmr pmr(image.pmr.size());
-  std::copy(image.pmr.begin(), image.pmr.end(), pmr.mutable_bytes().begin());
+  image.devices = rec.base.devices;
+  // One reconstructed PMR per member device.
+  std::vector<Pmr> pmrs;
+  pmrs.reserve(image.devices.size());
+  for (const DeviceImage& dev : image.devices) {
+    pmrs.emplace_back(dev.pmr.size());
+    std::copy(dev.pmr.begin(), dev.pmr.end(), pmrs.back().mutable_bytes().begin());
+  }
 
   const size_t n = std::min(plan.crash_index, rec.events.size());
   for (size_t i = 0; i < n; ++i) {
     const BioEvent& ev = rec.events[i];
+    CCNVME_CHECK_LT(ev.device, image.devices.size());
     if (ev.op == BioOp::kWrite) {
       if (state[i] == WState::kAbsent) {
         continue;
@@ -341,7 +370,7 @@ CrashImage BuildCrashState(const CrashRecording& rec, const CrashPlan& plan,
         }
         const size_t begin = b * kFsBlockSize;
         const size_t end = std::min(begin + kFsBlockSize, ev.data.size());
-        Buffer& dst = image.media[ev.lba + b];
+        Buffer& dst = image.devices[ev.device].media[ev.lba + b];
         if (dst.size() != kFsBlockSize) {
           dst.assign(kFsBlockSize, 0);
         }
@@ -356,6 +385,7 @@ CrashImage BuildCrashState(const CrashRecording& rec, const CrashPlan& plan,
         }
       }
     } else if (ev.op == BioOp::kPmrWrite || ev.op == BioOp::kPmrDoorbell) {
+      Pmr& pmr = pmrs[ev.device];
       if (ev.op == BioOp::kPmrWrite && state[i] == WState::kUncertain) {
         const uint8_t c = choice_of[{i, 0}];
         if (c == kChoiceAbsent) {
@@ -372,7 +402,9 @@ CrashImage BuildCrashState(const CrashRecording& rec, const CrashPlan& plan,
       pmr.Write(ev.lba, ev.data);
     }
   }
-  image.pmr.assign(pmr.bytes().begin(), pmr.bytes().end());
+  for (size_t d = 0; d < image.devices.size(); ++d) {
+    image.devices[d].pmr.assign(pmrs[d].bytes().begin(), pmrs[d].bytes().end());
+  }
   return image;
 }
 

@@ -202,6 +202,12 @@ std::string ReplayArtifact::ToJson() const {
   out << "  \"metadata_shadow_paging\": " << b(config.fs.metadata_shadow_paging) << ",\n";
   out << "  \"selective_revocation\": " << b(config.fs.selective_revocation) << ",\n";
   out << "  \"test_skip_psq_window_scan\": " << b(config.fs.test_skip_psq_window_scan) << ",\n";
+  out << "  \"num_devices\": " << config.num_devices << ",\n";
+  out << "  \"volume_kind\": \""
+      << (config.volume.kind == VolumeKind::kMirror ? "mirror" : "stripe") << "\",\n";
+  out << "  \"volume_chunk_blocks\": " << config.volume.chunk_blocks << ",\n";
+  out << "  \"test_skip_volume_commit_gate\": " << b(config.volume.test_skip_volume_commit_gate)
+      << ",\n";
   out << "  \"torn_seed\": " << torn_seed << ",\n";
   out << "  \"crash_index\": " << plan.crash_index << ",\n";
   out << "  \"choices\": [";
@@ -249,6 +255,22 @@ Result<ReplayArtifact> ReplayArtifact::FromJson(const std::string& json) {
                           GetBool(json, "selective_revocation"));
   CCNVME_ASSIGN_OR_RETURN(art.config.fs.test_skip_psq_window_scan,
                           GetBool(json, "test_skip_psq_window_scan"));
+  // Optional volume geometry (older artifacts predate multi-device volumes).
+  if (Result<uint64_t> nd = GetUInt(json, "num_devices"); nd.ok()) {
+    art.config.num_devices = static_cast<uint16_t>(*nd);
+  }
+  if (Result<std::string> vk = GetString(json, "volume_kind"); vk.ok()) {
+    if (*vk != "stripe" && *vk != "mirror") {
+      return InvalidArgument("unknown volume kind: " + *vk);
+    }
+    art.config.volume.kind = *vk == "mirror" ? VolumeKind::kMirror : VolumeKind::kStripe;
+  }
+  if (Result<uint64_t> cb = GetUInt(json, "volume_chunk_blocks"); cb.ok()) {
+    art.config.volume.chunk_blocks = static_cast<uint32_t>(*cb);
+  }
+  if (Result<bool> gate = GetBool(json, "test_skip_volume_commit_gate"); gate.ok()) {
+    art.config.volume.test_skip_volume_commit_gate = *gate;
+  }
   CCNVME_ASSIGN_OR_RETURN(art.torn_seed, GetUInt(json, "torn_seed"));
   CCNVME_ASSIGN_OR_RETURN(art.plan.crash_index, GetUInt(json, "crash_index"));
   CCNVME_ASSIGN_OR_RETURN(art.plan.choices, GetByteArray(json, "choices"));

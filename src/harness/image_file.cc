@@ -6,27 +6,35 @@ namespace ccnvme {
 
 namespace {
 constexpr uint32_t kImageMagic = 0x4D494343;  // "CCIM"
-constexpr uint32_t kImageVersion = 1;
+// v1: single device (media table + PMR). v2: a device count follows the
+// block size, then v1's per-device payload repeated per member. v1 files
+// load as one-device images.
+constexpr uint32_t kImageVersion = 2;
 }  // namespace
 
 Status SaveImage(const CrashImage& image, const std::string& path) {
   Buffer out;
-  out.resize(28);
+  out.resize(16);
   PutU32(out, 0, kImageMagic);
   PutU32(out, 4, kImageVersion);
   PutU32(out, 8, kFsBlockSize);
-  PutU64(out, 12, image.media.size());
-  PutU64(out, 20, image.pmr.size());
-  for (const auto& [block, data] : image.media) {
-    if (data.size() != kFsBlockSize) {
-      return Internal("media block " + std::to_string(block) + " has odd size");
+  PutU32(out, 12, static_cast<uint32_t>(image.devices.size()));
+  for (const DeviceImage& dev : image.devices) {
+    size_t off = out.size();
+    out.resize(off + 16);
+    PutU64(out, off, dev.media.size());
+    PutU64(out, off + 8, dev.pmr.size());
+    for (const auto& [block, data] : dev.media) {
+      if (data.size() != kFsBlockSize) {
+        return Internal("media block " + std::to_string(block) + " has odd size");
+      }
+      off = out.size();
+      out.resize(off + 8 + kFsBlockSize);
+      PutU64(out, off, block);
+      std::memcpy(out.data() + off + 8, data.data(), kFsBlockSize);
     }
-    const size_t off = out.size();
-    out.resize(off + 8 + kFsBlockSize);
-    PutU64(out, off, block);
-    std::memcpy(out.data() + off + 8, data.data(), kFsBlockSize);
+    out.insert(out.end(), dev.pmr.begin(), dev.pmr.end());
   }
-  out.insert(out.end(), image.pmr.begin(), image.pmr.end());
   const uint64_t csum = Fnv1a(out);
   const size_t off = out.size();
   out.resize(off + 8);
@@ -52,7 +60,7 @@ Result<CrashImage> LoadImage(const std::string& path) {
   std::fseek(f, 0, SEEK_END);
   const long size = std::ftell(f);
   std::fseek(f, 0, SEEK_SET);
-  if (size < 36) {
+  if (size < 24) {
     std::fclose(f);
     return Corruption("image file too small");
   }
@@ -70,30 +78,46 @@ Result<CrashImage> LoadImage(const std::string& path) {
   if (GetU32(raw, 0) != kImageMagic) {
     return Corruption("bad image magic");
   }
-  if (GetU32(raw, 4) != kImageVersion) {
+  const uint32_t version = GetU32(raw, 4);
+  if (version != 1 && version != 2) {
     return NotSupported("unsupported image version");
   }
   if (GetU32(raw, 8) != kFsBlockSize) {
     return NotSupported("image block size mismatch");
   }
-  const uint64_t num_blocks = GetU64(raw, 12);
-  const uint64_t pmr_size = GetU64(raw, 20);
-  const size_t expect = 28 + num_blocks * (8 + kFsBlockSize) + pmr_size + 8;
-  if (raw.size() != expect) {
-    return Corruption("image size inconsistent with header");
+  const size_t payload_end = raw.size() - 8;
+  size_t off = version == 1 ? 12 : 16;
+  const uint32_t num_devices = version == 1 ? 1 : GetU32(raw, 12);
+  if (num_devices == 0) {
+    return Corruption("image has no devices");
   }
 
   CrashImage image;
-  size_t off = 28;
-  for (uint64_t i = 0; i < num_blocks; ++i) {
-    const uint64_t block = GetU64(raw, off);
-    Buffer data(raw.begin() + static_cast<long>(off + 8),
-                raw.begin() + static_cast<long>(off + 8 + kFsBlockSize));
-    image.media.emplace(block, std::move(data));
-    off += 8 + kFsBlockSize;
+  image.devices.resize(num_devices);
+  for (uint32_t d = 0; d < num_devices; ++d) {
+    if (off + 16 > payload_end) {
+      return Corruption("image truncated in device header");
+    }
+    const uint64_t num_blocks = GetU64(raw, off);
+    const uint64_t pmr_size = GetU64(raw, off + 8);
+    off += 16;
+    if (off + num_blocks * (8 + kFsBlockSize) + pmr_size > payload_end) {
+      return Corruption("image size inconsistent with header");
+    }
+    for (uint64_t i = 0; i < num_blocks; ++i) {
+      const uint64_t block = GetU64(raw, off);
+      Buffer data(raw.begin() + static_cast<long>(off + 8),
+                  raw.begin() + static_cast<long>(off + 8 + kFsBlockSize));
+      image.devices[d].media.emplace(block, std::move(data));
+      off += 8 + kFsBlockSize;
+    }
+    image.devices[d].pmr.assign(raw.begin() + static_cast<long>(off),
+                                raw.begin() + static_cast<long>(off + pmr_size));
+    off += pmr_size;
   }
-  image.pmr.assign(raw.begin() + static_cast<long>(off),
-                   raw.begin() + static_cast<long>(off + pmr_size));
+  if (off != payload_end) {
+    return Corruption("image size inconsistent with header");
+  }
   return image;
 }
 

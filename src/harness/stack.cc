@@ -18,36 +18,76 @@ StorageStack::~StorageStack() {
 }
 
 void StorageStack::Build(const CrashImage* image) {
+  // Every member device is provisioned for the whole volume address space:
+  // the media store is sparse, so over-provisioning a striped member costs
+  // nothing and keeps the geometry arithmetic out of the capacity clamp.
   config_.ssd.capacity_bytes =
       std::max<uint64_t>(config_.ssd.capacity_bytes, config_.fs_total_blocks * kFsBlockSize);
+  const uint16_t n = std::max<uint16_t>(1, config_.num_devices);
+  config_.num_devices = n;
   sim_ = std::make_unique<Simulator>();
-  link_ = std::make_unique<PcieLink>(sim_.get(), PcieConfig{});
-  ssd_ = std::make_unique<SsdModel>(sim_.get(), config_.ssd);
-
-  NvmeControllerConfig ctrl_cfg;
-  ctrl_cfg.num_io_queues = config_.num_queues;
-  ctrl_cfg.queue_depth = config_.queue_depth;
-  controller_ = std::make_unique<NvmeController>(sim_.get(), link_.get(), ssd_.get(), ctrl_cfg);
 
   if (image != nullptr) {
-    ssd_->media().LoadDurable(image->media);
-    // PMR contents survive power loss by design (§4.4).
-    CCNVME_CHECK_EQ(image->pmr.size(), controller_->pmr().size());
-    controller_->pmr().Write(0, image->pmr);
+    CCNVME_CHECK_EQ(image->devices.size(), static_cast<size_t>(n))
+        << "crash image device count does not match the stack config";
   }
 
-  NvmeDriverConfig drv_cfg;
-  drv_cfg.num_queues = config_.num_queues;
-  drv_cfg.costs = config_.costs;
-  nvme_ = std::make_unique<NvmeDriver>(sim_.get(), link_.get(), controller_.get(), drv_cfg);
+  std::vector<Volume::Member> members;
+  for (uint16_t d = 0; d < n; ++d) {
+    links_.push_back(std::make_unique<PcieLink>(sim_.get(), PcieConfig{}));
+    ssds_.push_back(std::make_unique<SsdModel>(sim_.get(), config_.ssd));
 
-  if (config_.enable_ccnvme) {
-    CcNvmeOptions cc_opts = config_.cc_options;
-    cc_opts.num_queues = config_.num_queues;
-    cc_ = std::make_unique<CcNvmeDriver>(sim_.get(), link_.get(), controller_.get(),
-                                         config_.costs, cc_opts);
+    NvmeControllerConfig ctrl_cfg;
+    ctrl_cfg.num_io_queues = config_.num_queues;
+    ctrl_cfg.queue_depth = config_.queue_depth;
+    controllers_.push_back(std::make_unique<NvmeController>(sim_.get(), links_[d].get(),
+                                                            ssds_[d].get(), ctrl_cfg));
+
+    if (image != nullptr) {
+      ssds_[d]->media().LoadDurable(image->devices[d].media);
+      // PMR contents survive power loss by design (§4.4).
+      CCNVME_CHECK_EQ(image->devices[d].pmr.size(), controllers_[d]->pmr().size());
+      controllers_[d]->pmr().Write(0, image->devices[d].pmr);
+    }
+
+    NvmeDriverConfig drv_cfg;
+    drv_cfg.num_queues = config_.num_queues;
+    drv_cfg.costs = config_.costs;
+    nvmes_.push_back(std::make_unique<NvmeDriver>(sim_.get(), links_[d].get(),
+                                                  controllers_[d].get(), drv_cfg));
+
+    if (config_.enable_ccnvme) {
+      CcNvmeOptions cc_opts = config_.cc_options;
+      cc_opts.num_queues = config_.num_queues;
+      ccs_.push_back(std::make_unique<CcNvmeDriver>(sim_.get(), links_[d].get(),
+                                                    controllers_[d].get(), config_.costs,
+                                                    cc_opts));
+      ccs_[d]->set_device_id(d);
+    } else {
+      ccs_.push_back(nullptr);
+    }
+    members.push_back(Volume::Member{nvmes_[d].get(), ccs_[d].get(), ssds_[d].get()});
   }
-  blk_ = std::make_unique<BlockLayer>(sim_.get(), nvme_.get(), cc_.get(), config_.costs);
+
+  if (n > 1) {
+    if (image != nullptr && config_.volume.kind == VolumeKind::kMirror) {
+      // Mirror legs can diverge across a crash (one leg's doorbell rung,
+      // another's not). Reads are served by the primary leg, so resync the
+      // others from leg 0's durable media before anything is mounted. Each
+      // leg's PMR is left alone — recovery scans the union of the members'
+      // real [P-SQ-head, P-SQDB) windows.
+      for (uint16_t d = 1; d < n; ++d) {
+        ssds_[d]->media().LoadDurable(image->devices[0].media);
+      }
+    }
+    volume_ = std::make_unique<Volume>(sim_.get(), config_.volume, std::move(members));
+  }
+
+  blk_ = std::make_unique<BlockLayer>(sim_.get(), nvmes_[0].get(), ccs_[0].get(),
+                                      config_.costs);
+  if (volume_ != nullptr) {
+    blk_->set_volume(volume_.get());
+  }
   fs_ = std::make_unique<ExtFs>(sim_.get(), blk_.get(), config_.costs, config_.fs);
 }
 
@@ -83,16 +123,29 @@ Tracer& StorageStack::EnableTracing(size_t ring_capacity) {
 }
 
 void StorageStack::SetRecorder(BioRecorder recorder) {
-  if (cc_ != nullptr) {
-    cc_->set_recorder(recorder);
+  for (auto& cc : ccs_) {
+    if (cc != nullptr) {
+      cc->set_recorder(recorder);
+    }
   }
-  blk_->set_recorder(std::move(recorder));
+  if (volume_ != nullptr) {
+    // The volume records media events itself (with the member device
+    // stamped); the block-layer recorder stays unset so events are not
+    // double-counted.
+    volume_->set_recorder(std::move(recorder));
+  } else {
+    blk_->set_recorder(std::move(recorder));
+  }
 }
 
 CrashImage StorageStack::CaptureCrashImage() const {
   CrashImage image;
-  image.media = ssd_->media().SnapshotDurable();
-  image.pmr.assign(controller_->pmr().bytes().begin(), controller_->pmr().bytes().end());
+  image.devices.resize(ssds_.size());
+  for (size_t d = 0; d < ssds_.size(); ++d) {
+    image.devices[d].media = ssds_[d]->media().SnapshotDurable();
+    image.devices[d].pmr.assign(controllers_[d]->pmr().bytes().begin(),
+                                controllers_[d]->pmr().bytes().end());
+  }
   return image;
 }
 

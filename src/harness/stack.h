@@ -10,9 +10,12 @@
 #include <functional>
 #include <memory>
 
+#include <vector>
+
 #include "src/block/block_layer.h"
 #include "src/extfs/extfs.h"
 #include "src/trace/tracer.h"
+#include "src/volume/volume.h"
 
 namespace ccnvme {
 
@@ -27,12 +30,29 @@ struct StackConfig {
   // cheap to simulate).
   uint64_t fs_total_blocks = 256 * 1024;
   ExtFsOptions fs;
+  // Number of member devices. 1 = classic single-device stack; >1 binds the
+  // devices (each with its own link/SSD/controller/drivers) into one
+  // crash-consistent volume per |volume|.
+  uint16_t num_devices = 1;
+  VolumeConfig volume;
 };
 
-// The durable bytes that survive a power cut: media durable view + PMR.
-struct CrashImage {
+// One member device's durable bytes: media durable view + PMR.
+struct DeviceImage {
   MediaStore::BlockMap media;
   Buffer pmr;
+};
+
+// The durable bytes that survive a power cut, one entry per member device
+// (single-device stacks use devices[0] via the accessors).
+struct CrashImage {
+  std::vector<DeviceImage> devices;
+
+  CrashImage() : devices(1) {}
+  MediaStore::BlockMap& media() { return devices[0].media; }
+  const MediaStore::BlockMap& media() const { return devices[0].media; }
+  Buffer& pmr() { return devices[0].pmr; }
+  const Buffer& pmr() const { return devices[0].pmr; }
 };
 
 class StorageStack {
@@ -74,11 +94,20 @@ class StorageStack {
   Tracer* tracer() { return tracer_.get(); }
 
   Simulator& sim() { return *sim_; }
-  PcieLink& link() { return *link_; }
-  SsdModel& ssd() { return *ssd_; }
-  NvmeController& controller() { return *controller_; }
-  NvmeDriver& nvme() { return *nvme_; }
-  CcNvmeDriver* ccnvme() { return cc_.get(); }
+  // Device-0 accessors (the only device on classic stacks).
+  PcieLink& link() { return *links_[0]; }
+  SsdModel& ssd() { return *ssds_[0]; }
+  NvmeController& controller() { return *controllers_[0]; }
+  NvmeDriver& nvme() { return *nvmes_[0]; }
+  CcNvmeDriver* ccnvme() { return ccs_[0].get(); }
+  // Per-member accessors for multi-device stacks.
+  uint16_t num_devices() const { return static_cast<uint16_t>(ssds_.size()); }
+  SsdModel& ssd(uint16_t device) { return *ssds_[device]; }
+  NvmeController& controller(uint16_t device) { return *controllers_[device]; }
+  NvmeDriver& nvme(uint16_t device) { return *nvmes_[device]; }
+  CcNvmeDriver* ccnvme(uint16_t device) { return ccs_[device].get(); }
+  // The volume binding the members, or nullptr on single-device stacks.
+  Volume* volume() { return volume_.get(); }
   BlockLayer& blk() { return *blk_; }
   ExtFs& fs() { return *fs_; }
   const StackConfig& config() const { return config_; }
@@ -92,11 +121,12 @@ class StorageStack {
   // whose RAII spans still call into the tracer.
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<Simulator> sim_;
-  std::unique_ptr<PcieLink> link_;
-  std::unique_ptr<SsdModel> ssd_;
-  std::unique_ptr<NvmeController> controller_;
-  std::unique_ptr<NvmeDriver> nvme_;
-  std::unique_ptr<CcNvmeDriver> cc_;
+  std::vector<std::unique_ptr<PcieLink>> links_;
+  std::vector<std::unique_ptr<SsdModel>> ssds_;
+  std::vector<std::unique_ptr<NvmeController>> controllers_;
+  std::vector<std::unique_ptr<NvmeDriver>> nvmes_;
+  std::vector<std::unique_ptr<CcNvmeDriver>> ccs_;
+  std::unique_ptr<Volume> volume_;
   std::unique_ptr<BlockLayer> blk_;
   std::unique_ptr<ExtFs> fs_;
 };

@@ -225,7 +225,7 @@ Status Jbd2Journal::CommitOne(const std::shared_ptr<TxState>& tx) {
       blk_->SubmitTxWrite(tx->tx_id, member_lbas[i], &tx->metadata[i]->data);
     }
     auto handle = blk_->CommitTx(tx->tx_id, jd_lba, &desc_buf);
-    blk_->ccnvme()->WaitDurable(handle);
+    blk_->WaitTxDurable(handle);
     free_blocks_ -= tx->metadata.size() + 1;
 
     CheckpointTx cp;
@@ -359,7 +359,7 @@ Status Jbd2Journal::Recover() {
   const bool have_window = options_.over_ccnvme && blk_->has_ccnvme();
   std::set<uint64_t> in_doubt;
   if (have_window) {
-    for (const auto& req : blk_->ccnvme()->recovered_window()) {
+    for (const auto& req : blk_->RecoveredWindow()) {
       in_doubt.insert(req.tx_id);
     }
   }

@@ -197,7 +197,7 @@ Status MqJournal::Sync(const SyncOp& op, SyncMode mode) {
   }
   if (mode == SyncMode::kFsync) {
     ScopedSpan wait_span(tracer, TracePoint::kSyncWaitDurable);
-    blk_->ccnvme()->WaitDurable(handle);
+    blk_->WaitTxDurable(handle);
     Simulator::Sleep(costs_.wakeup_ns);
   }
   // kFatomic / kFdataatomic: the atomicity point has passed (the doorbell
@@ -426,7 +426,7 @@ Status MqJournal::Recover() {
   if (blk_->has_ccnvme()) {
     have_window = true;
     if (!options_.test_skip_psq_window_scan) {
-      for (const auto& req : blk_->ccnvme()->recovered_window()) {
+      for (const auto& req : blk_->RecoveredWindow()) {
         in_doubt.insert(req.tx_id);
       }
     }

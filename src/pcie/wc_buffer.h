@@ -24,12 +24,25 @@ namespace ccnvme {
 
 class WcBuffer {
  public:
-  explicit WcBuffer(PcieLink* link) : link_(link) {}
+  // |capacity_bytes| models the CPU's finite set of WC line buffers: storing
+  // past it evicts the oldest lines as an early posted burst (they reach the
+  // device, but are not guaranteed persistent until the next FlushPersistent
+  // fences them). 0 = unlimited, the default, which keeps the traffic counts
+  // of transaction-aware MMIO exactly one burst per flush.
+  explicit WcBuffer(PcieLink* link, uint64_t capacity_bytes = 0)
+      : link_(link), capacity_bytes_(capacity_bytes) {}
 
   // CPU store of |bytes| into the WC-mapped region.
   void Store(uint64_t bytes) {
     link_->CpuStoreToWc(bytes);
     pending_bytes_ += bytes;
+    if (capacity_bytes_ != 0 && pending_bytes_ > capacity_bytes_) {
+      const uint64_t excess = pending_bytes_ - capacity_bytes_;
+      link_->MmioWrite(excess);
+      evicted_bytes_ += excess;
+      unfenced_evictions_ = true;
+      pending_bytes_ = capacity_bytes_;
+    }
   }
 
   // Lets the buffered burst go out as a single posted MMIO write.
@@ -43,22 +56,41 @@ class WcBuffer {
 
   // Durably flushes: clflush+mfence, the combined burst, then the
   // zero-length read fence. On return the stored bytes are persistent in
-  // the PMR.
+  // the PMR — including any lines an earlier capacity eviction already
+  // pushed out as posted writes (the read fence is what pins those down).
   void FlushPersistent() {
-    if (pending_bytes_ == 0) {
+    if (pending_bytes_ == 0 && !unfenced_evictions_) {
       return;
     }
-    link_->CpuFlushLines(pending_bytes_);
-    link_->MmioWrite(pending_bytes_);
+    if (pending_bytes_ != 0) {
+      link_->CpuFlushLines(pending_bytes_);
+      link_->MmioWrite(pending_bytes_);
+    }
     link_->MmioReadFence(0);
     pending_bytes_ = 0;
+    unfenced_evictions_ = false;
+  }
+
+  // Drops the buffered (not yet issued) stores without any bus traffic.
+  // Used when an open transaction is aborted: its staged-but-unrung SQEs
+  // must never form a burst.
+  void Discard() {
+    pending_bytes_ = 0;
+    unfenced_evictions_ = false;
   }
 
   uint64_t pending_bytes() const { return pending_bytes_; }
+  // Total bytes pushed out early by capacity pressure.
+  uint64_t evicted_bytes() const { return evicted_bytes_; }
+  // True when evicted lines have not yet been pinned by a persistent fence.
+  bool has_unfenced_evictions() const { return unfenced_evictions_; }
 
  private:
   PcieLink* link_;
+  uint64_t capacity_bytes_;
   uint64_t pending_bytes_ = 0;
+  uint64_t evicted_bytes_ = 0;
+  bool unfenced_evictions_ = false;
 };
 
 }  // namespace ccnvme

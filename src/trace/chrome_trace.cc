@@ -25,8 +25,9 @@ void AppendCommonFields(std::string& out, const TraceEvent& ev) {
   AppendTimestamp(out, ev.ts_ns);
 }
 
-void AppendArgs(std::string& out, uint64_t req_id, uint64_t tx_id, uint64_t arg0) {
-  if (req_id == 0 && tx_id == 0 && arg0 == 0) return;
+void AppendArgs(std::string& out, uint64_t req_id, uint64_t tx_id, uint64_t arg0,
+                uint16_t device) {
+  if (req_id == 0 && tx_id == 0 && arg0 == 0 && device == 0) return;
   out += ",\"args\":{";
   bool first = true;
   auto field = [&](const char* key, uint64_t value) {
@@ -41,6 +42,7 @@ void AppendArgs(std::string& out, uint64_t req_id, uint64_t tx_id, uint64_t arg0
   field("req", req_id);
   field("tx", tx_id);
   field("arg0", arg0);
+  field("dev", device);
   out += '}';
 }
 
@@ -78,7 +80,7 @@ std::string ChromeTraceJson(const Tracer& tracer) {
       AppendCommonFields(out, ev);
       out += ",\"s\":\"t\"";
     }
-    AppendArgs(out, ev.req_id, ev.tx_id, ev.arg0);
+    AppendArgs(out, ev.req_id, ev.tx_id, ev.arg0, ev.device);
     out += '}';
   }
 
@@ -92,9 +94,10 @@ std::string ChromeTraceJson(const Tracer& tracer) {
     ev.arg0 = span.arg0;
     ev.point = span.point;
     ev.track = track;
+    ev.device = span.device;
     out += "{\"ph\":\"B\",";
     AppendCommonFields(out, ev);
-    AppendArgs(out, ev.req_id, ev.tx_id, ev.arg0);
+    AppendArgs(out, ev.req_id, ev.tx_id, ev.arg0, ev.device);
     out += '}';
   }
 

@@ -24,8 +24,9 @@
 namespace ccnvme {
 
 struct TraceContext {
-  uint64_t req_id = 0;  // 0 = unattributed
-  uint64_t tx_id = 0;   // 0 = no transaction
+  uint64_t req_id = 0;   // 0 = unattributed
+  uint64_t tx_id = 0;    // 0 = no transaction
+  uint16_t device = 0;   // member device of a multi-device volume
 };
 
 namespace trace_internal {

@@ -50,7 +50,7 @@ const TraceEvent& Tracer::event(size_t i) const {
 void Tracer::BeginSpan(TracePoint point, uint64_t arg0) {
   Track& track = CurrentTrack();
   const TraceContext& ctx = CurrentTraceContext();
-  track.stack.push_back(OpenSpan{point, sim_->now(), ctx.req_id, ctx.tx_id, arg0});
+  track.stack.push_back(OpenSpan{point, sim_->now(), ctx.req_id, ctx.tx_id, arg0, ctx.device});
 }
 
 void Tracer::EndSpan(TracePoint point) {
@@ -73,6 +73,7 @@ void Tracer::EndSpan(TracePoint point) {
   ev.point = point;
   ev.is_span = true;
   ev.track = track.id;
+  ev.device = top.device;
   Append(ev);
 
   PointAgg& agg = agg_[static_cast<size_t>(point)];
@@ -95,6 +96,7 @@ void Tracer::InstantWith(TracePoint point, const TraceContext& ctx, uint64_t arg
   ev.point = point;
   ev.is_span = false;
   ev.track = track.id;
+  ev.device = ctx.device;
   Append(ev);
   ++agg_[static_cast<size_t>(point)].count;
 }
@@ -143,6 +145,9 @@ std::vector<std::string> Tracer::FormatTail(size_t max_events) const {
     }
     if (ev.tx_id != 0) {
       len += std::snprintf(buf + len, sizeof(buf) - len, " tx=%" PRIu64, ev.tx_id);
+    }
+    if (ev.device != 0) {
+      len += std::snprintf(buf + len, sizeof(buf) - len, " dev=%u", ev.device);
     }
     if (ev.arg0 != 0) {
       std::snprintf(buf + len, sizeof(buf) - len, " arg=%" PRIu64, ev.arg0);

@@ -41,6 +41,7 @@ struct TraceEvent {
   TracePoint point = TracePoint::kNumPoints;
   bool is_span = false;
   uint32_t track = 0;
+  uint16_t device = 0;  // volume member device the event executed against
 };
 
 class Tracer {
@@ -114,6 +115,7 @@ class Tracer {
     uint64_t req_id = 0;
     uint64_t tx_id = 0;
     uint64_t arg0 = 0;
+    uint16_t device = 0;
   };
   // Still-open spans, outer-to-inner per track, tracks in id order.
   std::vector<std::pair<uint32_t, OpenSpan>> OpenSpans() const;

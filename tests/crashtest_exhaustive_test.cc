@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <thread>
 
 #include "src/crashtest/crash_explorer.h"
@@ -145,6 +146,78 @@ TEST(ExhaustiveCoverageTest, EveryDurabilityEventIsABoundary) {
   };
   EXPECT_GT(count_op(BioOp::kComplete), 0u);
   EXPECT_GT(count_op(BioOp::kPmrDoorbell), 0u);
+}
+
+// --- Multi-device volumes ---------------------------------------------
+//
+// The volume-wide atomicity point is the commit device's P-SQDB doorbell:
+// cuts anywhere — including between member seal doorbells and the commit
+// ring — must recover all-or-nothing ACROSS devices.
+
+StackConfig StripedConfig(uint16_t devices) {
+  StackConfig cfg = MqfsConfig();
+  cfg.num_devices = devices;
+  cfg.volume.kind = VolumeKind::kStripe;
+  // One-block chunks: consecutive fs blocks land on different members, so
+  // every journal transaction fans out across devices.
+  cfg.volume.chunk_blocks = 1;
+  return cfg;
+}
+
+StackConfig MirroredConfig() {
+  StackConfig cfg = MqfsConfig();
+  cfg.num_devices = 2;
+  cfg.volume.kind = VolumeKind::kMirror;
+  return cfg;
+}
+
+TEST(ExhaustiveVolumeTest, StripedAllBoundariesRecover) {
+  ExpectAllPassed(ExploreWorkload(StripedConfig(2), "overwrite_mixed", TestOptions()));
+}
+
+TEST(ExhaustiveVolumeTest, StripedFatomicAllOrNothingAcrossDevices) {
+  StackConfig cfg = StripedConfig(2);
+  cfg.fs.data_journaling = true;
+  ExpectAllPassed(ExploreWorkload(cfg, "atomic_overwrite", TestOptions()));
+}
+
+TEST(ExhaustiveVolumeTest, MirroredAllBoundariesRecover) {
+  ExpectAllPassed(ExploreWorkload(MirroredConfig(), "create_delete", TestOptions()));
+}
+
+// The recorded stream of a striped workload must interleave PMR doorbells
+// from more than one member device, and each must open a boundary — this is
+// what gives the explorer its cuts between member seals and the commit
+// device's ring.
+TEST(ExhaustiveVolumeTest, MemberDoorbellsAreBoundaries) {
+  Result<CrashWorkload> workload = FindCrashWorkload("overwrite_mixed");
+  ASSERT_TRUE(workload.ok());
+  const CrashRecording rec = RecordWorkload(StripedConfig(2), *workload);
+  const std::vector<size_t> boundaries = ConsistencyBoundaries(rec.events);
+  auto has = [&](size_t b) {
+    return std::find(boundaries.begin(), boundaries.end(), b) != boundaries.end();
+  };
+  std::set<uint16_t> doorbell_devices;
+  for (size_t i = 0; i < rec.events.size(); ++i) {
+    if (rec.events[i].op == BioOp::kPmrDoorbell) {
+      doorbell_devices.insert(rec.events[i].device);
+      EXPECT_TRUE(has(i + 1)) << "missing boundary after doorbell event " << i;
+    }
+  }
+  EXPECT_GT(doorbell_devices.size(), 1u)
+      << "striped transactions must ring doorbells on multiple members";
+}
+
+// INJECTED BUG: with the commit gate skipped the commit device's doorbell
+// rings while the member slices are still volatile; the explorer must
+// report a cross-device atomicity violation.
+TEST(ExhaustiveVolumeInjectedBugTest, SkippedCommitGateIsCaught) {
+  StackConfig cfg = StripedConfig(2);
+  cfg.volume.test_skip_volume_commit_gate = true;
+  const ExplorerReport report = ExploreWorkload(cfg, "overwrite_mixed", TestOptions());
+  EXPECT_FALSE(report.AllPassed())
+      << "explorer failed to catch the inverted volume commit order";
+  EXPECT_FALSE(report.failures.empty());
 }
 
 // Injected recovery bug: skipping the P-SQ window scan makes recovery

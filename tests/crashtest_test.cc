@@ -177,7 +177,7 @@ TEST(CrashMonkeyMqfsTest, CrashDuringRecoveryIsIdempotent) {
       const BioEvent& ev = recovery_writes[i];
       const size_t blocks = ev.data.size() / kFsBlockSize;
       for (size_t b = 0; b < blocks; ++b) {
-        second.media[ev.lba + b] =
+        second.media()[ev.lba + b] =
             Buffer(ev.data.begin() + static_cast<long>(b * kFsBlockSize),
                    ev.data.begin() + static_cast<long>((b + 1) * kFsBlockSize));
       }

@@ -25,24 +25,24 @@ StackConfig SmallConfig() {
 
 TEST(ImageFileTest, SaveLoadRoundTrip) {
   CrashImage image;
-  image.media[7] = Buffer(kFsBlockSize, 0xAB);
-  image.media[100] = Buffer(kFsBlockSize, 0xCD);
-  image.pmr = Buffer(2 * 1024 * 1024, 0x11);
+  image.media()[7] = Buffer(kFsBlockSize, 0xAB);
+  image.media()[100] = Buffer(kFsBlockSize, 0xCD);
+  image.pmr() = Buffer(2 * 1024 * 1024, 0x11);
   const std::string path = TempPath("roundtrip");
   ASSERT_TRUE(SaveImage(image, path).ok());
   auto loaded = LoadImage(path);
   ASSERT_TRUE(loaded.ok());
-  EXPECT_EQ(loaded->media.size(), 2u);
-  EXPECT_EQ(loaded->media[7], image.media[7]);
-  EXPECT_EQ(loaded->media[100], image.media[100]);
-  EXPECT_EQ(loaded->pmr, image.pmr);
+  EXPECT_EQ(loaded->media().size(), 2u);
+  EXPECT_EQ(loaded->media()[7], image.media()[7]);
+  EXPECT_EQ(loaded->media()[100], image.media()[100]);
+  EXPECT_EQ(loaded->pmr(), image.pmr());
   std::remove(path.c_str());
 }
 
 TEST(ImageFileTest, CorruptionDetected) {
   CrashImage image;
-  image.media[1] = Buffer(kFsBlockSize, 0x77);
-  image.pmr = Buffer(1024, 0);
+  image.media()[1] = Buffer(kFsBlockSize, 0x77);
+  image.pmr() = Buffer(1024, 0);
   const std::string path = TempPath("corrupt");
   ASSERT_TRUE(SaveImage(image, path).ok());
   // Flip a byte in the middle.

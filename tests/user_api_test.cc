@@ -109,8 +109,8 @@ TEST(UserApiTest, CrashBeforeDoorbellIsNothing) {
     // No commit. Power cut:
   });
   const CrashImage image = stack.CaptureCrashImage();
-  auto it = image.media.find(500);
-  EXPECT_TRUE(it == image.media.end() || *it->second.data() != 0x77)
+  auto it = image.media().find(500);
+  EXPECT_TRUE(it == image.media().end() || *it->second.data() != 0x77)
       << "uncommitted staged write leaked to media";
 }
 

@@ -1,0 +1,151 @@
+// Write-combining buffer tests: burst coalescing, persistent-fence
+// ordering, capacity-pressure evictions and their interaction with
+// interleaved fences, and the abort-path Discard.
+#include <gtest/gtest.h>
+
+#include "src/pcie/wc_buffer.h"
+#include "src/sim/simulator.h"
+
+namespace ccnvme {
+namespace {
+
+// Runs |body| inside a simulator actor (PcieLink timing needs virtual time).
+void RunSim(std::function<void(PcieLink&)> body) {
+  Simulator sim;
+  PcieLink link(&sim, PcieConfig{});
+  sim.Spawn("wc", [&] { body(link); });
+  sim.Run();
+  sim.Shutdown();
+}
+
+TEST(WcBufferTest, StoresCoalesceIntoOneBurst) {
+  RunSim([](PcieLink& link) {
+    WcBuffer wc(&link);
+    for (int i = 0; i < 8; ++i) {
+      wc.Store(64);
+    }
+    EXPECT_EQ(wc.pending_bytes(), 8u * 64u);
+    EXPECT_EQ(link.traffic().mmio_writes, 0u) << "stores alone must not hit the bus";
+
+    wc.FlushNonPersistent();
+    EXPECT_EQ(wc.pending_bytes(), 0u);
+    EXPECT_EQ(link.traffic().mmio_writes, 1u) << "eight stores, one combined burst";
+    EXPECT_EQ(link.traffic().mmio_write_bytes, 8u * 64u);
+    EXPECT_EQ(link.traffic().mmio_reads, 0u);
+  });
+}
+
+TEST(WcBufferTest, PersistentFlushAddsReadFence) {
+  RunSim([](PcieLink& link) {
+    WcBuffer wc(&link);
+    wc.Store(128);
+    wc.FlushPersistent();
+    EXPECT_EQ(wc.pending_bytes(), 0u);
+    EXPECT_EQ(link.traffic().mmio_writes, 1u);
+    EXPECT_EQ(link.traffic().mmio_reads, 1u) << "the zero-length read pins the burst";
+
+    // An empty persistent flush with nothing evicted is free: no traffic.
+    const TrafficStats before = link.SnapshotTraffic();
+    wc.FlushPersistent();
+    EXPECT_EQ(link.traffic().mmio_writes, before.mmio_writes);
+    EXPECT_EQ(link.traffic().mmio_reads, before.mmio_reads);
+  });
+}
+
+TEST(WcBufferTest, CapacityPressureEvictsOldestLinesEarly) {
+  RunSim([](PcieLink& link) {
+    WcBuffer wc(&link, /*capacity_bytes=*/256);
+    wc.Store(256);
+    EXPECT_EQ(wc.evicted_bytes(), 0u);
+    EXPECT_FALSE(wc.has_unfenced_evictions());
+
+    // One line over capacity: the excess goes out as an early posted write.
+    wc.Store(64);
+    EXPECT_EQ(wc.evicted_bytes(), 64u);
+    EXPECT_TRUE(wc.has_unfenced_evictions());
+    EXPECT_EQ(wc.pending_bytes(), 256u) << "buffer stays clamped at capacity";
+    EXPECT_EQ(link.traffic().mmio_writes, 1u);
+
+    // More pressure keeps evicting; the counter accumulates.
+    wc.Store(192);
+    EXPECT_EQ(wc.evicted_bytes(), 64u + 192u);
+    EXPECT_EQ(link.traffic().mmio_writes, 2u);
+  });
+}
+
+TEST(WcBufferTest, FenceAfterEvictionPinsEvictedLines) {
+  RunSim([](PcieLink& link) {
+    WcBuffer wc(&link, /*capacity_bytes=*/128);
+    wc.Store(128);
+    wc.Store(64);  // evicts 64 bytes as an unfenced posted write
+    ASSERT_TRUE(wc.has_unfenced_evictions());
+
+    // The next persistent flush must fence BOTH the still-buffered lines and
+    // the earlier eviction: one more burst plus exactly one read fence.
+    wc.FlushPersistent();
+    EXPECT_FALSE(wc.has_unfenced_evictions());
+    EXPECT_EQ(wc.pending_bytes(), 0u);
+    EXPECT_EQ(link.traffic().mmio_writes, 2u);  // eviction burst + flush burst
+    EXPECT_EQ(link.traffic().mmio_reads, 1u);
+  });
+}
+
+TEST(WcBufferTest, EmptyPersistentFlushStillFencesPriorEvictions) {
+  RunSim([](PcieLink& link) {
+    WcBuffer wc(&link, /*capacity_bytes=*/64);
+    wc.Store(64);
+    wc.Store(64);  // evicts the first line
+    wc.FlushNonPersistent();  // drains the buffer, but NOT persistently
+    ASSERT_EQ(wc.pending_bytes(), 0u);
+    ASSERT_TRUE(wc.has_unfenced_evictions());
+
+    // Nothing is pending, yet the fence must still be issued: the evicted
+    // lines are posted writes with no persistence guarantee until now.
+    const uint64_t reads_before = link.traffic().mmio_reads;
+    wc.FlushPersistent();
+    EXPECT_EQ(link.traffic().mmio_reads, reads_before + 1);
+    EXPECT_FALSE(wc.has_unfenced_evictions());
+  });
+}
+
+TEST(WcBufferTest, InterleavedFencesKeepOneBurstPerTransaction) {
+  RunSim([](PcieLink& link) {
+    WcBuffer wc(&link);
+    // Transaction-aware MMIO: each transaction stores several SQEs and ends
+    // with ONE persistent flush — traffic must stay at exactly one burst and
+    // one read fence per transaction, independent of SQE count.
+    for (uint64_t tx = 1; tx <= 3; ++tx) {
+      for (uint64_t i = 0; i < tx + 1; ++i) {
+        wc.Store(64);
+      }
+      wc.FlushPersistent();
+      EXPECT_EQ(link.traffic().mmio_writes, tx);
+      EXPECT_EQ(link.traffic().mmio_reads, tx);
+    }
+  });
+}
+
+TEST(WcBufferTest, DiscardDropsStagedStoresWithoutTraffic) {
+  RunSim([](PcieLink& link) {
+    WcBuffer wc(&link, /*capacity_bytes=*/128);
+    wc.Store(96);
+    const TrafficStats before = link.SnapshotTraffic();
+    wc.Discard();
+    EXPECT_EQ(wc.pending_bytes(), 0u);
+    EXPECT_EQ(link.traffic().mmio_writes, before.mmio_writes)
+        << "aborted stores must never form a burst";
+
+    // After a discard, a flush is a no-op...
+    wc.FlushPersistent();
+    EXPECT_EQ(link.traffic().mmio_writes, before.mmio_writes);
+    EXPECT_EQ(link.traffic().mmio_reads, before.mmio_reads);
+
+    // ...and the buffer is reusable for the next transaction.
+    wc.Store(64);
+    wc.FlushPersistent();
+    EXPECT_EQ(link.traffic().mmio_writes, before.mmio_writes + 1);
+  });
+}
+
+}  // namespace
+}  // namespace ccnvme

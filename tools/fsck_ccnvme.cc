@@ -1,14 +1,19 @@
 // fsck_ccnvme: check a disk image for consistency.
 //
 //   fsck_ccnvme <image-path> [--journal-areas N] [--ls] [--save]
+//               [--mirror | --chunk N] [--json]
 //
 // Mounts the image (running journal recovery if the previous mount was
 // dirty), walks the directory tree, validates inodes, link counts and
 // directory structure, and prints a summary. With --ls the full tree is
-// listed; with --save the recovered image is written back.
+// listed; with --save the recovered image is written back; with --json a
+// machine-readable report is printed instead of the prose. Multi-device
+// images mount through the volume layer: --mirror selects RAID-1, --chunk N
+// sets the RAID-0 stripe unit (default 64 blocks).
 #include <cstdio>
 #include <cstring>
 #include <functional>
+#include <sstream>
 
 #include "src/harness/image_file.h"
 
@@ -48,12 +53,21 @@ int main(int argc, char** argv) {
   const std::string path = argv[1];
   bool ls = false;
   bool save = false;
+  bool emit_json = false;
+  bool mirror = false;
+  uint32_t chunk = 64;
   uint32_t areas = 1;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ls") == 0) {
       ls = true;
     } else if (std::strcmp(argv[i], "--save") == 0) {
       save = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      emit_json = true;
+    } else if (std::strcmp(argv[i], "--mirror") == 0) {
+      mirror = true;
+    } else if (std::strcmp(argv[i], "--chunk") == 0 && i + 1 < argc) {
+      chunk = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--journal-areas") == 0 && i + 1 < argc) {
       areas = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     }
@@ -69,10 +83,17 @@ int main(int argc, char** argv) {
   cfg.fs.journal = JournalKind::kMultiQueue;
   cfg.fs.journal_areas = areas;
   cfg.num_queues = static_cast<uint16_t>(areas);
-  // Read layout parameters from the on-media superblock.
+  // Multi-device images mount through the volume layer with the geometry
+  // given on the command line.
+  cfg.num_devices = static_cast<uint16_t>(image->devices.size());
+  cfg.volume.kind = mirror ? VolumeKind::kMirror : VolumeKind::kStripe;
+  cfg.volume.chunk_blocks = chunk;
+  // Read layout parameters from the on-media superblock. The superblock is
+  // volume block 0: on a stripe that is chunk 0 of device 0; on a mirror,
+  // leg 0 holds a full copy.
   {
-    auto it = image->media.find(0);
-    if (it == image->media.end()) {
+    auto it = image->devices[0].media.find(0);
+    if (it == image->devices[0].media.end()) {
       std::fprintf(stderr, "image has no superblock\n");
       return 1;
     }
@@ -85,7 +106,7 @@ int main(int argc, char** argv) {
     cfg.fs.journal_blocks = sb->journal_blocks;
     cfg.fs.journal_areas = sb->journal_areas;
     cfg.num_queues = static_cast<uint16_t>(std::max<uint32_t>(1, sb->journal_areas));
-    if (sb->dirty_mount != 0) {
+    if (sb->dirty_mount != 0 && !emit_json) {
       std::printf("dirty mount flag set: journal recovery will run\n");
     }
   }
@@ -93,29 +114,53 @@ int main(int argc, char** argv) {
   StorageStack stack(cfg, *image);
   Status st = stack.MountExisting();
   if (!st.ok()) {
-    std::fprintf(stderr, "MOUNT FAILED: %s\n", st.ToString().c_str());
+    if (emit_json) {
+      std::printf("{\"mounted\": false, \"error\": \"%s\"}\n", st.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "MOUNT FAILED: %s\n", st.ToString().c_str());
+    }
     return 1;
   }
   int rc = 0;
+  std::ostringstream json;
   stack.Run([&] {
     Status consistent = stack.fs().CheckConsistency();
-    if (consistent.ok()) {
-      std::printf("filesystem: CLEAN\n");
-    } else {
-      std::printf("filesystem: CORRUPT — %s\n", consistent.ToString().c_str());
+    if (!consistent.ok()) {
       rc = 1;
     }
     auto inodes = stack.fs().allocator()->CountUsedInodes();
     auto blocks = stack.fs().allocator()->CountUsedBlocks();
-    if (inodes.ok() && blocks.ok()) {
-      std::printf("inodes in use: %llu   blocks in use: %llu\n",
-                  static_cast<unsigned long long>(*inodes),
-                  static_cast<unsigned long long>(*blocks));
-    }
-    if (ls) {
-      ListTree(stack.fs(), "", 0);
+    if (emit_json) {
+      json << "{\n  \"mounted\": true,\n  \"clean\": "
+           << (consistent.ok() ? "true" : "false");
+      if (!consistent.ok()) {
+        json << ",\n  \"corruption\": \"" << consistent.ToString() << "\"";
+      }
+      json << ",\n  \"num_devices\": " << stack.num_devices();
+      if (inodes.ok() && blocks.ok()) {
+        json << ",\n  \"inodes_in_use\": " << *inodes
+             << ",\n  \"blocks_in_use\": " << *blocks;
+      }
+      json << "\n}\n";
+    } else {
+      if (consistent.ok()) {
+        std::printf("filesystem: CLEAN\n");
+      } else {
+        std::printf("filesystem: CORRUPT — %s\n", consistent.ToString().c_str());
+      }
+      if (inodes.ok() && blocks.ok()) {
+        std::printf("inodes in use: %llu   blocks in use: %llu\n",
+                    static_cast<unsigned long long>(*inodes),
+                    static_cast<unsigned long long>(*blocks));
+      }
+      if (ls) {
+        ListTree(stack.fs(), "", 0);
+      }
     }
   });
+  if (emit_json) {
+    std::fputs(json.str().c_str(), stdout);
+  }
   if (rc == 0 && save) {
     Status us = stack.Unmount();
     if (us.ok()) {
@@ -125,7 +170,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "save failed: %s\n", us.ToString().c_str());
       return 1;
     }
-    std::printf("recovered image saved\n");
+    if (!emit_json) {
+      std::printf("recovered image saved\n");
+    }
   }
   return rc;
 }

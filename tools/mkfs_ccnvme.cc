@@ -1,7 +1,7 @@
 // mkfs_ccnvme: format a disk image with the ccNVMe file system.
 //
 //   mkfs_ccnvme <image-path> [--blocks N] [--journal-areas N]
-//               [--journal-blocks N]
+//               [--journal-blocks N] [--devices N] [--mirror | --chunk N]
 //
 // The image can then be inspected with fsck_ccnvme / journal_inspect or
 // mounted by any program using LoadImage + StorageStack.
@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <image-path> [--blocks N] [--journal-areas N] "
-                 "[--journal-blocks N]\n",
+                 "[--journal-blocks N] [--devices N] [--mirror | --chunk N]\n",
                  argv[0]);
     return 2;
   }
@@ -25,14 +25,20 @@ int main(int argc, char** argv) {
   cfg.fs.journal = JournalKind::kMultiQueue;
   cfg.fs.journal_areas = 1;
   cfg.fs.journal_blocks = 4096;
-  for (int i = 2; i + 1 < argc; i += 2) {
-    if (std::strcmp(argv[i], "--blocks") == 0) {
-      cfg.fs_total_blocks = std::strtoull(argv[i + 1], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--journal-areas") == 0) {
-      cfg.fs.journal_areas = static_cast<uint32_t>(std::strtoul(argv[i + 1], nullptr, 10));
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--blocks") == 0 && i + 1 < argc) {
+      cfg.fs_total_blocks = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--journal-areas") == 0 && i + 1 < argc) {
+      cfg.fs.journal_areas = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
       cfg.num_queues = static_cast<uint16_t>(cfg.fs.journal_areas);
-    } else if (std::strcmp(argv[i], "--journal-blocks") == 0) {
-      cfg.fs.journal_blocks = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--journal-blocks") == 0 && i + 1 < argc) {
+      cfg.fs.journal_blocks = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < argc) {
+      cfg.num_devices = static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--chunk") == 0 && i + 1 < argc) {
+      cfg.volume.chunk_blocks = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--mirror") == 0) {
+      cfg.volume.kind = VolumeKind::kMirror;
     } else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return 2;
@@ -55,9 +61,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("formatted %s: %llu blocks (%.1f MB), %u journal area(s) x %llu blocks\n",
-              path.c_str(), static_cast<unsigned long long>(cfg.fs_total_blocks),
-              cfg.fs_total_blocks * kFsBlockSize / 1e6, cfg.fs.journal_areas,
-              static_cast<unsigned long long>(cfg.fs.journal_blocks / cfg.fs.journal_areas));
+  std::printf(
+      "formatted %s: %llu blocks (%.1f MB), %u journal area(s) x %llu blocks, "
+      "%u device(s)\n",
+      path.c_str(), static_cast<unsigned long long>(cfg.fs_total_blocks),
+      cfg.fs_total_blocks * kFsBlockSize / 1e6, cfg.fs.journal_areas,
+      static_cast<unsigned long long>(cfg.fs.journal_blocks / cfg.fs.journal_areas),
+      cfg.num_devices);
   return 0;
 }
