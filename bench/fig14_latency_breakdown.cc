@@ -5,9 +5,10 @@
 // S = submit, W = wait; iD = the file's data, iM = its inode metadata,
 // pM = parent-directory metadata (incl. bitmaps), JH = journal description.
 //
-// The per-phase numbers come from the cross-layer tracer: the FS/journal
-// emit kSync* spans (src/trace/trace_point.h) and this bench reads the
-// tracer's per-point aggregation — no bench-specific plumbing in the stack.
+// The per-phase numbers come from the metrics engine's phase attribution:
+// the FS/journal emit kSync* spans (src/trace/trace_point.h), the tracer
+// forwards every completed span into per-phase histograms (src/metrics) and
+// this bench reads a MetricsSnapshot — no bench-specific aggregation.
 //
 // Expected shape (paper, nanoseconds):
 //   MQFS:    S-iD~6790 S-iM~1782 S-pM~1599 S-JH~1107, fatomic~10300,
@@ -16,6 +17,7 @@
 //   Ext4-NJ: iD~17928 iM~10519 pM~10040, fsync~38487 — three serialized
 //            submit+wait phases (the CPU idles between them).
 #include <cstdio>
+#include <string>
 
 #include "src/harness/stack.h"
 
@@ -24,8 +26,8 @@ namespace {
 
 // Per-sync mean of each phase over the measured iterations: a phase may fire
 // several times per sync (e.g. one kSyncSubmitParent span per parent block),
-// so its spans are summed and divided by the number of syncs, not by the
-// number of spans.
+// so its span durations are summed and divided by the number of syncs, not
+// by the number of spans.
 struct Breakdown {
   double mean[kNumTracePoints] = {};
   double Of(TracePoint p) const { return mean[static_cast<size_t>(p)]; }
@@ -39,14 +41,14 @@ Breakdown RunBreakdown(JournalKind kind, SyncMode mode) {
   cfg.fs.journal_areas = 1;
   cfg.fs.journal_blocks = 4096;
   StorageStack stack(cfg);
-  Tracer& tracer = stack.EnableTracing();
+  Metrics& metrics = stack.EnableMetrics();
   Status st = stack.MkfsAndMount();
   CCNVME_CHECK(st.ok()) << st.ToString();
 
   stack.Run([&] {
     for (int i = 0; i < 100; ++i) {
       if (i == 10) {  // skip warm-up
-        tracer.ResetAggregation();
+        metrics.ResetAggregation();
       }
       auto ino = stack.fs().Create("/bd_" + std::to_string(i));
       CCNVME_CHECK(ino.ok());
@@ -58,12 +60,19 @@ Breakdown RunBreakdown(JournalKind kind, SyncMode mode) {
     }
   });
 
+  const MetricsSnapshot snap = metrics.TakeSnapshot();
+  CCNVME_CHECK_EQ(snap.TotalViolations(), 0u) << "invariant violation during bench";
   Breakdown bd;
-  const uint64_t syncs = tracer.agg(TracePoint::kSyncTotal).count;
-  CCNVME_CHECK_GT(syncs, 0u);
+  const Histogram* total =
+      snap.Histo(std::string("phase.") + TracePointName(TracePoint::kSyncTotal));
+  CCNVME_CHECK(total != nullptr && total->count() > 0);
+  const uint64_t syncs = total->count();
   for (size_t p = 0; p < kNumTracePoints; ++p) {
-    bd.mean[p] = static_cast<double>(tracer.agg(static_cast<TracePoint>(p)).total_ns) /
-                 static_cast<double>(syncs);
+    const Histogram* h =
+        snap.Histo(std::string("phase.") + TracePointName(static_cast<TracePoint>(p)));
+    if (h != nullptr) {
+      bd.mean[p] = static_cast<double>(h->sum()) / static_cast<double>(syncs);
+    }
   }
   return bd;
 }

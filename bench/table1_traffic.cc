@@ -30,24 +30,28 @@ struct Row {
   const char* paper_irq;
 };
 
-// The four Table-1 columns, read from the tracer's PCIe-layer counters
-// (the tracer hooks in src/pcie count every link crossing).
+// The four Table-1 columns, read from the metrics engine's PCIe traffic
+// counters (fed by the tracer hooks in src/pcie that count every link
+// crossing) via snapshot/delta.
 struct Traffic {
   uint64_t mmio_writes = 0;
   uint64_t dma_queue_ops = 0;
   uint64_t block_ios = 0;
   uint64_t irqs = 0;
-  Traffic operator-(const Traffic& o) const {
-    return {mmio_writes - o.mmio_writes, dma_queue_ops - o.dma_queue_ops,
-            block_ios - o.block_ios, irqs - o.irqs};
-  }
 };
+
+Traffic FromSnapshot(const MetricsSnapshot& snap) {
+  return Traffic{snap.Counter(TraceCounterName(TraceCounter::kMmioWrites)),
+                 snap.Counter(TraceCounterName(TraceCounter::kDmaQueueOps)),
+                 snap.Counter(TraceCounterName(TraceCounter::kBlockIos)),
+                 snap.Counter(TraceCounterName(TraceCounter::kIrqs))};
+}
 
 Traffic MeasureOne(TxEngine engine, int n, bool stop_at_atomic) {
   StackConfig cfg;
   cfg.ssd = SsdConfig::OptaneP5800X();
   StorageStack stack(cfg);
-  Tracer& tracer = stack.EnableTracing();
+  Metrics& metrics = stack.EnableMetrics();
   Traffic delta;
   stack.Run([&] {
     std::vector<uint64_t> lbas;
@@ -62,16 +66,10 @@ Traffic MeasureOne(TxEngine engine, int n, bool stop_at_atomic) {
     if (warm != nullptr) {
       stack.ccnvme()->WaitDurable(warm);
     }
-    auto snapshot = [&tracer] {
-      return Traffic{tracer.counter(TraceCounter::kMmioWrites),
-                     tracer.counter(TraceCounter::kDmaQueueOps),
-                     tracer.counter(TraceCounter::kBlockIos),
-                     tracer.counter(TraceCounter::kIrqs)};
-    };
-    const Traffic before = snapshot();
+    const MetricsSnapshot before = metrics.TakeSnapshot();
     auto tx = RunOneTransaction(stack, engine, 0, 2, lbas, payloads, jd, 6000);
     if (stop_at_atomic) {
-      delta = snapshot() - before;
+      delta = FromSnapshot(metrics.TakeSnapshot().DeltaSince(before));
       if (tx != nullptr) {
         stack.ccnvme()->WaitDurable(tx);  // drain before teardown
       }
@@ -79,7 +77,7 @@ Traffic MeasureOne(TxEngine engine, int n, bool stop_at_atomic) {
       if (tx != nullptr) {
         stack.ccnvme()->WaitDurable(tx);
       }
-      delta = snapshot() - before;
+      delta = FromSnapshot(metrics.TakeSnapshot().DeltaSince(before));
     }
   });
   return delta;

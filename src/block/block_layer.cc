@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/metrics/metrics.h"
 #include "src/trace/tracer.h"
 
 namespace ccnvme {
@@ -225,6 +226,9 @@ void BlockLayer::SubmitTxWrite(uint64_t tx_id, uint64_t lba, const Buffer* data,
   if (Tracer* t = sim_->tracer()) {
     t->InstantWith(TracePoint::kBioSubmit, {CurrentTraceContext().req_id, tx_id}, lba);
   }
+  if (Metrics* m = sim_->metrics()) {
+    m->monitors().OnTxMemberStaged(tx_id);
+  }
   if (volume_ != nullptr) {
     volume_->SubmitTx(tls_queue, tx_id, lba, data, std::move(on_complete));
     return;
@@ -242,6 +246,11 @@ CcNvmeDriver::TxHandle BlockLayer::CommitTx(uint64_t tx_id, uint64_t lba, const 
   Simulator::Sleep(costs_.block_layer_submit_ns);
   if (Tracer* t = sim_->tracer()) {
     t->InstantWith(TracePoint::kBioSubmit, {CurrentTraceContext().req_id, tx_id}, lba);
+  }
+  if (Metrics* m = sim_->metrics()) {
+    // The commit record closes the transaction: every member block the
+    // journal declared must have been staged through SubmitTxWrite by now.
+    m->monitors().OnTxCommitRecord(tx_id);
   }
   if (volume_ != nullptr) {
     return volume_->CommitTx(tls_queue, tx_id, lba, data, std::move(on_durable));

@@ -1,6 +1,7 @@
 #include "src/ccnvme/ccnvme_driver.h"
 
 #include "src/common/logging.h"
+#include "src/metrics/metrics.h"
 #include "src/trace/tracer.h"
 
 namespace ccnvme {
@@ -56,6 +57,13 @@ void CcNvmeDriver::FlushAndRing(Queue& q, uint64_t tx_id) {
                         {CurrentTraceContext().req_id, tx_id, device_id_}, q.sq_tail);
   }
   RecordPmr(BioOp::kPmrFence, q.qid, 0, {}, 0, tx_id);
+  if (Metrics* m = sim_->metrics()) {
+    // At the ring the WC buffer must already be persistent (flush-before-
+    // doorbell) and the P-SQDB must advance by exactly the staged SQEs.
+    m->monitors().OnDoorbellRing(device_id_, q.qid, q.qp->depth, q.last_rung_tail,
+                                 q.sq_tail, q.psq_head, q.unrung_cids.size(),
+                                 q.wc->pending_bytes());
+  }
   PmrStoreU32(q, BioOp::kPmrDoorbell, DoorbellOffset(q), q.sq_tail, tx_id);
   link_->MmioWrite(4);
   controller_->RingSqDoorbell(q.qp, q.sq_tail);
@@ -223,6 +231,9 @@ CcNvmeDriver::TxHandle CcNvmeDriver::CommitTx(uint16_t qid, uint64_t tx_id, uint
   // doorbell has been rung. A crash from here on recovers all-or-nothing
   // with "all" available once the device drains the queue.
   tx->atomic_at_ns = sim_->now();
+  if (Metrics* m = sim_->metrics()) {
+    m->monitors().OnTxCommitted(device_id_, q.qid, tx_id);
+  }
   if (tracer != nullptr) {
     tracer->InstantWith(TracePoint::kTxAtomic,
                         {CurrentTraceContext().req_id, tx_id, device_id_});
@@ -265,6 +276,9 @@ CcNvmeDriver::TxHandle CcNvmeDriver::SealTx(uint16_t qid, uint64_t tx_id,
   q.inflight_txs.push_back(tx);
   q.open_tx = nullptr;
   tx->atomic_at_ns = sim_->now();
+  if (Metrics* m = sim_->metrics()) {
+    m->monitors().OnTxCommitted(device_id_, q.qid, tx_id);
+  }
   if (tracer != nullptr) {
     tracer->InstantWith(TracePoint::kTxAtomic,
                         {CurrentTraceContext().req_id, tx_id, device_id_});
@@ -306,6 +320,12 @@ void CcNvmeDriver::CompleteReadyTransactions(Queue& q) {
       // Chain the completion doorbell: persistently advance P-SQ-head, then
       // ring the CQDB (§4.4). The head store is uncached: durable the moment
       // it issues, which is what lets recovery trust everything behind it.
+      if (Metrics* m = sim_->metrics()) {
+        m->monitors().OnTxCompleted(device_id_, q.qid, tx->tx_id,
+                                    /*front_of_queue=*/true);
+        m->monitors().OnHeadAdvance(device_id_, q.qid, q.qp->depth, q.psq_head,
+                                    tx->end_slot, q.last_rung_tail);
+      }
       q.psq_head = tx->end_slot;
       if (Tracer* t = sim_->tracer()) {
         t->InstantWith(TracePoint::kPsqHead, {0, tx->tx_id, device_id_}, q.psq_head);
@@ -331,6 +351,10 @@ void CcNvmeDriver::CompleteReadyTransactions(Queue& q) {
     for (auto it = q.inflight_txs.begin(); it != q.inflight_txs.end();) {
       TxHandle tx = *it;
       if (tx->committed && tx->outstanding == 0) {
+        const bool was_front = it == q.inflight_txs.begin();
+        if (Metrics* m = sim_->metrics()) {
+          m->monitors().OnTxCompleted(device_id_, q.qid, tx->tx_id, was_front);
+        }
         it = q.inflight_txs.erase(it);
         if (q.inflight_txs.empty()) {
           q.psq_head = tx->end_slot;

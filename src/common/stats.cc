@@ -19,9 +19,26 @@ int Histogram::BucketFor(uint64_t value) {
   return std::min(bucket, kNumBuckets - 1);
 }
 
+uint64_t Histogram::BucketLowerBound(int bucket) {
+  if (bucket < kSubBuckets) {
+    return static_cast<uint64_t>(bucket);
+  }
+  const int exp = bucket / kSubBuckets;
+  const int sub = bucket % kSubBuckets;
+  const int msb = exp + 3;
+  return (1ull << msb) + (static_cast<uint64_t>(sub) << (msb - 4));
+}
+
 uint64_t Histogram::BucketUpperBound(int bucket) {
   if (bucket < kSubBuckets) {
     return static_cast<uint64_t>(bucket);
+  }
+  if (bucket >= kNumBuckets - 1) {
+    // The last bucket also absorbs every value past the nominal range
+    // (BucketFor clamps), so its true upper bound is unbounded. Returning
+    // the nominal bound here made Percentile(1.0) understate max() for
+    // clamped samples; callers clamp against max() themselves.
+    return ~0ull;
   }
   const int exp = bucket / kSubBuckets;
   const int sub = bucket % kSubBuckets;
@@ -50,6 +67,34 @@ void Histogram::Merge(const Histogram& other) {
 }
 
 void Histogram::Reset() { *this = Histogram(); }
+
+Histogram Histogram::DiffSince(const Histogram& earlier) const {
+  Histogram out;
+  int lo = -1;
+  int hi = -1;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t a = buckets_[static_cast<size_t>(i)];
+    const uint64_t b = earlier.buckets_[static_cast<size_t>(i)];
+    const uint64_t d = a > b ? a - b : 0;
+    out.buckets_[static_cast<size_t>(i)] = d;
+    if (d != 0) {
+      if (lo < 0) {
+        lo = i;
+      }
+      hi = i;
+    }
+  }
+  out.count_ = count_ > earlier.count_ ? count_ - earlier.count_ : 0;
+  out.sum_ = sum_ > earlier.sum_ ? sum_ - earlier.sum_ : 0;
+  out.sum_sq_ = sum_sq_ > earlier.sum_sq_ ? sum_sq_ - earlier.sum_sq_ : 0.0;
+  if (lo >= 0) {
+    // The exact extrema of the window are gone; bucket bounds bracket them
+    // (a diff against an empty snapshot keeps the exact values).
+    out.min_ = earlier.count_ == 0 ? min_ : BucketLowerBound(lo);
+    out.max_ = earlier.count_ == 0 ? max_ : std::min(BucketUpperBound(hi), max_);
+  }
+  return out;
+}
 
 double Histogram::Mean() const {
   return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);

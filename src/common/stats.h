@@ -24,12 +24,20 @@ class Histogram {
   void Reset();
 
   uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
   uint64_t min() const { return count_ == 0 ? 0 : min_; }
   uint64_t max() const { return max_; }
   double Mean() const;
   double Stddev() const;
   // q in [0, 1].
   uint64_t Percentile(double q) const;
+
+  // Bucket-exact difference: the samples recorded after |earlier| was
+  // captured, assuming |earlier| is a snapshot of this histogram's past
+  // (every bucket of |earlier| <= the same bucket here). min/max are
+  // re-derived from the surviving buckets' bounds, so percentiles of the
+  // delta window keep the usual <= ~6% error.
+  Histogram DiffSince(const Histogram& earlier) const;
 
   std::string Summary() const;
 
@@ -39,6 +47,7 @@ class Histogram {
   static constexpr int kNumBuckets = kExpBuckets * kSubBuckets;
 
   static int BucketFor(uint64_t value);
+  static uint64_t BucketLowerBound(int bucket);
   static uint64_t BucketUpperBound(int bucket);
 
   std::array<uint64_t, kNumBuckets> buckets_{};

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/common/logging.h"
+#include "src/metrics/export.h"
 #include "src/nvme/pmr.h"
 
 namespace ccnvme {
@@ -409,11 +410,20 @@ CrashImage BuildCrashState(const CrashRecording& rec, const CrashPlan& plan,
 }
 
 std::string CheckCrashState(const CrashRecording& rec, const CrashPlan& plan,
-                            uint64_t torn_seed) {
+                            uint64_t torn_seed, std::string* metrics_json) {
   const CrashImage image = BuildCrashState(rec, plan, torn_seed);
   StorageStack stack(rec.config, image);
+  if (metrics_json != nullptr) {
+    stack.EnableMetrics();
+  }
+  auto export_metrics = [&] {
+    if (metrics_json != nullptr) {
+      *metrics_json = ExportJson(stack.metrics()->TakeSnapshot());
+    }
+  };
   Status mount = stack.MountExisting();
   if (!mount.ok()) {
+    export_metrics();
     return "mount failed: " + mount.ToString();
   }
 
@@ -494,6 +504,7 @@ std::string CheckCrashState(const CrashRecording& rec, const CrashPlan& plan,
       }
     }
   });
+  export_metrics();
   return failure;
 }
 

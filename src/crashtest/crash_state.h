@@ -142,8 +142,10 @@ CrashImage BuildCrashState(const CrashRecording& rec, const CrashPlan& plan,
 // Boots a stack from the plan's crash state, mounts (running recovery),
 // runs the FS consistency check and verifies every oracle fact armed
 // before the cut. Returns the failure description, or "" on success.
+// When |metrics_json| is non-null the invariant monitors (src/metrics)
+// watch the recovery and a full metrics JSON snapshot is stored there.
 std::string CheckCrashState(const CrashRecording& rec, const CrashPlan& plan,
-                            uint64_t torn_seed);
+                            uint64_t torn_seed, std::string* metrics_json = nullptr);
 
 }  // namespace ccnvme
 

@@ -306,10 +306,11 @@ Result<ReplayArtifact> ReplayArtifact::ReadFile(const std::string& path) {
   return FromJson(buf.str());
 }
 
-Result<std::string> ReplayArtifactCheck(const ReplayArtifact& artifact) {
+Result<std::string> ReplayArtifactCheck(const ReplayArtifact& artifact,
+                                        std::string* metrics_json) {
   CCNVME_ASSIGN_OR_RETURN(CrashWorkload workload, FindCrashWorkload(artifact.workload));
   const CrashRecording rec = RecordWorkload(artifact.config, workload);
-  return CheckCrashState(rec, artifact.plan, artifact.torn_seed);
+  return CheckCrashState(rec, artifact.plan, artifact.torn_seed, metrics_json);
 }
 
 }  // namespace ccnvme

@@ -38,8 +38,11 @@ struct ReplayArtifact {
 };
 
 // Re-records the artifact's workload and re-checks its exact crash state.
-// Returns the (possibly empty) failure string of the replayed check.
-Result<std::string> ReplayArtifactCheck(const ReplayArtifact& artifact);
+// Returns the (possibly empty) failure string of the replayed check. When
+// |metrics_json| is non-null the invariant monitors watch the replayed
+// recovery and a metrics JSON snapshot is stored there (see src/metrics).
+Result<std::string> ReplayArtifactCheck(const ReplayArtifact& artifact,
+                                        std::string* metrics_json = nullptr);
 
 }  // namespace ccnvme
 

@@ -1,5 +1,8 @@
 #include "src/harness/stack.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "src/common/logging.h"
 
 namespace ccnvme {
@@ -14,6 +17,18 @@ StorageStack::StorageStack(const StackConfig& config, const CrashImage& image)
 StorageStack::~StorageStack() {
   if (sim_ != nullptr) {
     sim_->Shutdown();
+  }
+  if (metrics_ != nullptr && !metrics_dump_path_.empty()) {
+    // Automatic end-of-run dump ($CCNVME_METRICS): append one compact JSON
+    // line per stack so a bench sweep accumulates a JSONL file that
+    // tools/metrics_report and the CI violation gate consume.
+    const std::string line = ExportJson(metrics_->TakeSnapshot(), /*pretty=*/false);
+    if (metrics_dump_path_ == "1" || metrics_dump_path_ == "-") {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    } else if (std::FILE* f = std::fopen(metrics_dump_path_.c_str(), "a")) {
+      std::fprintf(f, "%s\n", line.c_str());
+      std::fclose(f);
+    }
   }
 }
 
@@ -89,6 +104,11 @@ void StorageStack::Build(const CrashImage* image) {
     blk_->set_volume(volume_.get());
   }
   fs_ = std::make_unique<ExtFs>(sim_.get(), blk_.get(), config_.costs, config_.fs);
+
+  if (const char* env = std::getenv("CCNVME_METRICS"); env != nullptr && *env != '\0') {
+    metrics_dump_path_ = env;
+    EnableMetrics();
+  }
 }
 
 Status StorageStack::MkfsAndMount() {
@@ -120,6 +140,15 @@ Tracer& StorageStack::EnableTracing(size_t ring_capacity) {
   }
   sim_->set_tracer(tracer_.get());
   return *tracer_;
+}
+
+Metrics& StorageStack::EnableMetrics() {
+  EnableTracing();
+  if (metrics_ == nullptr) {
+    metrics_ = std::make_unique<Metrics>(sim_.get());
+  }
+  sim_->set_metrics(metrics_.get());
+  return *metrics_;
 }
 
 void StorageStack::SetRecorder(BioRecorder recorder) {

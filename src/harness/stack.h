@@ -14,6 +14,8 @@
 
 #include "src/block/block_layer.h"
 #include "src/extfs/extfs.h"
+#include "src/metrics/export.h"
+#include "src/metrics/metrics.h"
 #include "src/trace/tracer.h"
 #include "src/volume/volume.h"
 
@@ -93,6 +95,16 @@ class StorageStack {
   // The attached tracer, or nullptr when tracing was never enabled.
   Tracer* tracer() { return tracer_.get(); }
 
+  // Creates the metrics engine (registry + invariant monitors) and attaches
+  // it to the simulator. Implies EnableTracing — phase attribution is fed
+  // from completed trace spans. Idempotent; lives as long as the stack.
+  // Also enabled automatically when $CCNVME_METRICS is set (see Build), in
+  // which case the destructor appends one compact JSON snapshot line to the
+  // named file ("1"/empty = stderr) — benches get dumps with zero changes.
+  Metrics& EnableMetrics();
+  // The attached metrics engine, or nullptr when never enabled.
+  Metrics* metrics() { return metrics_.get(); }
+
   Simulator& sim() { return *sim_; }
   // Device-0 accessors (the only device on classic stacks).
   PcieLink& link() { return *links_[0]; }
@@ -116,11 +128,14 @@ class StorageStack {
   void Build(const CrashImage* image);
 
   StackConfig config_;
-  // Declared before sim_ so it outlives the simulator during member
+  // Declared before sim_ so they outlive the simulator during member
   // destruction: Shutdown() (run in ~StorageStack's body) unwinds actors
-  // whose RAII spans still call into the tracer.
+  // whose RAII spans still call into the tracer/metrics.
+  std::unique_ptr<Metrics> metrics_;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<Simulator> sim_;
+  // Non-empty when $CCNVME_METRICS requested an automatic end-of-run dump.
+  std::string metrics_dump_path_;
   std::vector<std::unique_ptr<PcieLink>> links_;
   std::vector<std::unique_ptr<SsdModel>> ssds_;
   std::vector<std::unique_ptr<NvmeController>> controllers_;

@@ -2,6 +2,7 @@
 
 #include "src/common/logging.h"
 #include "src/extfs/extfs.h"
+#include "src/metrics/metrics.h"
 #include "src/trace/tracer.h"
 
 namespace ccnvme {
@@ -224,6 +225,9 @@ Status Jbd2Journal::CommitOne(const std::shared_ptr<TxState>& tx) {
       Simulator::Sleep(costs_.jbd2_per_block_ns);
       blk_->SubmitTxWrite(tx->tx_id, member_lbas[i], &tx->metadata[i]->data);
     }
+    if (Metrics* m = sim_->metrics()) {
+      m->monitors().ExpectTxMembers(tx->tx_id, tx->metadata.size());
+    }
     auto handle = blk_->CommitTx(tx->tx_id, jd_lba, &desc_buf);
     blk_->WaitTxDurable(handle);
     free_blocks_ -= tx->metadata.size() + 1;
@@ -263,6 +267,16 @@ Status Jbd2Journal::CommitOne(const std::shared_ptr<TxState>& tx) {
     // durable (FUA).
     for (auto& h : handles) {
       CCNVME_RETURN_IF_ERROR(blk_->Wait(h));
+    }
+    if (Metrics* m = sim_->metrics()) {
+      // Classic jbd2: every journaled block must be durable before the
+      // commit record is issued (horae relaxes this by design, so the
+      // monitor only arms on the strict path).
+      uint64_t outstanding = 0;
+      for (const auto& h : handles) {
+        outstanding += h->done.signaled() ? 0 : 1;
+      }
+      m->monitors().OnJournalCommitRecord(tx->tx_id, outstanding);
     }
     handles.clear();
     CCNVME_RETURN_IF_ERROR(blk_->WriteSync(AreaLba(head_off_), commit_buf,

@@ -1,0 +1,556 @@
+#include "src/metrics/export.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+
+namespace ccnvme {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Our dotted names map
+// onto that by rewriting everything else to '_'.
+std::string PromName(const std::string& name) {
+  std::string out = "ccnvme_";
+  for (char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+  }
+  return out;
+}
+
+struct JsonWriter {
+  std::ostringstream os;
+  bool pretty;
+  int depth = 0;
+
+  explicit JsonWriter(bool p) : pretty(p) {}
+
+  void NewlineIndent() {
+    if (!pretty) {
+      return;
+    }
+    os << '\n';
+    for (int i = 0; i < depth; ++i) {
+      os << "  ";
+    }
+  }
+  void Open(char c) {
+    os << c;
+    depth++;
+  }
+  void Close(char c) {
+    depth--;
+    NewlineIndent();
+    os << c;
+  }
+  void Key(const std::string& k, bool first) {
+    if (!first) {
+      os << ',';
+    }
+    NewlineIndent();
+    os << '"' << JsonEscape(k) << (pretty ? "\": " : "\":");
+  }
+};
+
+void EmitHistogram(JsonWriter* w, const Histogram& h) {
+  w->Open('{');
+  w->Key("count", true);
+  w->os << h.count();
+  w->Key("sum", false);
+  w->os << h.sum();
+  w->Key("min", false);
+  w->os << h.min();
+  w->Key("max", false);
+  w->os << h.max();
+  w->Key("mean", false);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", h.Mean());
+  w->os << buf;
+  w->Key("p50", false);
+  w->os << h.Percentile(0.5);
+  w->Key("p90", false);
+  w->os << h.Percentile(0.9);
+  w->Key("p99", false);
+  w->os << h.Percentile(0.99);
+  w->Key("p999", false);
+  w->os << h.Percentile(0.999);
+  w->Close('}');
+}
+
+// --- Minimal JSON reader (objects/strings/numbers/bools), just enough to
+// round-trip ExportJson output. ------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+  Type type = Type::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::map<std::string, JsonValue> obj;
+  std::vector<JsonValue> arr;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+  uint64_t U64(const std::string& key, uint64_t fallback = 0) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->type == Type::kNumber ? static_cast<uint64_t>(v->num)
+                                                    : fallback;
+  }
+  double Num(const std::string& key, double fallback = 0.0) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->type == Type::kNumber ? v->num : fallback;
+  }
+};
+
+class JsonReader {
+ public:
+  JsonReader(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool Parse(JsonValue* out) {
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing data");
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& why) {
+    if (error_ != nullptr) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "json parse error at offset %zu: %s", pos_,
+                    why.c_str());
+      *error_ = buf;
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      pos_++;
+    }
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject(out);
+    }
+    if (c == '[') {
+      return ParseArray(out);
+    }
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't' || c == 'f') {
+      const std::string word = c == 't' ? "true" : "false";
+      if (text_.compare(pos_, word.size(), word) != 0) {
+        return Fail("bad literal");
+      }
+      pos_ += word.size();
+      out->type = JsonValue::Type::kBool;
+      out->b = c == 't';
+      return true;
+    }
+    if (c == 'n') {
+      if (text_.compare(pos_, 4, "null") != 0) {
+        return Fail("bad literal");
+      }
+      pos_ += 4;
+      out->type = JsonValue::Type::kNull;
+      return true;
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    pos_++;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':'");
+      }
+      pos_++;
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->obj.emplace(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated object");
+      }
+      if (text_[pos_] == ',') {
+        pos_++;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        pos_++;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    pos_++;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->arr.push_back(std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated array");
+      }
+      if (text_[pos_] == ',') {
+        pos_++;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        pos_++;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    pos_++;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case 'n': *out += '\n'; break;
+        case 't': *out += '\t'; break;
+        case 'r': *out += '\r'; break;
+        case 'u':
+          // Exported escapes are only control chars; decode the low byte.
+          if (pos_ + 4 > text_.size()) {
+            return Fail("bad \\u escape");
+          }
+          *out += static_cast<char>(std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16));
+          pos_ += 4;
+          break;
+        default: *out += esc;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      pos_++;
+    }
+    if (pos_ == start) {
+      return Fail("expected value");
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->num = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string ExportJson(const MetricsSnapshot& snap, bool pretty) {
+  JsonWriter w(pretty);
+  w.Open('{');
+  w.Key("taken_at_ns", true);
+  w.os << snap.taken_at_ns;
+
+  w.Key("counters", false);
+  w.Open('{');
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    w.Key(name, first);
+    w.os << value;
+    first = false;
+  }
+  w.Close('}');
+
+  w.Key("gauges", false);
+  w.Open('{');
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    w.Key(name, first);
+    w.os << value;
+    first = false;
+  }
+  w.Close('}');
+
+  w.Key("histograms", false);
+  w.Open('{');
+  first = true;
+  for (const auto& [name, histo] : snap.histograms) {
+    w.Key(name, first);
+    EmitHistogram(&w, histo);
+    first = false;
+  }
+  w.Close('}');
+
+  w.Key("monitors", false);
+  w.Open('{');
+  first = true;
+  for (const auto& [name, stat] : snap.monitors) {
+    w.Key(name, first);
+    w.Open('{');
+    w.Key("violations", true);
+    w.os << stat.violations;
+    w.Key("first_ns", false);
+    w.os << stat.first_ns;
+    w.Key("last_ns", false);
+    w.os << stat.last_ns;
+    w.Key("detail", false);
+    w.os << '"' << JsonEscape(stat.detail) << '"';
+    w.Close('}');
+    first = false;
+  }
+  w.Close('}');
+
+  w.Close('}');
+  if (pretty) {
+    w.os << '\n';
+  }
+  return w.os.str();
+}
+
+std::string ExportPrometheusText(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string prom = PromName(name);
+    os << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prom = PromName(name);
+    os << "# TYPE " << prom << " gauge\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, histo] : snap.histograms) {
+    const std::string prom = PromName(name);
+    os << "# TYPE " << prom << " summary\n";
+    os << prom << "{quantile=\"0.5\"} " << histo.Percentile(0.5) << "\n";
+    os << prom << "{quantile=\"0.9\"} " << histo.Percentile(0.9) << "\n";
+    os << prom << "{quantile=\"0.99\"} " << histo.Percentile(0.99) << "\n";
+    os << prom << "{quantile=\"0.999\"} " << histo.Percentile(0.999) << "\n";
+    os << prom << "_sum " << histo.sum() << "\n";
+    os << prom << "_count " << histo.count() << "\n";
+  }
+  os << "# TYPE ccnvme_monitor_violations_total counter\n";
+  for (const auto& [name, stat] : snap.monitors) {
+    os << "ccnvme_monitor_violations_total{monitor=\"" << name << "\"} "
+       << stat.violations << "\n";
+  }
+  return os.str();
+}
+
+std::string ExportPrometheusText(const SnapshotStats& snap) {
+  std::ostringstream os;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string prom = PromName(name);
+    os << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prom = PromName(name);
+    os << "# TYPE " << prom << " gauge\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string prom = PromName(name);
+    os << "# TYPE " << prom << " summary\n";
+    os << prom << "{quantile=\"0.5\"} " << h.p50 << "\n";
+    os << prom << "{quantile=\"0.9\"} " << h.p90 << "\n";
+    os << prom << "{quantile=\"0.99\"} " << h.p99 << "\n";
+    os << prom << "{quantile=\"0.999\"} " << h.p999 << "\n";
+    os << prom << "_sum " << h.sum << "\n";
+    os << prom << "_count " << h.count << "\n";
+  }
+  os << "# TYPE ccnvme_monitor_violations_total counter\n";
+  for (const auto& [name, stat] : snap.monitors) {
+    os << "ccnvme_monitor_violations_total{monitor=\"" << name << "\"} "
+       << stat.violations << "\n";
+  }
+  return os.str();
+}
+
+bool WriteSnapshotJson(const MetricsSnapshot& snap, const std::string& path) {
+  const std::string json = ExportJson(snap, /*pretty=*/true);
+  if (path.empty() || path == "-") {
+    std::fputs(json.c_str(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+uint64_t SnapshotStats::TotalViolations() const {
+  uint64_t total = 0;
+  for (const auto& [name, stat] : monitors) {
+    total += stat.violations;
+  }
+  return total;
+}
+
+bool ParseSnapshotJson(const std::string& text, SnapshotStats* out, std::string* error) {
+  JsonValue root;
+  JsonReader reader(text, error);
+  if (!reader.Parse(&root)) {
+    return false;
+  }
+  if (root.type != JsonValue::Type::kObject) {
+    if (error != nullptr) {
+      *error = "snapshot is not a JSON object";
+    }
+    return false;
+  }
+  *out = SnapshotStats{};
+  out->taken_at_ns = root.U64("taken_at_ns");
+  if (const JsonValue* counters = root.Find("counters")) {
+    for (const auto& [name, v] : counters->obj) {
+      out->counters.emplace(name, static_cast<uint64_t>(v.num));
+    }
+  }
+  if (const JsonValue* gauges = root.Find("gauges")) {
+    for (const auto& [name, v] : gauges->obj) {
+      out->gauges.emplace(name, static_cast<int64_t>(v.num));
+    }
+  }
+  if (const JsonValue* histos = root.Find("histograms")) {
+    for (const auto& [name, v] : histos->obj) {
+      HistogramStat h;
+      h.count = v.U64("count");
+      h.sum = v.U64("sum");
+      h.min = v.U64("min");
+      h.max = v.U64("max");
+      h.mean = v.Num("mean");
+      h.p50 = v.U64("p50");
+      h.p90 = v.U64("p90");
+      h.p99 = v.U64("p99");
+      h.p999 = v.U64("p999");
+      out->histograms.emplace(name, h);
+    }
+  }
+  if (const JsonValue* monitors = root.Find("monitors")) {
+    for (const auto& [name, v] : monitors->obj) {
+      MonitorStat m;
+      m.violations = v.U64("violations");
+      m.first_ns = v.U64("first_ns");
+      m.last_ns = v.U64("last_ns");
+      if (const JsonValue* detail = v.Find("detail")) {
+        m.detail = detail->str;
+      }
+      out->monitors.emplace(name, std::move(m));
+    }
+  }
+  return true;
+}
+
+bool ParseSnapshotFile(const std::string& text, std::vector<SnapshotStats>* out,
+                       std::string* error) {
+  out->clear();
+  SnapshotStats whole;
+  if (ParseSnapshotJson(text, &whole, nullptr)) {
+    out->push_back(std::move(whole));
+    return true;
+  }
+  // JSONL: one compact snapshot per non-empty line.
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    SnapshotStats snap;
+    if (!ParseSnapshotJson(line, &snap, error)) {
+      return false;
+    }
+    out->push_back(std::move(snap));
+  }
+  if (out->empty()) {
+    if (error != nullptr) {
+      *error = "no snapshots found";
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ccnvme

@@ -1,0 +1,237 @@
+#include "src/metrics/monitors.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace ccnvme {
+
+namespace {
+
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+std::string Format(const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+}  // namespace
+
+InvariantMonitors::InvariantMonitors(Simulator* sim) : sim_(sim) {}
+
+void InvariantMonitors::Violate(MonitorId id, std::string detail) {
+  Stat& s = stats_[Index(id)];
+  const uint64_t now = sim_->now();
+  if (s.count == 0) {
+    s.first_ns = now;
+  }
+  s.count++;
+  s.last_ns = now;
+  s.detail = std::move(detail);
+  if (abort_on_violation_) {
+    std::fprintf(stderr, "invariant violation [%s] at t=%lluns: %s\n", MonitorName(id),
+                 static_cast<unsigned long long>(now), s.detail.c_str());
+    std::abort();
+  }
+}
+
+void InvariantMonitors::OnReadFence(uint64_t drain_horizon_ns) {
+  if (sim_->now() < drain_horizon_ns) {
+    Violate(MonitorId::kPcieFenceOrdering,
+            Format("fence returned at %llu before posted-write drain horizon %llu",
+                   static_cast<unsigned long long>(sim_->now()),
+                   static_cast<unsigned long long>(drain_horizon_ns)));
+  }
+}
+
+void InvariantMonitors::OnCqePost(const void* qp, uint16_t depth, uint16_t slot,
+                                  bool phase) {
+  CqState& cq = cqs_[qp];
+  if (!cq.init) {
+    // Adopt the queue's current position; from here on the chain is forced.
+    cq.init = true;
+    cq.expected_slot = slot;
+    cq.expected_phase = phase;
+  }
+  if (slot != cq.expected_slot) {
+    Violate(MonitorId::kNvmeCqeSlotOrder,
+            Format("CQE in slot %u, expected %u", slot, cq.expected_slot));
+    cq.expected_slot = slot;  // resync so one bug isn't counted forever
+  }
+  if (phase != cq.expected_phase) {
+    Violate(MonitorId::kNvmeCqePhaseTag,
+            Format("CQE slot %u phase %d, expected %d", slot, phase ? 1 : 0,
+                   cq.expected_phase ? 1 : 0));
+    cq.expected_phase = phase;
+  }
+  cq.expected_slot = static_cast<uint16_t>(cq.expected_slot + 1);
+  if (depth != 0 && cq.expected_slot == depth) {
+    cq.expected_slot = 0;
+    cq.expected_phase = !cq.expected_phase;
+  }
+}
+
+void InvariantMonitors::OnDoorbellRing(uint16_t device, uint16_t qid, uint16_t depth,
+                                       uint32_t prev_tail, uint32_t new_tail,
+                                       uint32_t head, uint64_t staged,
+                                       uint64_t wc_pending_bytes) {
+  if (wc_pending_bytes != 0) {
+    Violate(MonitorId::kCcnvmeFlushBeforeDoorbell,
+            Format("q%u doorbell rung with %llu WC bytes unflushed", qid,
+                   static_cast<unsigned long long>(wc_pending_bytes)));
+  }
+  const uint32_t advance =
+      depth == 0 ? 0 : (new_tail + depth - prev_tail) % depth;
+  if (advance != staged || (staged == 0 && new_tail != prev_tail)) {
+    Violate(MonitorId::kCcnvmeDoorbellMonotonic,
+            Format("q%u P-SQDB %u->%u advances %u but %llu SQEs staged", qid, prev_tail,
+                   new_tail, advance, static_cast<unsigned long long>(staged)));
+  }
+  OnWindowScan(device, qid, depth, head, new_tail);
+}
+
+void InvariantMonitors::OnWindowScan(uint16_t device, uint16_t qid, uint16_t depth,
+                                     uint32_t head, uint32_t tail) {
+  (void)device;
+  if (depth == 0 || head >= depth || tail >= depth) {
+    Violate(MonitorId::kCcnvmePsqWindowBounds,
+            Format("q%u window [head=%u, tail=%u) outside depth %u", qid, head, tail,
+                   depth));
+  }
+}
+
+void InvariantMonitors::OnTxCommitted(uint16_t device, uint16_t qid, uint64_t tx_id) {
+  QueueState& q = queues_[QueueKey(device, qid)];
+  if (tx_id <= q.last_committed_tx) {
+    Violate(MonitorId::kCcnvmeTxIdMonotonic,
+            Format("dev%u q%u committed tx %llu after tx %llu", device, qid,
+                   static_cast<unsigned long long>(tx_id),
+                   static_cast<unsigned long long>(q.last_committed_tx)));
+  }
+  q.last_committed_tx = std::max(q.last_committed_tx, tx_id);
+}
+
+void InvariantMonitors::OnTxCompleted(uint16_t device, uint16_t qid, uint64_t tx_id,
+                                      bool front_of_queue) {
+  QueueState& q = queues_[QueueKey(device, qid)];
+  // Per-HQ durability must be delivered in order: a tx may only complete
+  // from the front of its queue's inflight list, and the ids a queue
+  // delivers must be increasing.
+  if (!front_of_queue || tx_id <= q.last_completed_tx) {
+    Violate(MonitorId::kCcnvmeInOrderCompletion,
+            Format("dev%u q%u completed tx %llu %s(last completed %llu)", device, qid,
+                   static_cast<unsigned long long>(tx_id),
+                   front_of_queue ? "" : "out of queue order ",
+                   static_cast<unsigned long long>(q.last_completed_tx)));
+  }
+  q.last_completed_tx = std::max(q.last_completed_tx, tx_id);
+}
+
+void InvariantMonitors::OnHeadAdvance(uint16_t device, uint16_t qid, uint16_t depth,
+                                      uint32_t prev_head, uint32_t new_head,
+                                      uint32_t tail) {
+  (void)device;
+  if (depth == 0) {
+    return;
+  }
+  // The head chases the tail; it must stay inside the pre-advance window
+  // [prev_head, tail] measured in ring order.
+  const uint32_t window = (tail + depth - prev_head) % depth;
+  const uint32_t advance = (new_head + depth - prev_head) % depth;
+  if (new_head >= depth || advance > window) {
+    Violate(MonitorId::kCcnvmePsqWindowBounds,
+            Format("q%u P-SQ-head %u->%u overruns tail %u", qid, prev_head, new_head,
+                   tail));
+  }
+}
+
+void InvariantMonitors::ExpectTxMembers(uint64_t tx_id, uint64_t members) {
+  TxState& tx = txs_[tx_id];
+  tx.expected = members;
+  tx.has_expectation = true;
+}
+
+void InvariantMonitors::OnTxMemberStaged(uint64_t tx_id) { txs_[tx_id].staged++; }
+
+void InvariantMonitors::OnTxCommitRecord(uint64_t tx_id) {
+  auto it = txs_.find(tx_id);
+  const TxState tx = it == txs_.end() ? TxState{} : it->second;
+  if (tx.has_expectation && tx.staged < tx.expected) {
+    Violate(MonitorId::kJournalCommitAfterBlocks,
+            Format("tx %llu commit record after %llu/%llu member blocks",
+                   static_cast<unsigned long long>(tx_id),
+                   static_cast<unsigned long long>(tx.staged),
+                   static_cast<unsigned long long>(tx.expected)));
+  }
+  if (it != txs_.end()) {
+    txs_.erase(it);
+  }
+}
+
+void InvariantMonitors::OnJournalCommitRecord(uint64_t tx_id,
+                                              uint64_t outstanding_members) {
+  if (outstanding_members != 0) {
+    Violate(MonitorId::kJournalCommitAfterBlocks,
+            Format("tx %llu commit record with %llu member writes outstanding",
+                   static_cast<unsigned long long>(tx_id),
+                   static_cast<unsigned long long>(outstanding_members)));
+  }
+}
+
+void InvariantMonitors::OnVolumeMemberSealed(uint64_t tx_id) { volume_seals_[tx_id]++; }
+
+void InvariantMonitors::OnVolumeCommitRing(uint64_t tx_id, uint64_t expected_seals) {
+  auto it = volume_seals_.find(tx_id);
+  const uint64_t sealed = it == volume_seals_.end() ? 0 : it->second;
+  if (sealed < expected_seals) {
+    Violate(MonitorId::kVolumeSealBeforeCommit,
+            Format("volume tx %llu commit ring after %llu/%llu member seals",
+                   static_cast<unsigned long long>(tx_id),
+                   static_cast<unsigned long long>(sealed),
+                   static_cast<unsigned long long>(expected_seals)));
+  }
+  if (it != volume_seals_.end()) {
+    volume_seals_.erase(it);
+  }
+}
+
+void InvariantMonitors::OnRecoveryWindowScan(uint64_t window_txs, uint64_t in_doubt_txs) {
+  if (in_doubt_txs < window_txs) {
+    Violate(MonitorId::kRecoveryWindowScan,
+            Format("recovery considered %llu of %llu window transactions",
+                   static_cast<unsigned long long>(in_doubt_txs),
+                   static_cast<unsigned long long>(window_txs)));
+  }
+}
+
+uint64_t InvariantMonitors::total_violations() const {
+  uint64_t total = 0;
+  for (const Stat& s : stats_) {
+    total += s.count;
+  }
+  return total;
+}
+
+std::vector<std::string> InvariantMonitors::ViolationReport() const {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < kNumMonitors; ++i) {
+    const Stat& s = stats_[i];
+    if (s.count == 0) {
+      continue;
+    }
+    out.push_back(Format("%s: %llu violation(s), first t=%lluns, last t=%lluns: %s",
+                         MonitorName(static_cast<MonitorId>(i)),
+                         static_cast<unsigned long long>(s.count),
+                         static_cast<unsigned long long>(s.first_ns),
+                         static_cast<unsigned long long>(s.last_ns), s.detail.c_str()));
+  }
+  return out;
+}
+
+}  // namespace ccnvme

@@ -1,0 +1,163 @@
+// Online protocol-invariant monitors.
+//
+// ccNVMe's crash-consistency guarantee rests on runtime invariants — the WC
+// flush precedes the doorbell, doorbells advance by exactly the staged
+// count, transactions complete in per-queue order, the commit record never
+// precedes its member blocks, a volume rings its commit device only after
+// every member sealed, recovery consults the full P-SQ window. The crash
+// explorer checks these post-hoc; these monitors check them the moment they
+// occur, in ANY run that has a Metrics object attached to the simulator.
+//
+// Contract (shared with the tracer, enforced by tests/metrics_test.cc):
+// every hook only reads Simulator::now() and writes monitor-owned memory —
+// no sleeps, no scheduling, no blocking — so a run with monitors attached
+// is byte-identical in virtual time to one without. A violation increments
+// the monitor's counter and records the offending virtual time; with
+// set_abort_on_violation(true) it aborts the process instead (useful under
+// CI to fail at the first broken invariant).
+#ifndef SRC_METRICS_MONITORS_H_
+#define SRC_METRICS_MONITORS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace ccnvme {
+
+enum class MonitorId : uint16_t {
+  kPcieFenceOrdering = 0,      // read fence returned before posted writes drained
+  kNvmeCqeSlotOrder,           // CQE posted out of CQ slot order
+  kNvmeCqePhaseTag,            // CQE carries the wrong phase tag for its lap
+  kCcnvmeDoorbellMonotonic,    // P-SQDB advance != number of staged SQEs
+  kCcnvmeFlushBeforeDoorbell,  // doorbell rung with WC bytes still volatile
+  kCcnvmePsqWindowBounds,      // [P-SQ-head, P-SQDB) outside queue bounds
+  kCcnvmeTxIdMonotonic,        // committed tx ids not increasing per queue
+  kCcnvmeInOrderCompletion,    // tx completed ahead of an earlier inflight tx
+  kJournalCommitAfterBlocks,   // commit record issued before all member blocks
+  kVolumeSealBeforeCommit,     // commit-device ring before every member sealed
+  kRecoveryWindowScan,         // recovery ignored part of a non-empty window
+  kNumMonitors,
+};
+
+inline constexpr size_t kNumMonitors = static_cast<size_t>(MonitorId::kNumMonitors);
+
+constexpr const char* MonitorName(MonitorId id) {
+  switch (id) {
+    case MonitorId::kPcieFenceOrdering: return "pcie.fence_ordering";
+    case MonitorId::kNvmeCqeSlotOrder: return "nvme.cqe_slot_order";
+    case MonitorId::kNvmeCqePhaseTag: return "nvme.cqe_phase_tag";
+    case MonitorId::kCcnvmeDoorbellMonotonic: return "ccnvme.doorbell_monotonic";
+    case MonitorId::kCcnvmeFlushBeforeDoorbell: return "ccnvme.flush_before_doorbell";
+    case MonitorId::kCcnvmePsqWindowBounds: return "ccnvme.psq_window_bounds";
+    case MonitorId::kCcnvmeTxIdMonotonic: return "ccnvme.txid_monotonic";
+    case MonitorId::kCcnvmeInOrderCompletion: return "ccnvme.in_order_completion";
+    case MonitorId::kJournalCommitAfterBlocks: return "journal.commit_after_blocks";
+    case MonitorId::kVolumeSealBeforeCommit: return "volume.seal_before_commit";
+    case MonitorId::kRecoveryWindowScan: return "recovery.window_scan";
+    case MonitorId::kNumMonitors: break;
+  }
+  return "?";
+}
+
+class InvariantMonitors {
+ public:
+  explicit InvariantMonitors(Simulator* sim);
+
+  // --- src/pcie: a read fence must not pass posted writes -----------------
+  // Called after MmioReadFence's wait with the drain horizon captured at
+  // entry; now() must have reached it.
+  void OnReadFence(uint64_t drain_horizon_ns);
+
+  // --- src/nvme: per-HQ CQE slot order and phase-tag correctness ----------
+  // Keyed by queue-pair identity; the monitor replays the expected
+  // slot/phase sequence from the first observed post.
+  void OnCqePost(const void* qp, uint16_t depth, uint16_t slot, bool phase);
+
+  // --- src/ccnvme: doorbell, window, ordering -----------------------------
+  void OnDoorbellRing(uint16_t device, uint16_t qid, uint16_t depth, uint32_t prev_tail,
+                      uint32_t new_tail, uint32_t head, uint64_t staged,
+                      uint64_t wc_pending_bytes);
+  void OnTxCommitted(uint16_t device, uint16_t qid, uint64_t tx_id);
+  void OnTxCompleted(uint16_t device, uint16_t qid, uint64_t tx_id, bool front_of_queue);
+  void OnHeadAdvance(uint16_t device, uint16_t qid, uint16_t depth, uint32_t prev_head,
+                     uint32_t new_head, uint32_t tail);
+  // Offline bounds check of a scanned image's doorbells (journal_inspect).
+  void OnWindowScan(uint16_t device, uint16_t qid, uint16_t depth, uint32_t head,
+                    uint32_t tail);
+
+  // --- src/jbd2 + src/mqfs: commit record strictly after member blocks ----
+  // The journal declares how many members it staged for |tx_id| immediately
+  // before issuing the commit record; the block layer counts actual stages
+  // and checks the two at the commit record.
+  void ExpectTxMembers(uint64_t tx_id, uint64_t members);
+  void OnTxMemberStaged(uint64_t tx_id);
+  void OnTxCommitRecord(uint64_t tx_id);
+  // Classic (non-tx) journal: member writes still outstanding when the
+  // commit record is issued.
+  void OnJournalCommitRecord(uint64_t tx_id, uint64_t outstanding_members);
+
+  // --- src/volume: every member seals before the commit-device ring -------
+  void OnVolumeMemberSealed(uint64_t tx_id);
+  void OnVolumeCommitRing(uint64_t tx_id, uint64_t expected_seals);
+
+  // --- recovery: the in-doubt set must cover the whole window -------------
+  void OnRecoveryWindowScan(uint64_t window_txs, uint64_t in_doubt_txs);
+
+  // --- Reporting ----------------------------------------------------------
+  uint64_t violations(MonitorId id) const { return stats_[Index(id)].count; }
+  uint64_t first_violation_ns(MonitorId id) const { return stats_[Index(id)].first_ns; }
+  uint64_t last_violation_ns(MonitorId id) const { return stats_[Index(id)].last_ns; }
+  const std::string& last_detail(MonitorId id) const { return stats_[Index(id)].detail; }
+  uint64_t total_violations() const;
+  // One human-readable line per monitor with a nonzero count.
+  std::vector<std::string> ViolationReport() const;
+
+  void set_abort_on_violation(bool abort) { abort_on_violation_ = abort; }
+
+  InvariantMonitors(const InvariantMonitors&) = delete;
+  InvariantMonitors& operator=(const InvariantMonitors&) = delete;
+
+ private:
+  struct Stat {
+    uint64_t count = 0;
+    uint64_t first_ns = 0;
+    uint64_t last_ns = 0;
+    std::string detail;  // last offending condition, for reports
+  };
+  struct QueueState {
+    uint64_t last_committed_tx = 0;
+    uint64_t last_completed_tx = 0;
+  };
+  struct CqState {
+    bool init = false;
+    uint16_t expected_slot = 0;
+    bool expected_phase = true;
+  };
+  struct TxState {
+    uint64_t staged = 0;
+    uint64_t expected = 0;
+    bool has_expectation = false;
+  };
+
+  static size_t Index(MonitorId id) { return static_cast<size_t>(id); }
+  static uint32_t QueueKey(uint16_t device, uint16_t qid) {
+    return (static_cast<uint32_t>(device) << 16) | qid;
+  }
+  void Violate(MonitorId id, std::string detail);
+
+  Simulator* sim_;
+  bool abort_on_violation_ = false;
+  std::array<Stat, kNumMonitors> stats_{};
+  std::unordered_map<uint32_t, QueueState> queues_;
+  std::unordered_map<const void*, CqState> cqs_;
+  std::unordered_map<uint64_t, TxState> txs_;
+  std::unordered_map<uint64_t, uint64_t> volume_seals_;
+};
+
+}  // namespace ccnvme
+
+#endif  // SRC_METRICS_MONITORS_H_

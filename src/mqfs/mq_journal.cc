@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/extfs/extfs.h"
+#include "src/metrics/metrics.h"
 #include "src/trace/tracer.h"
 
 namespace ccnvme {
@@ -183,6 +184,11 @@ Status MqJournal::Sync(const SyncOp& op, SyncMode mode) {
   Simulator::Sleep(costs_.fs_journal_desc_ns);
   rec->jd = std::make_shared<Buffer>(kFsBlockSize, 0);
   desc.Serialize(*rec->jd);
+  if (Metrics* m = sim_->metrics()) {
+    // Commit-record-after-blocks: every in-tx member staged above must have
+    // reached the block layer before the descriptor commits the tx.
+    m->monitors().ExpectTxMembers(tx_id, data_in_tx + metadata.size());
+  }
   auto self = this;
   auto handle = blk_->CommitTx(tx_id, area.start + jd_off, rec->jd.get(),
                                [self, rec] { self->FinishTx(rec); });
@@ -429,6 +435,15 @@ Status MqJournal::Recover() {
       for (const auto& req : blk_->RecoveredWindow()) {
         in_doubt.insert(req.tx_id);
       }
+    }
+    if (Metrics* m = sim_->metrics()) {
+      // Recovery must treat every transaction in the recovered P-SQ window
+      // as in-doubt; ignoring any of them trusts unvalidated blocks.
+      std::set<uint64_t> window_txs;
+      for (const auto& req : blk_->RecoveredWindow()) {
+        window_txs.insert(req.tx_id);
+      }
+      m->monitors().OnRecoveryWindowScan(window_txs.size(), in_doubt.size());
     }
   }
 

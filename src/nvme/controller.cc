@@ -1,6 +1,7 @@
 #include "src/nvme/controller.h"
 
 #include "src/common/logging.h"
+#include "src/metrics/metrics.h"
 #include "src/nvme/admin.h"
 #include "src/trace/tracer.h"
 
@@ -216,6 +217,11 @@ void NvmeController::PostCompletion(IoQueuePair* qp, const NvmeCommand& cmd, uin
   cqe.Serialize(std::span<uint8_t>(qp->host_cq).subspan(
       static_cast<size_t>(cq_slot) * kCqeSize, kCqeSize));
   if (Tracer* t = sim_->tracer()) t->Instant(TracePoint::kCqePost, cmd.cid);
+  if (Metrics* m = sim_->metrics()) {
+    // The host's bottom half relies on CQEs landing in consecutive slots
+    // with the phase tag flipping exactly at wraparound.
+    m->monitors().OnCqePost(qp, qp->depth, cq_slot, cqe.phase);
+  }
   link_->DmaQueuePost(kCqeSize);
 
   bool raise = true;

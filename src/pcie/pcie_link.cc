@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/metrics/metrics.h"
 #include "src/trace/tracer.h"
 
 namespace ccnvme {
@@ -73,7 +74,13 @@ void PcieLink::MmioReadFence(uint64_t bytes) {
     wait += static_cast<uint64_t>(static_cast<double>(bytes) * 1e9 /
                                   static_cast<double>(config_.mmio_read_bytes_per_sec));
   }
+  const uint64_t drain_horizon = mmio_drain_at_ns_;
   Simulator::Sleep(wait);
+  if (Metrics* m = sim_->metrics()) {
+    // Non-posted reads must not pass posted writes: by the time the fence
+    // returns, every posted MMIO burst issued before it must have drained.
+    m->monitors().OnReadFence(drain_horizon);
+  }
 }
 
 void PcieLink::DmaQueueFetch(uint64_t bytes) {

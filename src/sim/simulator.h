@@ -32,7 +32,8 @@
 namespace ccnvme {
 
 class Simulator;
-class Tracer;  // src/trace — the sim only carries the pointer
+class Tracer;   // src/trace — the sim only carries the pointer
+class Metrics;  // src/metrics — same attachment contract as the tracer
 
 // Thrown inside actor bodies when the simulation shuts down; the actor
 // trampoline catches it. User code should not catch it (catch(...) handlers
@@ -122,6 +123,13 @@ class Simulator {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   Tracer* tracer() const { return tracer_; }
 
+  // Optional metrics engine + invariant monitors (src/metrics). Exactly the
+  // tracer contract: the simulator never dereferences the pointer, hooks
+  // only read now() and write their own memory, so enabling metrics cannot
+  // change event processing. Not owned.
+  void set_metrics(Metrics* metrics) { metrics_ = metrics; }
+  Metrics* metrics() const { return metrics_; }
+
   // True once Shutdown has begun. Synchronization primitives consult this
   // to tolerate RAII unwinding (e.g. a lock guard releasing a mutex the
   // unwinding actor no longer owns because it was parked in a CondVar).
@@ -154,6 +162,7 @@ class Simulator {
   std::vector<std::unique_ptr<Actor>> actors_;
   bool shutdown_ = false;
   Tracer* tracer_ = nullptr;
+  Metrics* metrics_ = nullptr;
 
   // Event-loop side of the handshake.
   std::mutex loop_mu_;

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "src/common/logging.h"
+#include "src/metrics/metrics.h"
 
 namespace ccnvme {
 
@@ -80,6 +81,12 @@ void Tracer::EndSpan(TracePoint point) {
   ++agg.count;
   agg.total_ns += ev.dur_ns;
   agg.dur_ns.Add(ev.dur_ns);
+
+  // Phase attribution: completed spans feed the metrics engine's per-phase
+  // histograms (same value, same instant — no extra time reads).
+  if (Metrics* m = sim_->metrics()) {
+    m->OnSpanEnd(point, ev.dur_ns);
+  }
 }
 
 void Tracer::Instant(TracePoint point, uint64_t arg0) {
@@ -99,6 +106,16 @@ void Tracer::InstantWith(TracePoint point, const TraceContext& ctx, uint64_t arg
   ev.device = ctx.device;
   Append(ev);
   ++agg_[static_cast<size_t>(point)].count;
+  if (Metrics* m = sim_->metrics()) {
+    m->OnInstant(point);
+  }
+}
+
+void Tracer::AddCounter(TraceCounter c, uint64_t delta) {
+  counters_[static_cast<size_t>(c)] += delta;
+  if (Metrics* m = sim_->metrics()) {
+    m->OnTraceCounter(c, delta);
+  }
 }
 
 std::map<std::string, uint64_t> Tracer::CounterSnapshot() const {

@@ -65,9 +65,7 @@ class Tracer {
 
   // --- Counters (hot path) ------------------------------------------------
 
-  void AddCounter(TraceCounter c, uint64_t delta = 1) {
-    counters_[static_cast<size_t>(c)] += delta;
-  }
+  void AddCounter(TraceCounter c, uint64_t delta = 1);
   uint64_t counter(TraceCounter c) const { return counters_[static_cast<size_t>(c)]; }
   // Dynamically interned counters for callers outside the fixed enum.
   CounterSet& extra_counters() { return extra_counters_; }

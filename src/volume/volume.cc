@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/metrics/metrics.h"
 
 namespace ccnvme {
 
@@ -285,11 +286,19 @@ CcNvmeDriver::TxHandle Volume::CommitTx(uint16_t qid, uint64_t tx_id, uint64_t l
     }
     st->remaining++;
     members_[dev].cc->SealTx(qid, tx_id, done_one);
+    if (Metrics* m = sim_->metrics()) {
+      m->monitors().OnVolumeMemberSealed(tx_id);
+    }
   };
   auto commit_member = [&] {
     const uint64_t seq =
         Record(commit_dev, BioOp::kWrite, commit_lba, kBioTx | kBioTxCommit, tx_id, data);
     if (seq != 0) st->seqs.emplace_back(commit_dev, seq);
+    if (Metrics* m = sim_->metrics()) {
+      // Volume-wide gate: the commit device's doorbell is the atomicity
+      // point, so every other member must have sealed before this ring.
+      m->monitors().OnVolumeCommitRing(tx_id, seal.size());
+    }
     st->remaining++;
     CcNvmeDriver::TxHandle h =
         members_[commit_dev].cc->CommitTx(qid, tx_id, commit_lba, data, done_one);

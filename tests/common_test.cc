@@ -271,6 +271,48 @@ TEST(BytesTest, StringFieldsZeroPad) {
   EXPECT_EQ(GetString(buf, 16, 4), "tool");
 }
 
+TEST(HistogramTest, MaxValueEdgeDoesNotOverflowTopBucket) {
+  // ~0ull lands in the last bucket; its upper bound must saturate instead
+  // of wrapping to a small value, so percentiles stay monotonic.
+  Histogram h;
+  h.Add(~0ull);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), ~0ull);
+  EXPECT_GE(h.Percentile(1.0), h.Percentile(0.5));
+  EXPECT_GT(h.Percentile(0.5), 1ull << 39);
+  h.Add(1);
+  EXPECT_LE(h.Percentile(0.0), h.Percentile(1.0));
+}
+
+TEST(HistogramTest, DiffSinceIsBucketExact) {
+  Histogram h;
+  Histogram earlier;
+  for (uint64_t v : {10ull, 20ull, 30ull}) {
+    h.Add(v);
+  }
+  earlier = h;  // snapshot of the past
+  for (uint64_t v : {1000ull, 2000ull, 4000ull, 8000ull}) {
+    h.Add(v);
+  }
+  const Histogram delta = h.DiffSince(earlier);
+  EXPECT_EQ(delta.count(), 4u);
+  EXPECT_EQ(delta.sum(), h.sum() - earlier.sum());
+  // The delta window holds only the large samples, so its quantiles must
+  // sit in the large range, not be dragged down by the early small ones.
+  EXPECT_GT(delta.Percentile(0.0), 500u);
+  EXPECT_GE(delta.max(), delta.min());
+
+  // Diffing against an empty snapshot is the identity.
+  const Histogram same = h.DiffSince(Histogram());
+  EXPECT_EQ(same.count(), h.count());
+  EXPECT_EQ(same.sum(), h.sum());
+
+  // Diffing equal snapshots is empty.
+  const Histogram none = h.DiffSince(h);
+  EXPECT_EQ(none.count(), 0u);
+  EXPECT_EQ(none.sum(), 0u);
+}
+
 TEST(BytesTest, FnvChangesWithContent) {
   Buffer a = {1, 2, 3};
   Buffer b = {1, 2, 4};

@@ -1,23 +1,45 @@
 // Re-checks a crash-explorer replay artifact.
 //
-// Usage: crash_replay <artifact.json>
+// Usage: crash_replay <artifact.json> [--metrics[=path]]
 //
 // Reads the artifact, re-records its workload under the recorded stack
 // configuration, reconstructs the exact crash state from (crash_index,
 // choices, torn_seed) and runs recovery plus the oracle checks against it.
+// With --metrics[=path] the invariant monitors watch the replayed recovery
+// and a metrics JSON snapshot (including per-monitor violation counts) is
+// written to |path| (stdout when omitted).
 // Exit codes: 0 = the state now passes (failure did not reproduce),
 // 1 = a failure reproduced, 2 = usage / artifact / replay error.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "src/crashtest/replay_artifact.h"
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: crash_replay <artifact.json>\n");
+  const char* artifact_path = nullptr;
+  bool with_metrics = false;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics", 9) == 0) {
+      with_metrics = true;
+      if (argv[i][9] == '=') {
+        metrics_path = argv[i] + 10;
+      }
+    } else if (artifact_path == nullptr) {
+      artifact_path = argv[i];
+    } else {
+      artifact_path = nullptr;
+      break;
+    }
+  }
+  if (artifact_path == nullptr) {
+    std::fprintf(stderr, "usage: crash_replay <artifact.json> [--metrics[=path]]\n");
     return 2;
   }
 
-  ccnvme::Result<ccnvme::ReplayArtifact> art = ccnvme::ReplayArtifact::ReadFile(argv[1]);
+  ccnvme::Result<ccnvme::ReplayArtifact> art =
+      ccnvme::ReplayArtifact::ReadFile(artifact_path);
   if (!art.ok()) {
     std::fprintf(stderr, "crash_replay: %s\n", art.status().ToString().c_str());
     return 2;
@@ -34,10 +56,27 @@ int main(int argc, char** argv) {
     }
   }
 
-  ccnvme::Result<std::string> replayed = ccnvme::ReplayArtifactCheck(*art);
+  std::string metrics_json;
+  ccnvme::Result<std::string> replayed =
+      ccnvme::ReplayArtifactCheck(*art, with_metrics ? &metrics_json : nullptr);
   if (!replayed.ok()) {
     std::fprintf(stderr, "crash_replay: %s\n", replayed.status().ToString().c_str());
     return 2;
+  }
+  if (with_metrics) {
+    if (metrics_path.empty() || metrics_path == "-") {
+      std::fputs(metrics_json.c_str(), stdout);
+      std::fputc('\n', stdout);
+    } else {
+      std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write metrics to %s\n", metrics_path.c_str());
+        return 2;
+      }
+      std::fputs(metrics_json.c_str(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    }
   }
   if (replayed->empty()) {
     std::printf("replayed state:   PASS (failure did not reproduce)\n");

@@ -9,13 +9,17 @@
 // listed; with --save the recovered image is written back; with --json a
 // machine-readable report is printed instead of the prose. Multi-device
 // images mount through the volume layer: --mirror selects RAID-1, --chunk N
-// sets the RAID-0 stripe unit (default 64 blocks).
+// sets the RAID-0 stripe unit (default 64 blocks). With --metrics[=path]
+// the invariant monitors run during recovery and a full metrics JSON
+// snapshot (including per-monitor violation counts) is written to |path|
+// (stdout when omitted); a nonzero violation count fails the check.
 #include <cstdio>
 #include <cstring>
 #include <functional>
 #include <sstream>
 
 #include "src/harness/image_file.h"
+#include "src/metrics/export.h"
 
 using namespace ccnvme;
 
@@ -55,6 +59,8 @@ int main(int argc, char** argv) {
   bool save = false;
   bool emit_json = false;
   bool mirror = false;
+  bool with_metrics = false;
+  std::string metrics_path;
   uint32_t chunk = 64;
   uint32_t areas = 1;
   for (int i = 2; i < argc; ++i) {
@@ -64,6 +70,11 @@ int main(int argc, char** argv) {
       save = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       emit_json = true;
+    } else if (std::strncmp(argv[i], "--metrics", 9) == 0) {
+      with_metrics = true;
+      if (argv[i][9] == '=') {
+        metrics_path = argv[i] + 10;
+      }
     } else if (std::strcmp(argv[i], "--mirror") == 0) {
       mirror = true;
     } else if (std::strcmp(argv[i], "--chunk") == 0 && i + 1 < argc) {
@@ -112,6 +123,11 @@ int main(int argc, char** argv) {
   }
 
   StorageStack stack(cfg, *image);
+  // Enabled BEFORE the mount so the invariant monitors watch journal
+  // recovery itself (P-SQ window coverage, ordering, doorbells).
+  if (with_metrics) {
+    stack.EnableMetrics();
+  }
   Status st = stack.MountExisting();
   if (!st.ok()) {
     if (emit_json) {
@@ -160,6 +176,19 @@ int main(int argc, char** argv) {
   });
   if (emit_json) {
     std::fputs(json.str().c_str(), stdout);
+  }
+  if (with_metrics) {
+    const MetricsSnapshot snap = stack.metrics()->TakeSnapshot();
+    if (!WriteSnapshotJson(snap, metrics_path)) {
+      std::fprintf(stderr, "cannot write metrics to %s\n", metrics_path.c_str());
+      return 1;
+    }
+    if (snap.TotalViolations() != 0) {
+      for (const std::string& line : stack.metrics()->monitors().ViolationReport()) {
+        std::fprintf(stderr, "MONITOR: %s\n", line.c_str());
+      }
+      rc = 1;
+    }
   }
   if (rc == 0 && save) {
     Status us = stack.Unmount();

@@ -2,7 +2,7 @@
 // submission-queue windows of a disk image, without mounting it.
 //
 //   journal_inspect <image-path> [--queue-depth N] [--queues N]
-//                   [--mirror | --chunk N] [--json]
+//                   [--mirror | --chunk N] [--json] [--metrics[=path]]
 //
 // For each journal area: the area superblock, then every record reachable
 // from its start offset, with per-block checksum validation — exactly what
@@ -10,8 +10,16 @@
 // [P-SQ-head, P-SQDB) window. Multi-device images need the volume geometry
 // to resolve block addresses: --mirror reads through leg 0, --chunk N
 // applies RAID-0 chunked striping (default chunk 64 blocks).
+//
+// With --metrics[=path] a metrics snapshot (inspect.* counters plus monitor
+// violations) is written to |path| (stdout when omitted). The inspection
+// runs the commit-record invariant against the media itself: a commit
+// record that follows a checksum-bad transaction body means the commit
+// reached media before its blocks — the journal.commit_after_blocks
+// invariant violated on disk; a nonzero violation count exits 1.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -19,6 +27,9 @@
 #include "src/extfs/layout.h"
 #include "src/harness/image_file.h"
 #include "src/jbd2/journal_format.h"
+#include "src/metrics/export.h"
+#include "src/metrics/metrics.h"
+#include "src/sim/simulator.h"
 
 using namespace ccnvme;
 
@@ -52,7 +63,7 @@ Buffer ReadBlock(const CrashImage& image, const Geometry& geo, uint64_t lba) {
 // Walks one journal area, appending either human-readable lines to stdout
 // or JSON record objects to |json|.
 void DumpArea(const CrashImage& image, const Geometry& geo, const FsLayout& layout,
-              uint32_t area, std::ostringstream* json) {
+              uint32_t area, std::ostringstream* json, Metrics* m) {
   const BlockNo start = layout.area_start(area);
   const uint64_t blocks = layout.blocks_per_area();
   auto asb = AreaSuperblock::Parse(ReadBlock(image, geo, start));
@@ -93,6 +104,9 @@ void DumpArea(const CrashImage& image, const Geometry& geo, const FsLayout& layo
     }
     if (*type == JournalRecordType::kCommit) {
       auto commit = CommitBlock::Parse(raw);
+      if (m != nullptr) {
+        m->registry().Add(m->registry().Counter("inspect.commit_records"), 1);
+      }
       if (json != nullptr) {
         *json << (first_record ? "" : ",") << "\n      {\"pos\": " << pos
               << ", \"type\": \"commit\", \"tx\": " << commit->tx_id << "}";
@@ -112,6 +126,9 @@ void DumpArea(const CrashImage& image, const Geometry& geo, const FsLayout& layo
       break;
     }
     auto desc = DescriptorBlock::Parse(raw);
+    if (m != nullptr) {
+      m->registry().Add(m->registry().Counter("inspect.descriptor_records"), 1);
+    }
     if (desc->tx_id <= prev) {
       if (json == nullptr) {
         std::printf("  [%5llu] stale descriptor tx=%llu (<= cleared) — end of log\n",
@@ -128,11 +145,15 @@ void DumpArea(const CrashImage& image, const Geometry& geo, const FsLayout& layo
     }
     uint64_t p = next(pos);
     bool valid = true;
+    size_t bad_entries = 0;
     std::ostringstream entries;
     bool first_entry = true;
     for (const JournalEntry& e : desc->entries) {
       const Buffer content = ReadBlock(image, geo, start + p);
       const bool ok = Fnv1a(content) == e.content_checksum;
+      if (!ok) {
+        ++bad_entries;
+      }
       if (json != nullptr) {
         entries << (first_entry ? "" : ", ") << "{\"home\": " << e.home_lba
                 << ", \"journal\": " << start + p << ", \"valid\": " << (ok ? "true" : "false")
@@ -163,6 +184,19 @@ void DumpArea(const CrashImage& image, const Geometry& geo, const FsLayout& layo
       }
     }
     if (!valid) {
+      if (m != nullptr) {
+        m->registry().Add(m->registry().Counter("inspect.invalid_txs"), 1);
+        // Media-level commit-record invariant: if the record after a
+        // checksum-bad transaction body is that transaction's commit block,
+        // the commit reached media before its blocks did.
+        auto peek = PeekRecordType(ReadBlock(image, geo, start + p));
+        if (peek.ok() && *peek == JournalRecordType::kCommit) {
+          auto commit = CommitBlock::Parse(ReadBlock(image, geo, start + p));
+          if (commit.ok() && commit->tx_id == desc->tx_id) {
+            m->monitors().OnJournalCommitRecord(desc->tx_id, bad_entries);
+          }
+        }
+      }
       if (json == nullptr) {
         std::printf("           transaction INVALID — recovery would stop here\n");
       }
@@ -182,16 +216,23 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <image-path> [--queue-depth N] [--queues N]"
-                 " [--mirror | --chunk N] [--json]\n",
+                 " [--mirror | --chunk N] [--json] [--metrics[=path]]\n",
                  argv[0]);
     return 2;
   }
   uint16_t queue_depth = 256;
   uint16_t queues = 0;
   bool emit_json = false;
+  bool with_metrics = false;
+  std::string metrics_path;
   Geometry geo;
   for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--queue-depth") == 0 && i + 1 < argc) {
+    if (std::strncmp(argv[i], "--metrics", 9) == 0) {
+      with_metrics = true;
+      if (argv[i][9] == '=') {
+        metrics_path = argv[i] + 10;
+      }
+    } else if (std::strcmp(argv[i], "--queue-depth") == 0 && i + 1 < argc) {
       queue_depth = static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--queues") == 0 && i + 1 < argc) {
       queues = static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
@@ -216,6 +257,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   const FsLayout layout = sb->ToLayout();
+  // Offline inspection has no running stack; metrics live on a standalone
+  // (never advanced) simulator, so every snapshot is stamped at t=0.
+  Simulator metrics_sim;
+  std::unique_ptr<Metrics> metrics;
+  if (with_metrics) {
+    metrics = std::make_unique<Metrics>(&metrics_sim);
+  }
   std::ostringstream json;
   if (emit_json) {
     json << "{\n  \"total_blocks\": " << sb->total_blocks
@@ -228,7 +276,7 @@ int main(int argc, char** argv) {
                 sb->dirty_mount, image->devices.size());
   }
   for (uint32_t a = 0; a < sb->journal_areas; ++a) {
-    DumpArea(*image, geo, layout, a, emit_json ? &json : nullptr);
+    DumpArea(*image, geo, layout, a, emit_json ? &json : nullptr, metrics.get());
     if (emit_json) {
       json << (a + 1 < sb->journal_areas ? ",\n" : "\n");
     } else {
@@ -257,6 +305,9 @@ int main(int argc, char** argv) {
     pmr.Write(0, image->devices[d].pmr);
     for (const auto& req : CcNvmeDriver::ScanUnfinished(pmr, queues, queue_depth)) {
       ++total;
+      if (metrics != nullptr) {
+        metrics->registry().Add(metrics->registry().Counter("inspect.window_entries"), 1);
+      }
       if (emit_json) {
         json << (first_window ? "" : ",") << "\n    {\"device\": " << d
              << ", \"qid\": " << req.qid << ", \"tx\": " << req.tx_id
@@ -276,6 +327,19 @@ int main(int argc, char** argv) {
     std::fputs(json.str().c_str(), stdout);
   } else if (total == 0) {
     std::printf("  (empty — every submitted transaction completed in order)\n");
+  }
+  if (metrics != nullptr) {
+    const MetricsSnapshot snap = metrics->TakeSnapshot();
+    if (!WriteSnapshotJson(snap, metrics_path)) {
+      std::fprintf(stderr, "cannot write metrics to %s\n", metrics_path.c_str());
+      return 1;
+    }
+    if (snap.TotalViolations() != 0) {
+      for (const std::string& line : metrics->monitors().ViolationReport()) {
+        std::fprintf(stderr, "MONITOR: %s\n", line.c_str());
+      }
+      return 1;
+    }
   }
   return 0;
 }
