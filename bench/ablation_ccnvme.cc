@@ -7,9 +7,9 @@
 //
 // Reported per transaction size: atomicity latency, durable latency, and
 // the MMIO / IRQ counts on the critical path.
-#include <cstdio>
 #include <vector>
 
+#include "bench/bench_runner.h"
 #include "src/harness/stack.h"
 
 namespace ccnvme {
@@ -22,14 +22,15 @@ struct AblationResult {
   double irq_per_tx = 0;
 };
 
-AblationResult Run(bool tx_aware_mmio, bool irq_coalescing, int n) {
+AblationResult Run(BenchContext& ctx, bool tx_aware_mmio, bool irq_coalescing, int n) {
   StackConfig cfg;
   cfg.ssd = SsdConfig::OptaneP5800X();
   cfg.cc_options.tx_aware_mmio = tx_aware_mmio;
+  ctx.ApplyInjections(&cfg);
   // The controller knob rides on StackConfig via queue depth path; build a
   // custom stack pieces-wise for the controller flag.
   Simulator sim;
-  PcieLink link(&sim, PcieConfig{});
+  PcieLink link(&sim, cfg.pcie);
   SsdModel ssd(&sim, cfg.ssd);
   NvmeControllerConfig ctrl_cfg;
   ctrl_cfg.tx_aware_irq_coalescing = irq_coalescing;
@@ -67,13 +68,9 @@ AblationResult Run(bool tx_aware_mmio, bool irq_coalescing, int n) {
   return res;
 }
 
-}  // namespace
-}  // namespace ccnvme
-
-int main() {
-  using namespace ccnvme;
-  std::printf("ccNVMe design-choice ablation (P5800X, transaction of N+1 4KB requests)\n\n");
-  std::printf("%3s  %-12s %-9s | %10s %11s %9s %8s\n", "N", "MMIO mode", "IRQ mode",
+void RunAblation(BenchContext& ctx) {
+  ctx.Log("ccNVMe design-choice ablation (P5800X, transaction of N+1 4KB requests)\n\n");
+  ctx.Log("%3s  %-12s %-9s | %10s %11s %9s %8s\n", "N", "MMIO mode", "IRQ mode",
               "atomic_us", "durable_us", "MMIO/tx", "IRQ/tx");
   for (int n : {1, 4, 16}) {
     struct Case {
@@ -88,13 +85,23 @@ int main() {
         {true, true, "tx-aware", "per-tx"},
     };
     for (const Case& c : cases) {
-      const AblationResult r = Run(c.tx_aware, c.coalesce, n);
-      std::printf("%3d  %-12s %-9s | %10.1f %11.1f %9.1f %8.1f\n", n, c.mmio_name,
+      const AblationResult r = Run(ctx, c.tx_aware, c.coalesce, n);
+      if (n == 4 && c.tx_aware && c.coalesce) {
+        ctx.Metric("txaware_n4_atomic_ns", r.atomic_us * 1e3);
+        ctx.Metric("txaware_n4_durable_ns", r.durable_us * 1e3);
+      }
+      ctx.Log("%3d  %-12s %-9s | %10.1f %11.1f %9.1f %8.1f\n", n, c.mmio_name,
                   c.irq_name, r.atomic_us, r.durable_us, r.mmio_per_tx, r.irq_per_tx);
     }
-    std::printf("\n");
+    ctx.Log("\n");
   }
-  std::printf("tx-aware MMIO cuts the atomicity path to 2 MMIOs regardless of N (§4.3);\n");
-  std::printf("tx-aware IRQ coalescing cuts interrupts to 1/tx (§4.6, optional).\n");
-  return 0;
+  ctx.Log("tx-aware MMIO cuts the atomicity path to 2 MMIOs regardless of N (§4.3);\n");
+  ctx.Log("tx-aware IRQ coalescing cuts interrupts to 1/tx (§4.6, optional).\n");
 }
+
+CCNVME_REGISTER_BENCH("ablation_ccnvme",
+                      "tx-aware MMIO and IRQ-coalescing design ablation",
+                      RunAblation);
+
+}  // namespace
+}  // namespace ccnvme

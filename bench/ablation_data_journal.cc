@@ -6,8 +6,7 @@
 // semantics (data is atomic, not just metadata) at the cost of writing
 // every data block twice (journal now + checkpoint later). This bench
 // quantifies that tax on the 905P.
-#include <cstdio>
-
+#include "bench/bench_runner.h"
 #include "src/workload/fio_append.h"
 
 namespace ccnvme {
@@ -18,9 +17,11 @@ struct Point {
   double write_amplification;  // device bytes written / user bytes
 };
 
-Point RunPoint(bool data_journaling, int threads, uint32_t write_size) {
+Point RunPoint(BenchContext& ctx, bool data_journaling, int threads,
+               uint32_t write_size) {
   StackConfig cfg;
   cfg.ssd = SsdConfig::Optane905P();
+  ctx.ApplyInjections(&cfg);
   cfg.num_queues = static_cast<uint16_t>(threads);
   cfg.fs.journal = JournalKind::kMultiQueue;
   cfg.fs.journal_areas = static_cast<uint32_t>(threads);
@@ -48,22 +49,29 @@ Point RunPoint(bool data_journaling, int threads, uint32_t write_size) {
   return p;
 }
 
-}  // namespace
-}  // namespace ccnvme
-
-int main() {
-  using namespace ccnvme;
-  std::printf("MQFS data journaling vs. ordered metadata journaling (905P, 4KB append+fsync)\n\n");
-  std::printf("%8s | %14s %8s | %14s %8s\n", "threads", "metadata KIOPS", "WA", "data KIOPS",
+void RunDataJournal(BenchContext& ctx) {
+  ctx.Log("MQFS data journaling vs. ordered metadata journaling (905P, 4KB append+fsync)\n\n");
+  ctx.Log("%8s | %14s %8s | %14s %8s\n", "threads", "metadata KIOPS", "WA", "data KIOPS",
               "WA");
   for (int threads : {1, 4, 8}) {
-    const Point meta = RunPoint(false, threads, 4096);
-    const Point data = RunPoint(true, threads, 4096);
-    std::printf("%8d | %14.1f %7.2fx | %14.1f %7.2fx\n", threads, meta.kiops,
+    const Point meta = RunPoint(ctx, false, threads, 4096);
+    const Point data = RunPoint(ctx, true, threads, 4096);
+    if (threads == 4) {
+      ctx.Metric("metadata_4t_kiops", meta.kiops);
+      ctx.Metric("data_journal_4t_kiops", data.kiops);
+      ctx.Metric("data_journal_write_amplification", data.write_amplification);
+    }
+    ctx.Log("%8d | %14.1f %7.2fx | %14.1f %7.2fx\n", threads, meta.kiops,
                 meta.write_amplification, data.kiops, data.write_amplification);
   }
-  std::printf("\nData journaling buys atomic *data* (not just metadata) for roughly one\n");
-  std::printf("extra journaled copy per user block — the classic write-amplification\n");
-  std::printf("trade. The paper's evaluation (§7.1) runs all systems in metadata mode.\n");
-  return 0;
+  ctx.Log("\nData journaling buys atomic *data* (not just metadata) for roughly one\n");
+  ctx.Log("extra journaled copy per user block — the classic write-amplification\n");
+  ctx.Log("trade. The paper's evaluation (§7.1) runs all systems in metadata mode.\n");
 }
+
+CCNVME_REGISTER_BENCH("ablation_data_journal",
+                      "data vs ordered metadata journaling trade-off",
+                      RunDataJournal);
+
+}  // namespace
+}  // namespace ccnvme

@@ -1,0 +1,5 @@
+// Default `main` for every bench binary: runs the scenarios registered by
+// the bench's own translation unit(s) through the shared runner.
+#include "bench/bench_runner.h"
+
+int main(int argc, char** argv) { return ccnvme::BenchMain(argc, argv); }

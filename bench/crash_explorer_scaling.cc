@@ -5,11 +5,9 @@
 //
 // Usage: crash_explorer_scaling [threads]   (default: hardware concurrency)
 #include <chrono>
-#include <cstdio>
-#include <cstdlib>
 #include <thread>
 
-#include "bench/bench_flags.h"
+#include "bench/bench_runner.h"
 #include "src/common/logging.h"
 #include "src/crashtest/crash_explorer.h"
 #include "src/crashtest/crash_workloads.h"
@@ -33,17 +31,9 @@ double ExploreMs(const CrashRecording& rec, const ExplorerOptions& opt, Explorer
   return std::chrono::duration<double, std::milli>(end - start).count();
 }
 
-}  // namespace
-}  // namespace ccnvme
-
-int main(int argc, char** argv) {
-  using namespace ccnvme;
-
-  const uint64_t seed = SeedFromArgs(argc, argv, 42);
+void RunExplorerScaling(BenchContext& ctx) {
+  const uint64_t seed = ctx.seed();
   size_t threads = std::thread::hardware_concurrency();
-  if (argc > 1 && argv[1][0] != '-') {
-    threads = std::strtoul(argv[1], nullptr, 10);
-  }
   if (threads == 0) {
     threads = 4;
   }
@@ -52,12 +42,13 @@ int main(int argc, char** argv) {
                              "generic_321",          "truncate_shrink_grow",
                              "overwrite_mixed"};
 
-  std::printf("Crash-explorer scaling (serial vs %zu worker threads)\n", threads);
-  std::printf("%-22s %8s %8s %12s %12s %9s\n", "workload", "bounds", "states", "serial_ms",
+  ctx.Log("Crash-explorer scaling (serial vs %zu worker threads)\n", threads);
+  ctx.Log("%-22s %8s %8s %12s %12s %9s\n", "workload", "bounds", "states", "serial_ms",
               "parallel_ms", "speedup");
 
   double total_serial = 0.0;
   double total_parallel = 0.0;
+  uint64_t total_states = 0;
   for (const char* name : workloads) {
     Result<CrashWorkload> workload = FindCrashWorkload(name);
     CCNVME_CHECK(workload.ok()) << workload.status().ToString();
@@ -81,12 +72,22 @@ int main(int argc, char** argv) {
 
     total_serial += serial_ms;
     total_parallel += parallel_ms;
-    std::printf("%-22s %8zu %8zu %12.1f %12.1f %8.2fx\n", name, serial_report.boundaries,
+    total_states += serial_report.states_checked;
+    ctx.Log("%-22s %8zu %8zu %12.1f %12.1f %8.2fx\n", name, serial_report.boundaries,
                 serial_report.states_checked, serial_ms, parallel_ms, serial_ms / parallel_ms);
   }
 
-  std::printf("%-22s %8s %8s %12.1f %12.1f %8.2fx\n", "TOTAL", "", "", total_serial,
+  ctx.Log("%-22s %8s %8s %12.1f %12.1f %8.2fx\n", "TOTAL", "", "", total_serial,
               total_parallel, total_serial / total_parallel);
-  std::printf("\nreports byte-identical across thread counts: yes\n");
-  return 0;
+  ctx.Log("\nreports byte-identical across thread counts: yes\n");
+  // Wall-clock numbers are host-dependent; only the deterministic state
+  // count goes into the comparable metrics.
+  ctx.Metric("explored_states", static_cast<double>(total_states));
 }
+
+CCNVME_REGISTER_BENCH("crash_explorer_scaling",
+                      "parallel crash-state explorer scaling + determinism check",
+                      RunExplorerScaling);
+
+}  // namespace
+}  // namespace ccnvme

@@ -11,26 +11,26 @@
 // saturates the device with ~2 cores; ccNVMe ~1.5x classic/Horae TPS at
 // high core counts (no commit record, fewer MMIOs); classic and Horae only
 // reach ~60% utilization single-core at 64 KB while ccNVMe reaches >90%.
-#include <cstdio>
 #include <vector>
 
-#include "bench/bench_flags.h"
+#include "bench/bench_runner.h"
 #include "bench/tx_engines.h"
 #include "src/common/rng.h"
 
 namespace ccnvme {
 namespace {
 
-struct BenchResult {
+struct TxPoint {
   double tps = 0;
   double mbps = 0;
   double io_util = 0;
 };
 
-BenchResult RunEngine(TxEngine engine, int num_threads, uint32_t write_size_kb,
-                      uint64_t duration_ns, uint64_t seed) {
+TxPoint RunEngine(BenchContext& ctx, TxEngine engine, int num_threads,
+                  uint32_t write_size_kb, uint64_t duration_ns, uint64_t seed) {
   StackConfig cfg;
   cfg.ssd = SsdConfig::OptaneP5800X();
+  ctx.ApplyInjections(&cfg);
   cfg.num_queues = static_cast<uint16_t>(num_threads);
   StorageStack stack(cfg);
 
@@ -65,7 +65,7 @@ BenchResult RunEngine(TxEngine engine, int num_threads, uint32_t write_size_kb,
   }
   stack.sim().Run();
 
-  BenchResult res;
+  TxPoint res;
   const double secs = static_cast<double>(stack.sim().now() - start_ns) / 1e9;
   res.tps = static_cast<double>(total_tx) / secs;
   res.mbps = res.tps * write_size_kb / 1024.0;
@@ -73,45 +73,53 @@ BenchResult RunEngine(TxEngine engine, int num_threads, uint32_t write_size_kb,
   return res;
 }
 
-}  // namespace
-}  // namespace ccnvme
-
-int main(int argc, char** argv) {
-  using namespace ccnvme;
-  const uint64_t seed = SeedFromArgs(argc, argv, 42);
+void RunFig10(BenchContext& ctx) {
+  const uint64_t seed = ctx.seed();
   const TxEngine engines[] = {TxEngine::kClassic, TxEngine::kHorae, TxEngine::kCcNvme,
                               TxEngine::kCcNvmeAtomic};
   const uint64_t kDuration = 8'000'000;  // 8 ms simulated per point
 
-  std::printf("Figure 10(a,b): single-core transaction throughput / I/O utilization\n");
-  std::printf("(Intel Optane DC P5800X; transaction = write_size/4KB random 4KB requests)\n\n");
-  std::printf("%-8s", "size_KB");
+  ctx.Log("Figure 10(a,b): single-core transaction throughput / I/O utilization\n");
+  ctx.Log("(Intel Optane DC P5800X; transaction = write_size/4KB random 4KB requests)\n\n");
+  ctx.Log("%-8s", "size_KB");
   for (TxEngine e : engines) {
-    std::printf(" | %13s MB/s util%%", TxEngineName(e));
+    ctx.Log(" | %13s MB/s util%%", TxEngineName(e));
   }
-  std::printf("\n");
+  ctx.Log("\n");
   for (uint32_t size_kb : {4, 8, 16, 32, 64}) {
-    std::printf("%-8u", size_kb);
+    ctx.Log("%-8u", size_kb);
     for (TxEngine e : engines) {
-      const BenchResult r = RunEngine(e, 1, size_kb, kDuration, seed);
-      std::printf(" | %13.0f      %4.0f", r.mbps, r.io_util * 100);
+      const TxPoint r = RunEngine(ctx, e, 1, size_kb, kDuration, seed);
+      ctx.Log(" | %13.0f      %4.0f", r.mbps, r.io_util * 100);
     }
-    std::printf("\n");
+    ctx.Log("\n");
   }
 
-  std::printf("\nFigure 10(c,d): multi-core TPS (K transactions/s, 4KB) / I/O utilization\n\n");
-  std::printf("%-8s", "threads");
+  ctx.Log("\nFigure 10(c,d): multi-core TPS (K transactions/s, 4KB) / I/O utilization\n\n");
+  ctx.Log("%-8s", "threads");
   for (TxEngine e : engines) {
-    std::printf(" | %13s kTPS util%%", TxEngineName(e));
+    ctx.Log(" | %13s kTPS util%%", TxEngineName(e));
   }
-  std::printf("\n");
+  ctx.Log("\n");
   for (int threads : {1, 2, 4, 8, 12}) {
-    std::printf("%-8d", threads);
+    ctx.Log("%-8d", threads);
     for (TxEngine e : engines) {
-      const BenchResult r = RunEngine(e, threads, 4, kDuration, seed);
-      std::printf(" | %13.0f      %4.0f", r.tps / 1e3, r.io_util * 100);
+      const TxPoint r = RunEngine(ctx, e, threads, 4, kDuration, seed);
+      if (threads == 4 && e == TxEngine::kCcNvmeAtomic) {
+        ctx.Metric("ccnvme_atomic_4t_ktps", r.tps / 1e3);
+      }
+      if (threads == 4 && e == TxEngine::kClassic) {
+        ctx.Metric("classic_4t_ktps", r.tps / 1e3);
+      }
+      ctx.Log(" | %13.0f      %4.0f", r.tps / 1e3, r.io_util * 100);
     }
-    std::printf("\n");
+    ctx.Log("\n");
   }
-  return 0;
 }
+
+CCNVME_REGISTER_BENCH("fig10_transaction",
+                      "atomic transaction TPS/utilization: classic vs Horae vs ccNVMe",
+                      RunFig10);
+
+}  // namespace
+}  // namespace ccnvme

@@ -9,8 +9,7 @@
 // Expected shape (paper): single-core MQFS ~2.1x Ext4, ~1.9x HoraeFS, ~1.2x
 // Ext4-NJ on average; multi-core MQFS beats HoraeFS/Ext4 and approaches or
 // beats Ext4-NJ until the PCIe/device bandwidth bound; MQFS-atomic on top.
-#include <cstdio>
-
+#include "bench/bench_runner.h"
 #include "src/workload/fio_append.h"
 
 namespace ccnvme {
@@ -30,9 +29,11 @@ const System kSystems[] = {
     {"MQFS-atomic", JournalKind::kMultiQueue, SyncMode::kFdataatomic},
 };
 
-FioResult RunPoint(const System& sys, int threads, uint32_t write_size) {
+FioResult RunPoint(BenchContext& ctx, const System& sys, int threads,
+                   uint32_t write_size) {
   StackConfig cfg;
   cfg.ssd = SsdConfig::Optane905P();
+  ctx.ApplyInjections(&cfg);
   cfg.num_queues = static_cast<uint16_t>(threads);
   cfg.enable_ccnvme = sys.journal == JournalKind::kMultiQueue;
   cfg.fs.journal = sys.journal;
@@ -51,41 +52,51 @@ FioResult RunPoint(const System& sys, int threads, uint32_t write_size) {
   return RunFioAppend(stack, opts);
 }
 
-}  // namespace
-}  // namespace ccnvme
-
-int main() {
-  using namespace ccnvme;
-
-  std::printf("Figure 11(a,b): single-core throughput (MB/s) / avg latency (us), 905P\n\n");
-  std::printf("%8s", "size_KB");
+void RunFig11(BenchContext& ctx) {
+  ctx.Log("Figure 11(a,b): single-core throughput (MB/s) / avg latency (us), 905P\n\n");
+  ctx.Log("%8s", "size_KB");
   for (const auto& sys : kSystems) {
-    std::printf(" | %11s MB/s   us", sys.name);
+    ctx.Log(" | %11s MB/s   us", sys.name);
   }
-  std::printf("\n");
+  ctx.Log("\n");
   for (uint32_t size_kb : {4, 16, 64, 128}) {
-    std::printf("%8u", size_kb);
+    ctx.Log("%8u", size_kb);
     for (const auto& sys : kSystems) {
-      const FioResult r = RunPoint(sys, 1, size_kb * 1024);
-      std::printf(" | %11.0f      %5.0f", r.ThroughputMBps(size_kb * 1024),
+      const FioResult r = RunPoint(ctx, sys, 1, size_kb * 1024);
+      if (size_kb == 4 && sys.journal == JournalKind::kMultiQueue &&
+          sys.mode == SyncMode::kFsync) {
+        ctx.Metric("mqfs_1t_4k_mbps", r.ThroughputMBps(size_kb * 1024));
+        ctx.Metric("mqfs_1t_4k_mean_latency_ns", r.latency_ns.Mean());
+      }
+      ctx.Log(" | %11.0f      %5.0f", r.ThroughputMBps(size_kb * 1024),
                   r.latency_ns.Mean() / 1e3);
     }
-    std::printf("\n");
+    ctx.Log("\n");
   }
 
-  std::printf("\nFigure 11(c,d): multi-core throughput (KIOPS) / avg latency (us), 4KB\n\n");
-  std::printf("%8s", "threads");
+  ctx.Log("\nFigure 11(c,d): multi-core throughput (KIOPS) / avg latency (us), 4KB\n\n");
+  ctx.Log("%8s", "threads");
   for (const auto& sys : kSystems) {
-    std::printf(" | %11s KIOPS  us", sys.name);
+    ctx.Log(" | %11s KIOPS  us", sys.name);
   }
-  std::printf("\n");
+  ctx.Log("\n");
   for (int threads : {1, 4, 8, 12, 16, 24}) {
-    std::printf("%8d", threads);
+    ctx.Log("%8d", threads);
     for (const auto& sys : kSystems) {
-      const FioResult r = RunPoint(sys, threads, 4096);
-      std::printf(" | %11.1f      %5.0f", r.ThroughputKiops(), r.latency_ns.Mean() / 1e3);
+      const FioResult r = RunPoint(ctx, sys, threads, 4096);
+      if (threads == 8 && sys.journal == JournalKind::kMultiQueue &&
+          sys.mode == SyncMode::kFsync) {
+        ctx.Metric("mqfs_8t_4k_kiops", r.ThroughputKiops());
+      }
+      ctx.Log(" | %11.1f      %5.0f", r.ThroughputKiops(), r.latency_ns.Mean() / 1e3);
     }
-    std::printf("\n");
+    ctx.Log("\n");
   }
-  return 0;
 }
+
+CCNVME_REGISTER_BENCH("fig11_filesystem",
+                      "file-system append+fsync throughput/latency on the 905P",
+                      RunFig11);
+
+}  // namespace
+}  // namespace ccnvme

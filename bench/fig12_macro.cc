@@ -8,9 +8,7 @@
 // with Ext4-NJ; fillsync — MQFS wins outright on the faster drive (+66% vs
 // Ext4, +36% vs HoraeFS, +28% vs Ext4-NJ), because fillsync is both CPU and
 // I/O intensive and MQFS overlaps them.
-#include <cstdio>
-
-#include "bench/bench_flags.h"
+#include "bench/bench_runner.h"
 #include "src/workload/minikv.h"
 #include "src/workload/varmail.h"
 
@@ -29,9 +27,11 @@ const System kSystems[] = {
     {"Ext4-NJ", JournalKind::kNone},
 };
 
-StorageStack MakeStack(const SsdConfig& ssd, JournalKind kind, uint16_t queues) {
+StorageStack MakeStack(BenchContext& ctx, const SsdConfig& ssd, JournalKind kind,
+                       uint16_t queues) {
   StackConfig cfg;
   cfg.ssd = ssd;
+  ctx.ApplyInjections(&cfg);
   cfg.num_queues = queues;
   cfg.enable_ccnvme = kind == JournalKind::kMultiQueue;
   cfg.fs.journal = kind;
@@ -40,9 +40,10 @@ StorageStack MakeStack(const SsdConfig& ssd, JournalKind kind, uint16_t queues) 
   return StorageStack(cfg);
 }
 
-double VarmailKops(const SsdConfig& ssd, JournalKind kind, uint64_t seed) {
+double VarmailKops(BenchContext& ctx, const SsdConfig& ssd, JournalKind kind,
+                   uint64_t seed) {
   const uint16_t queues = 8;
-  StorageStack stack = MakeStack(ssd, kind, queues);
+  StorageStack stack = MakeStack(ctx, ssd, kind, queues);
   Status st = stack.MkfsAndMount();
   CCNVME_CHECK(st.ok()) << st.ToString();
   VarmailOptions opts;
@@ -53,9 +54,10 @@ double VarmailKops(const SsdConfig& ssd, JournalKind kind, uint64_t seed) {
   return RunVarmail(stack, opts).KopsPerSec();
 }
 
-double FillsyncKiops(const SsdConfig& ssd, JournalKind kind, uint64_t seed) {
+double FillsyncKiops(BenchContext& ctx, const SsdConfig& ssd, JournalKind kind,
+                     uint64_t seed) {
   const uint16_t queues = 12;
-  StorageStack stack = MakeStack(ssd, kind, queues);
+  StorageStack stack = MakeStack(ctx, ssd, kind, queues);
   Status st = stack.MkfsAndMount();
   CCNVME_CHECK(st.ok()) << st.ToString();
   FillsyncOptions opts;
@@ -68,14 +70,11 @@ double FillsyncKiops(const SsdConfig& ssd, JournalKind kind, uint64_t seed) {
   return RunFillsync(stack, opts).Kiops();
 }
 
-}  // namespace
-}  // namespace ccnvme
-
-int main(int argc, char** argv) {
-  using namespace ccnvme;
+void RunFig12(BenchContext& ctx) {
   // Workload defaults: varmail seeds from 99, fillsync from 7; --seed shifts
-  // both streams together.
-  const uint64_t seed_base = SeedFromArgs(argc, argv, 0);
+  // both streams together (the runner default of 42 keeps the historical
+  // streams when shifted by the same deltas).
+  const uint64_t seed_base = ctx.seed() - 42;
   struct Drive {
     SsdConfig cfg;
     const char* tag;
@@ -85,32 +84,47 @@ int main(int argc, char** argv) {
       {SsdConfig::OptaneP5800X(), "B (P5800X)"},
   };
 
-  std::printf("Figure 12(a): Filebench Varmail throughput (K flow-ops/s)\n\n");
-  std::printf("%-12s", "drive");
+  ctx.Log("Figure 12(a): Filebench Varmail throughput (K flow-ops/s)\n\n");
+  ctx.Log("%-12s", "drive");
   for (const auto& sys : kSystems) {
-    std::printf(" %10s", sys.name);
+    ctx.Log(" %10s", sys.name);
   }
-  std::printf("\n");
+  ctx.Log("\n");
   for (const auto& d : drives) {
-    std::printf("%-12s", d.tag);
+    ctx.Log("%-12s", d.tag);
     for (const auto& sys : kSystems) {
-      std::printf(" %10.1f", VarmailKops(d.cfg, sys.journal, seed_base + 99));
+      const double kops = VarmailKops(ctx, d.cfg, sys.journal, seed_base + 99);
+      ctx.Log(" %10.1f", kops);
+      if (sys.journal == JournalKind::kMultiQueue) {
+        ctx.Metric(std::string("varmail_mqfs_kops_") + (&d == &drives[0] ? "905p" : "p5800x"),
+                   kops);
+      }
     }
-    std::printf("\n");
+    ctx.Log("\n");
   }
 
-  std::printf("\nFigure 12(b): RocksDB-style fillsync throughput (KIOPS, 24 threads)\n\n");
-  std::printf("%-12s", "drive");
+  ctx.Log("\nFigure 12(b): RocksDB-style fillsync throughput (KIOPS, 24 threads)\n\n");
+  ctx.Log("%-12s", "drive");
   for (const auto& sys : kSystems) {
-    std::printf(" %10s", sys.name);
+    ctx.Log(" %10s", sys.name);
   }
-  std::printf("\n");
+  ctx.Log("\n");
   for (const auto& d : drives) {
-    std::printf("%-12s", d.tag);
+    ctx.Log("%-12s", d.tag);
     for (const auto& sys : kSystems) {
-      std::printf(" %10.1f", FillsyncKiops(d.cfg, sys.journal, seed_base + 7));
+      const double kiops = FillsyncKiops(ctx, d.cfg, sys.journal, seed_base + 7);
+      ctx.Log(" %10.1f", kiops);
+      if (sys.journal == JournalKind::kMultiQueue) {
+        ctx.Metric(std::string("fillsync_mqfs_kiops_") + (&d == &drives[0] ? "905p" : "p5800x"),
+                   kiops);
+      }
     }
-    std::printf("\n");
+    ctx.Log("\n");
   }
-  return 0;
 }
+
+CCNVME_REGISTER_BENCH("fig12_macro", "Varmail and fillsync macrobenchmarks",
+                      RunFig12);
+
+}  // namespace
+}  // namespace ccnvme

@@ -11,8 +11,7 @@
 // Expected shape (paper): every step adds throughput; ccNVMe's contribution
 // grows on the faster drive (up to 2.1x), MQJournal adds ~47-53%,
 // MetaPaging ~20-23%.
-#include <cstdio>
-
+#include "bench/bench_runner.h"
 #include "src/workload/fio_append.h"
 
 namespace ccnvme {
@@ -20,9 +19,10 @@ namespace {
 
 enum class Config { kBase, kCcNvme, kMqJournal, kMetaPaging };
 
-double RunPoint(const SsdConfig& ssd, Config config, int threads) {
+double RunPoint(BenchContext& ctx, const SsdConfig& ssd, Config config, int threads) {
   StackConfig cfg;
   cfg.ssd = ssd;
+  ctx.ApplyInjections(&cfg);
   cfg.num_queues = static_cast<uint16_t>(threads);
   switch (config) {
     case Config::kBase:
@@ -57,30 +57,36 @@ double RunPoint(const SsdConfig& ssd, Config config, int threads) {
   return RunFioAppend(stack, opts).ThroughputKiops();
 }
 
-void RunDrive(const SsdConfig& ssd, const char* tag) {
-  std::printf("Figure 13%s: 4KB append+fsync throughput (KIOPS)\n", tag);
-  std::printf("%8s | %10s %10s %10s %12s\n", "threads", "Base", "+ccNVMe", "+MQJournal",
+void RunDrive(BenchContext& ctx, const SsdConfig& ssd, const char* tag) {
+  ctx.Log("Figure 13%s: 4KB append+fsync throughput (KIOPS)\n", tag);
+  ctx.Log("%8s | %10s %10s %10s %12s\n", "threads", "Base", "+ccNVMe", "+MQJournal",
               "+MetaPaging");
   for (int threads : {1, 4, 8, 12}) {
-    std::printf("%8d |", threads);
+    ctx.Log("%8d |", threads);
     for (Config c : {Config::kBase, Config::kCcNvme, Config::kMqJournal,
                      Config::kMetaPaging}) {
-      std::printf(" %10.1f", RunPoint(ssd, c, threads));
+      const double kiops = RunPoint(ctx, ssd, c, threads);
+      ctx.Log(" %10.1f", kiops);
+      if (threads == 8 && c == Config::kMetaPaging) {
+        ctx.Metric(std::string("full_mqfs_8t_kiops_") + tag[1], kiops);
+      }
       if (c == Config::kMqJournal) {
-        std::printf(" ");
+        ctx.Log(" ");
       }
     }
-    std::printf("\n");
+    ctx.Log("\n");
   }
-  std::printf("\n");
+  ctx.Log("\n");
 }
+
+void RunFig13(BenchContext& ctx) {
+  RunDrive(ctx, SsdConfig::Optane905P(), "(a) Optane 905P");
+  RunDrive(ctx, SsdConfig::OptaneP5800X(), "(b) Optane DC P5800X");
+}
+
+CCNVME_REGISTER_BENCH("fig13_contribution",
+                      "throughput contribution of each MQFS building block",
+                      RunFig13);
 
 }  // namespace
 }  // namespace ccnvme
-
-int main() {
-  using namespace ccnvme;
-  RunDrive(SsdConfig::Optane905P(), "(a) Optane 905P");
-  RunDrive(SsdConfig::OptaneP5800X(), "(b) Optane DC P5800X");
-  return 0;
-}

@@ -11,8 +11,7 @@
 //    consistency tax (ratio of Ext4-NJ minus HoraeFS to HoraeFS reaches
 //    ~66% at 24 threads on the P5800X) and nobody but Ext4-NJ saturates
 //    the drive.
-#include <cstdio>
-
+#include "bench/bench_runner.h"
 #include "src/workload/fio_append.h"
 
 namespace ccnvme {
@@ -23,9 +22,10 @@ struct Point {
   double util;
 };
 
-Point RunPoint(const SsdConfig& ssd, JournalKind kind, int threads) {
+Point RunPoint(BenchContext& ctx, const SsdConfig& ssd, JournalKind kind, int threads) {
   StackConfig cfg;
   cfg.ssd = ssd;
+  ctx.ApplyInjections(&cfg);
   cfg.num_queues = static_cast<uint16_t>(threads);
   cfg.enable_ccnvme = false;
   cfg.fs.journal = kind;
@@ -46,11 +46,7 @@ Point RunPoint(const SsdConfig& ssd, JournalKind kind, int threads) {
   return p;
 }
 
-}  // namespace
-}  // namespace ccnvme
-
-int main() {
-  using namespace ccnvme;
+void RunFig2(BenchContext& ctx) {
   struct Drive {
     SsdConfig cfg;
     const char* tag;
@@ -67,30 +63,44 @@ int main() {
 
   double util24[3][3] = {};
   for (int d = 0; d < 3; ++d) {
-    std::printf("Figure 2%s: 4KB append+fsync throughput (KIOPS)\n", drives[d].tag);
-    std::printf("%8s | %10s %10s %10s\n", "threads", names[0], names[1], names[2]);
+    ctx.Log("Figure 2%s: 4KB append+fsync throughput (KIOPS)\n", drives[d].tag);
+    ctx.Log("%8s | %10s %10s %10s\n", "threads", names[0], names[1], names[2]);
     for (int t : threads) {
-      std::printf("%8d |", t);
+      ctx.Log("%8d |", t);
       for (int s = 0; s < 3; ++s) {
-        const Point p = RunPoint(drives[d].cfg, systems[s], t);
-        std::printf(" %10.1f", p.kiops);
+        const Point p = RunPoint(ctx, drives[d].cfg, systems[s], t);
+        ctx.Log(" %10.1f", p.kiops);
         if (t == 24) {
           util24[d][s] = p.util;
         }
       }
-      std::printf("\n");
+      ctx.Log("\n");
     }
-    std::printf("\n");
+    ctx.Log("\n");
   }
 
-  std::printf("Figure 2(d): write-bandwidth utilization at 24 threads (%%)\n");
-  std::printf("%-28s | %8s %8s %8s\n", "drive", names[0], names[1], names[2]);
+  ctx.Log("Figure 2(d): write-bandwidth utilization at 24 threads (%%)\n");
+  ctx.Log("%-28s | %8s %8s %8s\n", "drive", names[0], names[1], names[2]);
   for (int d = 0; d < 3; ++d) {
-    std::printf("%-28s |", drives[d].tag);
+    ctx.Log("%-28s |", drives[d].tag);
     for (int s = 0; s < 3; ++s) {
-      std::printf(" %8.0f", util24[d][s] * 100);
+      ctx.Log(" %8.0f", util24[d][s] * 100);
     }
-    std::printf("\n");
+    ctx.Log("\n");
   }
-  return 0;
+  const char* drive_tags[] = {"750", "905p", "p5800x"};
+  const char* sys_tags[] = {"ext4nj", "ext4", "horae"};
+  for (int d = 0; d < 3; ++d) {
+    for (int s = 0; s < 3; ++s) {
+      ctx.Metric(std::string("util_") + drive_tags[d] + "_" + sys_tags[s] + "_24t",
+                 util24[d][s]);
+    }
+  }
 }
+
+CCNVME_REGISTER_BENCH("fig2_motivation",
+                      "append+fsync throughput scaling across SSD generations",
+                      RunFig2);
+
+}  // namespace
+}  // namespace ccnvme

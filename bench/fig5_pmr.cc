@@ -8,8 +8,7 @@
 // Expected shape: at 64 B, write+sync costs ~2.5x write; the curves converge
 // as the payload grows (>= 512 B), with write bandwidth plateauing near
 // 1 GB/s.
-#include <cstdio>
-
+#include "bench/bench_runner.h"
 #include "src/harness/stack.h"
 
 namespace ccnvme {
@@ -54,16 +53,12 @@ PmrPoint Measure(PmrOp op, uint64_t size) {
   return p;
 }
 
-}  // namespace
-}  // namespace ccnvme
-
-int main() {
-  using namespace ccnvme;
+void RunFig5(BenchContext& ctx) {
   const uint64_t sizes[] = {16, 64, 256, 1024, 4096, 16384, 65536};
-  std::printf("Figure 5: PMR MMIO latency (ns) and bandwidth (MB/s) vs. payload size\n\n");
-  std::printf("%8s | %10s %10s %10s | %10s %10s %10s\n", "size_B", "write", "write+sync",
+  ctx.Log("Figure 5: PMR MMIO latency (ns) and bandwidth (MB/s) vs. payload size\n\n");
+  ctx.Log("%8s | %10s %10s %10s | %10s %10s %10s\n", "size_B", "write", "write+sync",
               "read", "writeBW", "w+syncBW", "readBW");
-  std::printf("%.*s\n", 90,
+  ctx.Log("%.*s\n", 90,
               "----------------------------------------------------------------------------"
               "--------------");
   double ratio_64 = 0;
@@ -74,10 +69,20 @@ int main() {
     if (size == 64) {
       ratio_64 = ws.latency_ns / w.latency_ns;
     }
-    std::printf("%8llu | %10.0f %10.0f %10.0f | %10.0f %10.0f %10.0f\n",
+    ctx.Log("%8llu | %10.0f %10.0f %10.0f | %10.0f %10.0f %10.0f\n",
                 static_cast<unsigned long long>(size), w.latency_ns, ws.latency_ns,
                 r.latency_ns, w.bandwidth_mbps, ws.bandwidth_mbps, r.bandwidth_mbps);
   }
-  std::printf("\n64 B write+sync / write latency ratio: %.1fx (paper: ~2.5x)\n", ratio_64);
-  return 0;
+  ctx.Log("\n64 B write+sync / write latency ratio: %.1fx (paper: ~2.5x)\n", ratio_64);
+  const PmrPoint w4k = Measure(PmrOp::kWrite, 4096);
+  const PmrPoint ws4k = Measure(PmrOp::kWriteSync, 4096);
+  ctx.Metric("pmr_write_4k_ns", w4k.latency_ns);
+  ctx.Metric("pmr_write_sync_4k_ns", ws4k.latency_ns);
+  ctx.Metric("pmr_write_sync_ratio_64b", ratio_64);
 }
+
+CCNVME_REGISTER_BENCH("fig5_pmr", "PMR MMIO latency/bandwidth vs payload size",
+                      RunFig5);
+
+}  // namespace
+}  // namespace ccnvme

@@ -3,17 +3,17 @@
 // evaluation setup (a PMR SSD wraps the test SSD; MMIOs are duplicated).
 // The indirect numbers lower-bound the ideal ones — which is what justifies
 // the paper evaluating on the indirect implementation.
-#include <cstdio>
-
+#include "bench/bench_runner.h"
 #include "src/ccnvme/indirect.h"
 #include "src/harness/stack.h"
 
-using namespace ccnvme;
-
+namespace ccnvme {
 namespace {
 
-double IdealKTps(int n) {
-  StorageStack stack(StackConfig{});
+double IdealKTps(BenchContext& ctx, int n) {
+  StackConfig cfg;
+  ctx.ApplyInjections(&cfg);
+  StorageStack stack(cfg);
   uint64_t ops = 0;
   const uint64_t dur = 8'000'000;
   stack.Run([&] {
@@ -63,17 +63,24 @@ double IndirectKTps(int n) {
   return static_cast<double>(ops) / (dur / 1e9) / 1e3;
 }
 
-}  // namespace
-
-int main() {
-  std::printf("Figure 9 (§6): ideal vs. indirect ccNVMe implementation, 905P, 1 thread\n\n");
-  std::printf("%12s | %10s %12s %8s\n", "tx blocks", "ideal kTPS", "indirect kTPS", "ratio");
+void RunFig9(BenchContext& ctx) {
+  ctx.Log("Figure 9 (§6): ideal vs. indirect ccNVMe implementation, 905P, 1 thread\n\n");
+  ctx.Log("%12s | %10s %12s %8s\n", "tx blocks", "ideal kTPS", "indirect kTPS", "ratio");
   for (int n : {1, 4, 8}) {
-    const double ideal = IdealKTps(n);
+    const double ideal = IdealKTps(ctx, n);
     const double indirect = IndirectKTps(n);
-    std::printf("%12d | %10.1f %12.1f %7.2fx\n", n + 1, ideal, indirect, ideal / indirect);
+    ctx.Log("%12d | %10.1f %12.1f %7.2fx\n", n + 1, ideal, indirect, ideal / indirect);
+    if (n == 4) {
+      ctx.Metric("ideal_ktps_5blk", ideal);
+      ctx.Metric("indirect_ktps_5blk", indirect);
+    }
   }
-  std::printf("\nindirect <= ideal everywhere: evaluating on the indirect setup (as the\n");
-  std::printf("paper does) under-reports, never over-reports, ccNVMe's benefit.\n");
-  return 0;
+  ctx.Log("\nindirect <= ideal everywhere: evaluating on the indirect setup (as the\n");
+  ctx.Log("paper does) under-reports, never over-reports, ccNVMe's benefit.\n");
 }
+
+CCNVME_REGISTER_BENCH("fig9_indirect", "ideal vs indirect ccNVMe implementation",
+                      RunFig9);
+
+}  // namespace
+}  // namespace ccnvme

@@ -13,9 +13,9 @@
 // (The ccNVMe counts hold because P-SQ fetches are device-internal; only
 // CQE posts cross PCIe. MQFS-A counts what is needed *before the atomicity
 // guarantee*: nothing after the doorbell is on the critical path.)
-#include <cstdio>
 #include <vector>
 
+#include "bench/bench_runner.h"
 #include "bench/tx_engines.h"
 
 namespace ccnvme {
@@ -47,9 +47,10 @@ Traffic FromSnapshot(const MetricsSnapshot& snap) {
                  snap.Counter(TraceCounterName(TraceCounter::kIrqs))};
 }
 
-Traffic MeasureOne(TxEngine engine, int n, bool stop_at_atomic) {
+Traffic MeasureOne(BenchContext& ctx, TxEngine engine, int n, bool stop_at_atomic) {
   StackConfig cfg;
   cfg.ssd = SsdConfig::OptaneP5800X();
+  ctx.ApplyInjections(&cfg);
   StorageStack stack(cfg);
   Metrics& metrics = stack.EnableMetrics();
   Traffic delta;
@@ -83,11 +84,7 @@ Traffic MeasureOne(TxEngine engine, int n, bool stop_at_atomic) {
   return delta;
 }
 
-}  // namespace
-}  // namespace ccnvme
-
-int main() {
-  using namespace ccnvme;
+void RunTable1(BenchContext& ctx) {
   const Row rows[] = {
       {TxEngine::kClassic, "Ext4/NVMe (classic)", "2(N+2)", "2(N+2)", "N+2", "N+2"},
       {TxEngine::kHorae, "HoraeFS/NVMe (Horae)", "2(N+2)", "2(N+2)", "N+2", "N+2"},
@@ -95,19 +92,25 @@ int main() {
       {TxEngine::kCcNvmeAtomic, "MQFS-A/ccNVMe", "2", "0", "0", "0"},
   };
 
-  std::printf("Table 1: PCIe traffic for crash consistency of a transaction of N 4KB blocks\n");
-  std::printf("(measured on the modeled link; 'paper' columns are Table 1's formulas;\n");
-  std::printf(" for the NVMe systems N+1 data/journal blocks plus 1 commit record = N+2 I/Os)\n\n");
-  std::printf("%-22s %3s | %10s %9s | %10s %9s | %10s %9s | %8s %9s\n", "system", "N",
+  ctx.Log("Table 1: PCIe traffic for crash consistency of a transaction of N 4KB blocks\n");
+  ctx.Log("(measured on the modeled link; 'paper' columns are Table 1's formulas;\n");
+  ctx.Log(" for the NVMe systems N+1 data/journal blocks plus 1 commit record = N+2 I/Os)\n\n");
+  ctx.Log("%-22s %3s | %10s %9s | %10s %9s | %10s %9s | %8s %9s\n", "system", "N",
               "MMIO", "paper", "DMA(Q)", "paper", "BlockIO", "paper", "IRQ", "paper");
-  std::printf("%.*s\n", 130,
+  ctx.Log("%.*s\n", 130,
               "----------------------------------------------------------------------------"
               "------------------------------------------------------");
 
   for (int n : {1, 4, 16}) {
     for (const Row& row : rows) {
       const bool atomic_only = row.engine == TxEngine::kCcNvmeAtomic;
-      const Traffic d = MeasureOne(row.engine, n, atomic_only);
+      const Traffic d = MeasureOne(ctx, row.engine, n, atomic_only);
+      if (n == 4 && row.engine == TxEngine::kCcNvme) {
+        ctx.Metric("ccnvme_mmio_writes_n4", static_cast<double>(d.mmio_writes));
+      }
+      if (n == 4 && row.engine == TxEngine::kClassic) {
+        ctx.Metric("classic_mmio_writes_n4", static_cast<double>(d.mmio_writes));
+      }
       auto formula = [&](const char* f) -> int {
         std::string s(f);
         if (s == "2(N+2)") return 2 * (n + 2);
@@ -115,17 +118,23 @@ int main() {
         if (s == "N+1") return n + 1;
         return std::atoi(f);
       };
-      std::printf("%-22s %3d | %10llu %9d | %10llu %9d | %10llu %9d | %8llu %9d\n",
+      ctx.Log("%-22s %3d | %10llu %9d | %10llu %9d | %10llu %9d | %8llu %9d\n",
                   row.label, n,
                   static_cast<unsigned long long>(d.mmio_writes), formula(row.paper_mmio),
                   static_cast<unsigned long long>(d.dma_queue_ops), formula(row.paper_dmaq),
                   static_cast<unsigned long long>(d.block_ios), formula(row.paper_blk),
                   static_cast<unsigned long long>(d.irqs), formula(row.paper_irq));
     }
-    std::printf("\n");
+    ctx.Log("\n");
   }
-  std::printf("Software-overhead column (qualitative): classic=High (2 ordering waits),\n");
-  std::printf("Horae=Medium (commit thread, no ordering wait), ccNVMe=Low (app context,\n");
-  std::printf("one flush+doorbell), ccNVMe-atomic=Low (returns at the doorbell).\n");
-  return 0;
+  ctx.Log("Software-overhead column (qualitative): classic=High (2 ordering waits),\n");
+  ctx.Log("Horae=Medium (commit thread, no ordering wait), ccNVMe=Low (app context,\n");
+  ctx.Log("one flush+doorbell), ccNVMe-atomic=Low (returns at the doorbell).\n");
 }
+
+CCNVME_REGISTER_BENCH("table1_traffic",
+                      "PCIe traffic per crash-consistent transaction",
+                      RunTable1);
+
+}  // namespace
+}  // namespace ccnvme

@@ -2,19 +2,19 @@
 // bandwidth, 4 KB random IOPS, and 4 KB latency through the kernel path.
 // This is the calibration check: the measured numbers should reproduce the
 // published device specs the models were built from.
-#include <cstdio>
 #include <vector>
 
-#include "bench/bench_flags.h"
+#include "bench/bench_runner.h"
 #include "src/common/rng.h"
 #include "src/harness/stack.h"
 
 namespace ccnvme {
 namespace {
 
-double SeqBandwidthMBps(const SsdConfig& ssd, bool write) {
+double SeqBandwidthMBps(BenchContext& ctx, const SsdConfig& ssd, bool write) {
   StackConfig cfg;
   cfg.ssd = ssd;
+  ctx.ApplyInjections(&cfg);
   cfg.enable_ccnvme = false;
   StorageStack stack(cfg);
   uint64_t bytes = 0;
@@ -47,9 +47,10 @@ double SeqBandwidthMBps(const SsdConfig& ssd, bool write) {
   return static_cast<double>(bytes) / (static_cast<double>(duration) / 1e9) / 1e6;
 }
 
-double RandIopsK(const SsdConfig& ssd, bool write, uint64_t seed) {
+double RandIopsK(BenchContext& ctx, const SsdConfig& ssd, bool write, uint64_t seed) {
   StackConfig cfg;
   cfg.ssd = ssd;
+  ctx.ApplyInjections(&cfg);
   cfg.enable_ccnvme = false;
   cfg.num_queues = 4;
   StorageStack stack(cfg);
@@ -85,9 +86,10 @@ double RandIopsK(const SsdConfig& ssd, bool write, uint64_t seed) {
   return static_cast<double>(ops) / (static_cast<double>(duration) / 1e9) / 1e3;
 }
 
-double LatencyUs(const SsdConfig& ssd, bool write, uint64_t seed) {
+double LatencyUs(BenchContext& ctx, const SsdConfig& ssd, bool write, uint64_t seed) {
   StackConfig cfg;
   cfg.ssd = ssd;
+  ctx.ApplyInjections(&cfg);
   cfg.enable_ccnvme = false;
   StorageStack stack(cfg);
   uint64_t total = 0;
@@ -110,12 +112,8 @@ double LatencyUs(const SsdConfig& ssd, bool write, uint64_t seed) {
   return static_cast<double>(total) / kOps / 1e3;
 }
 
-}  // namespace
-}  // namespace ccnvme
-
-int main(int argc, char** argv) {
-  using namespace ccnvme;
-  const uint64_t seed = SeedFromArgs(argc, argv, 0);
+void RunTable3(BenchContext& ctx) {
+  const uint64_t seed = ctx.seed();
   struct Spec {
     SsdConfig cfg;
     const char* paper;
@@ -125,18 +123,32 @@ int main(int argc, char** argv) {
       {SsdConfig::Optane905P(), "2.6/2.2 GB/s, 575K/550K IOPS, 10/10 us"},
       {SsdConfig::OptaneP5800X(), "3.3/3.3 GB/s, 850K/820K IOPS, 8/9 us (PCIe3)"},
   };
-  std::printf("Table 3: modeled SSD performance matrix (vs. published specs)\n\n");
-  std::printf("%-36s | %9s %9s | %9s %9s | %8s %8s\n", "drive", "seqR MB/s", "seqW MB/s",
+  ctx.Log("Table 3: modeled SSD performance matrix (vs. published specs)\n\n");
+  ctx.Log("%-36s | %9s %9s | %9s %9s | %8s %8s\n", "drive", "seqR MB/s", "seqW MB/s",
               "randR K", "randW K", "latR us", "latW us");
-  std::printf("%.*s\n", 110,
+  ctx.Log("%.*s\n", 110,
               "----------------------------------------------------------------------------"
               "------------------------------------");
   for (const Spec& s : specs) {
-    std::printf("%-36s | %9.0f %9.0f | %9.0f %9.0f | %8.1f %8.1f\n", s.cfg.name.c_str(),
-                SeqBandwidthMBps(s.cfg, false), SeqBandwidthMBps(s.cfg, true),
-                RandIopsK(s.cfg, false, seed), RandIopsK(s.cfg, true, seed),
-                LatencyUs(s.cfg, false, seed), LatencyUs(s.cfg, true, seed));
-    std::printf("%-36s   (paper: %s)\n", "", s.paper);
+    const double seq_r = SeqBandwidthMBps(ctx, s.cfg, false);
+    const double seq_w = SeqBandwidthMBps(ctx, s.cfg, true);
+    const double rand_r = RandIopsK(ctx, s.cfg, false, seed);
+    const double rand_w = RandIopsK(ctx, s.cfg, true, seed);
+    const double lat_r = LatencyUs(ctx, s.cfg, false, seed);
+    const double lat_w = LatencyUs(ctx, s.cfg, true, seed);
+    ctx.Log("%-36s | %9.0f %9.0f | %9.0f %9.0f | %8.1f %8.1f\n", s.cfg.name.c_str(),
+            seq_r, seq_w, rand_r, rand_w, lat_r, lat_w);
+    if (&s == &specs[1]) {  // 905P, the paper's primary drive
+      ctx.Metric("905p_seq_write_mbps", seq_w);
+      ctx.Metric("905p_rand_write_kiops", rand_w);
+      ctx.Metric("905p_write_latency_ns", lat_w * 1e3);
+    }
+    ctx.Log("%-36s   (paper: %s)\n", "", s.paper);
   }
-  return 0;
 }
+
+CCNVME_REGISTER_BENCH("table3_ssd_matrix", "modeled SSD calibration matrix",
+                      RunTable3);
+
+}  // namespace
+}  // namespace ccnvme

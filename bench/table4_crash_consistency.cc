@@ -1,9 +1,7 @@
 // Table 4: crash consistency test of MQFS — 1000 randomized crash points
 // per workload across the paper's four workloads (CrashMonkey-style bounded
 // black-box testing, §7.6). Expected: 1000/1000 pass for every workload.
-#include <cstdio>
-
-#include "bench/bench_flags.h"
+#include "bench/bench_runner.h"
 #include "src/crashtest/crash_monkey.h"
 
 namespace ccnvme {
@@ -18,15 +16,9 @@ StackConfig MqfsConfig() {
   return cfg;
 }
 
-}  // namespace
-}  // namespace ccnvme
-
-int main(int argc, char** argv) {
-  using namespace ccnvme;
-  int points = 1000;
-  if (argc > 1 && argv[1][0] != '-') {
-    points = std::atoi(argv[1]);
-  }
+void RunTable4(BenchContext& ctx) {
+  // --warmup overrides the crash-point count (historical default: 1000).
+  const int points = ctx.warmup_or(1000);
   struct Entry {
     const char* name;
     const char* description;
@@ -41,21 +33,33 @@ int main(int argc, char** argv) {
       {"generic_321", "directory fsync() tests (xfstest 321)", CrashMonkey::Generic321()},
   };
 
-  std::printf("Table 4: MQFS crash consistency (%d crash points per workload)\n\n", points);
-  std::printf("%-15s %-50s %8s %8s\n", "workload", "description", "total", "passed");
+  ctx.Log("Table 4: MQFS crash consistency (%d crash points per workload)\n\n", points);
+  ctx.Log("%-15s %-50s %8s %8s\n", "workload", "description", "total", "passed");
   bool all_ok = true;
-  uint64_t seed = SeedFromArgs(argc, argv, 1);
+  int total_passed = 0, total_points = 0;
+  uint64_t seed = ctx.seed();
   for (const Entry& e : entries) {
     CrashMonkey monkey(MqfsConfig(), seed++);
     const CrashTestReport report = monkey.Run(e.workload, points);
-    std::printf("%-15s %-50s %8d %8d\n", e.name, e.description, report.crash_points,
-                report.passed);
+    ctx.Log("%-15s %-50s %8d %8d\n", e.name, e.description, report.crash_points,
+            report.passed);
+    total_passed += report.passed;
+    total_points += report.crash_points;
     for (const auto& f : report.failures) {
-      std::printf("    FAILURE: %s\n", f.c_str());
+      ctx.Log("    FAILURE: %s\n", f.c_str());
       all_ok = false;
     }
   }
-  std::printf("\n%s\n", all_ok ? "All crash states recovered correctly."
-                               : "CRASH CONSISTENCY VIOLATIONS DETECTED");
-  return all_ok ? 0 : 1;
+  ctx.Log("\n%s\n", all_ok ? "All crash states recovered correctly."
+                             : "CRASH CONSISTENCY VIOLATIONS DETECTED");
+  ctx.Metric("crash_pass_rate",
+             total_points == 0 ? 0.0
+                               : static_cast<double>(total_passed) / total_points);
 }
+
+CCNVME_REGISTER_BENCH("table4_crash_consistency",
+                      "randomized crash-point consistency sweep over MQFS",
+                      RunTable4);
+
+}  // namespace
+}  // namespace ccnvme

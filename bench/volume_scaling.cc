@@ -9,9 +9,7 @@
 //       spread across the members.
 //
 // Usage: volume_scaling [--seed N]
-#include <cstdio>
-
-#include "bench/bench_flags.h"
+#include "bench/bench_runner.h"
 #include "src/common/rng.h"
 #include "src/harness/stack.h"
 
@@ -22,8 +20,9 @@ constexpr uint64_t kAddressBlocks = 64 * 1024;  // 256 MB working set
 constexpr uint32_t kQueueDepth = 16;            // per worker
 constexpr int kWorkers = 4;
 
-StackConfig VolumeStack(uint16_t devices, VolumeKind kind) {
+StackConfig VolumeStack(BenchContext& ctx, uint16_t devices, VolumeKind kind) {
   StackConfig cfg;
+  ctx.ApplyInjections(&cfg);
   cfg.num_queues = kWorkers;
   cfg.num_devices = devices;
   cfg.volume.kind = kind;
@@ -33,9 +32,9 @@ StackConfig VolumeStack(uint16_t devices, VolumeKind kind) {
 
 // 4KB random writes, |kWorkers| submitters, queue depth kQueueDepth each.
 // Returns MB/s of completed writes over |duration_ns| simulated time.
-double RandomWriteMbps(uint16_t devices, VolumeKind kind, uint64_t duration_ns,
-                       uint64_t seed) {
-  StorageStack stack(VolumeStack(devices, kind));
+double RandomWriteMbps(BenchContext& ctx, uint16_t devices, VolumeKind kind,
+                       uint64_t duration_ns, uint64_t seed) {
+  StorageStack stack(VolumeStack(ctx, devices, kind));
   uint64_t completed = 0;
   for (int w = 0; w < kWorkers; ++w) {
     const uint16_t qid = static_cast<uint16_t>(w);
@@ -70,8 +69,9 @@ double RandomWriteMbps(uint16_t devices, VolumeKind kind, uint64_t duration_ns,
 
 // Append + fsync loops through a mounted MQFS on the volume. Returns K
 // fsyncs per second.
-double FsyncKops(uint16_t devices, VolumeKind kind, uint64_t duration_ns, uint64_t seed) {
-  StackConfig cfg = VolumeStack(devices, kind);
+double FsyncKops(BenchContext& ctx, uint16_t devices, VolumeKind kind,
+                 uint64_t duration_ns, uint64_t seed) {
+  StackConfig cfg = VolumeStack(ctx, devices, kind);
   cfg.fs.journal = JournalKind::kMultiQueue;
   cfg.fs.journal_areas = kWorkers;
   cfg.fs.journal_blocks = 4096;
@@ -102,34 +102,44 @@ double FsyncKops(uint16_t devices, VolumeKind kind, uint64_t duration_ns, uint64
   return secs == 0 ? 0.0 : static_cast<double>(fsyncs) / 1e3 / secs;
 }
 
-}  // namespace
-}  // namespace ccnvme
-
-int main(int argc, char** argv) {
-  using namespace ccnvme;
-  const uint64_t seed = SeedFromArgs(argc, argv, 42);
+void RunVolumeScaling(BenchContext& ctx) {
+  const uint64_t seed = ctx.seed();
   const uint64_t kWriteDuration = 4'000'000;  // 4 ms simulated per point
   const uint64_t kFsyncDuration = 8'000'000;
 
-  std::printf("Volume device scaling (4 workers, QD %u, seed %llu)\n\n", kQueueDepth,
+  ctx.Log("Volume device scaling (4 workers, QD %u, seed %llu)\n\n", kQueueDepth,
               static_cast<unsigned long long>(seed));
-  std::printf("%-8s %-8s %16s %12s\n", "devices", "kind", "randwrite_MB/s", "fsync_K/s");
+  ctx.Log("%-8s %-8s %16s %12s\n", "devices", "kind", "randwrite_MB/s", "fsync_K/s");
 
-  const double base = RandomWriteMbps(1, VolumeKind::kStripe, kWriteDuration, seed);
-  std::printf("%-8u %-8s %16.0f %12.1f\n", 1, "single", base,
-              FsyncKops(1, VolumeKind::kStripe, kFsyncDuration, seed));
+  const double base = RandomWriteMbps(ctx, 1, VolumeKind::kStripe, kWriteDuration, seed);
+  ctx.Log("%-8u %-8s %16.0f %12.1f\n", 1, "single", base,
+              FsyncKops(ctx, 1, VolumeKind::kStripe, kFsyncDuration, seed));
 
   for (uint16_t n : {2, 4}) {
-    const double mbps = RandomWriteMbps(n, VolumeKind::kStripe, kWriteDuration, seed);
-    std::printf("%-8u %-8s %16.0f %12.1f   (%.2fx single)\n", n, "stripe", mbps,
-                FsyncKops(n, VolumeKind::kStripe, kFsyncDuration, seed),
-                base == 0 ? 0.0 : mbps / base);
+    const double mbps = RandomWriteMbps(ctx, n, VolumeKind::kStripe, kWriteDuration, seed);
+    const double kops = FsyncKops(ctx, n, VolumeKind::kStripe, kFsyncDuration, seed);
+    ctx.Log("%-8u %-8s %16.0f %12.1f   (%.2fx single)\n", n, "stripe", mbps, kops,
+            base == 0 ? 0.0 : mbps / base);
+    if (n == 4) {
+      ctx.Metric("stripe4_randwrite_mbps", mbps);
+      ctx.Metric("stripe4_fsync_kops", kops);
+    }
   }
   for (uint16_t n : {2, 4}) {
-    const double mbps = RandomWriteMbps(n, VolumeKind::kMirror, kWriteDuration, seed);
-    std::printf("%-8u %-8s %16.0f %12.1f   (%.2fx single)\n", n, "mirror", mbps,
-                FsyncKops(n, VolumeKind::kMirror, kFsyncDuration, seed),
-                base == 0 ? 0.0 : mbps / base);
+    const double mbps = RandomWriteMbps(ctx, n, VolumeKind::kMirror, kWriteDuration, seed);
+    const double kops = FsyncKops(ctx, n, VolumeKind::kMirror, kFsyncDuration, seed);
+    ctx.Log("%-8u %-8s %16.0f %12.1f   (%.2fx single)\n", n, "mirror", mbps, kops,
+            base == 0 ? 0.0 : mbps / base);
+    if (n == 2) {
+      ctx.Metric("mirror2_randwrite_mbps", mbps);
+    }
   }
-  return 0;
+  ctx.Metric("single_randwrite_mbps", base);
 }
+
+CCNVME_REGISTER_BENCH("volume_scaling",
+                      "multi-device volume throughput scaling (stripe/mirror)",
+                      RunVolumeScaling);
+
+}  // namespace
+}  // namespace ccnvme

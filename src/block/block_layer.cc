@@ -268,7 +268,14 @@ CcNvmeDriver::TxHandle BlockLayer::CommitTx(uint64_t tx_id, uint64_t lba, const 
   return cc_->CommitTx(tls_queue, tx_id, lba, data, std::move(wrapped));
 }
 
-void BlockLayer::WaitTxDurable(const CcNvmeDriver::TxHandle& tx) { tx->durable.Wait(); }
+void BlockLayer::WaitTxDurable(const CcNvmeDriver::TxHandle& tx) {
+  const uint64_t begin = sim_->now();
+  tx->durable.Wait();
+  if (Tracer* t = sim_->tracer()) {
+    t->WaitEdgeWith(WaitEdge::kTxDurable, {CurrentTraceContext().req_id, tx->tx_id},
+                    begin, sim_->now());
+  }
+}
 
 std::vector<CcNvmeDriver::UnfinishedRequest> BlockLayer::RecoveredWindow() const {
   if (volume_ != nullptr) {

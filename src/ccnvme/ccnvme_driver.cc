@@ -31,6 +31,8 @@ CcNvmeDriver::CcNvmeDriver(Simulator* sim, PcieLink* link, NvmeController* contr
     q->cid_to_tx.resize(q->qp->depth);
     q->cid_callbacks.resize(q->qp->depth);
     q->cid_req.resize(q->qp->depth, 0);
+    q->cid_staged_ns.resize(q->qp->depth, 0);
+    q->cid_tx.resize(q->qp->depth, 0);
     for (uint16_t cid = 0; cid < q->qp->depth; ++cid) {
       q->free_cids.push_back(cid);
     }
@@ -67,6 +69,17 @@ void CcNvmeDriver::FlushAndRing(Queue& q, uint64_t tx_id) {
   PmrStoreU32(q, BioOp::kPmrDoorbell, DoorbellOffset(q), q.sq_tail, tx_id);
   link_->MmioWrite(4);
   controller_->RingSqDoorbell(q.qp, q.sq_tail);
+  if (Tracer* tracer = sim_->tracer()) {
+    // Each staged SQE was invisible to the device from the end of its WC
+    // store until this doorbell — the coalescing window that transaction-
+    // aware MMIO trades per-request doorbells for.
+    const uint64_t rung_ns = sim_->now();
+    for (uint16_t cid : q.unrung_cids) {
+      tracer->WaitEdgeWith(WaitEdge::kDoorbellCoalesce,
+                           {q.cid_req[cid], q.cid_tx[cid], device_id_},
+                           q.cid_staged_ns[cid], rung_ns, cid);
+    }
+  }
   q.last_rung_tail = q.sq_tail;
   q.unrung_cids.clear();
 }
@@ -109,8 +122,13 @@ uint16_t CcNvmeDriver::StageCommand(Queue& q, NvmeCommand cmd, const Buffer* dat
   SimLockGuard guard(*q.submit_mu);
   // The P-SQ window [P-SQ-head, tail) must stay intact for recovery, so a
   // slot is reusable only after P-SQ-head passes it.
+  const uint64_t full_since = sim_->now();
   while (q.free_cids.empty() || q.qp->SlotAfter(q.sq_tail) == q.psq_head) {
     q.slot_available->Wait(*q.submit_mu);
+  }
+  if (tracer != nullptr) {
+    tracer->WaitEdgeWith(WaitEdge::kSqFull, {cmd.trace_req, cmd.tx_id, device_id_},
+                         full_since, sim_->now(), q.qid);
   }
   const uint16_t cid = q.free_cids.front();
   q.free_cids.pop_front();
@@ -130,6 +148,8 @@ uint16_t CcNvmeDriver::StageCommand(Queue& q, NvmeCommand cmd, const Buffer* dat
   controller_->pmr().Write(q.pmr_base + static_cast<size_t>(slot) * kSqeSize,
                            std::span<const uint8_t>(raw, kSqeSize));
   q.wc->Store(kSqeSize);
+  q.cid_staged_ns[cid] = sim_->now();
+  q.cid_tx[cid] = cmd.tx_id;
   if (tracer != nullptr) {
     tracer->InstantWith(TracePoint::kPsqStore, {cmd.trace_req, cmd.tx_id},
                         q.pmr_base + static_cast<size_t>(slot) * kSqeSize);
@@ -305,7 +325,15 @@ void CcNvmeDriver::AbortOpenTx(uint16_t qid) {
   q.slot_available->NotifyAll();
 }
 
-void CcNvmeDriver::WaitDurable(const TxHandle& tx) { tx->durable.Wait(); }
+void CcNvmeDriver::WaitDurable(const TxHandle& tx) {
+  const uint64_t begin = sim_->now();
+  tx->durable.Wait();
+  if (Tracer* tracer = sim_->tracer()) {
+    tracer->WaitEdgeWith(WaitEdge::kTxDurable,
+                         {CurrentTraceContext().req_id, tx->tx_id, device_id_}, begin,
+                         sim_->now());
+  }
+}
 
 void CcNvmeDriver::CompleteReadyTransactions(Queue& q) {
   bool advanced = false;

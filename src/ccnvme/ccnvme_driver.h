@@ -181,6 +181,11 @@ class CcNvmeDriver {
     // Trace request id per staged cid, restored on the bottom-half actor
     // when the matching CQE arrives.
     std::vector<uint64_t> cid_req;
+    // Virtual time each staged-but-unrung cid finished staging; the gap to
+    // the doorbell ring is its coalescing wait edge.
+    std::vector<uint64_t> cid_staged_ns;
+    // tx_id per staged cid, for wait-edge attribution at ring time.
+    std::vector<uint64_t> cid_tx;
     std::deque<uint16_t> free_cids;
     std::unique_ptr<SimSemaphore> irq_pending;
     std::unique_ptr<SimMutex> submit_mu;

@@ -40,9 +40,13 @@ NvmeDriver::RequestHandle NvmeDriver::SubmitCommand(uint16_t qid, NvmeCommand cm
 
   SimLockGuard guard(*q.submit_mu);
   // Ring-full backpressure: SQ has depth-1 usable slots.
+  const uint64_t full_since = sim_->now();
   while (q.free_cids.empty() ||
          qp->SlotAfter(q.sq_tail) == q.sq_head) {
     q.slot_available->Wait(*q.submit_mu);
+  }
+  if (tracer != nullptr) {
+    tracer->WaitEdgeEvent(WaitEdge::kSqFull, full_since, sim_->now(), qid);
   }
   const uint16_t cid = q.free_cids.front();
   q.free_cids.pop_front();

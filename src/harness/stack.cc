@@ -49,7 +49,7 @@ void StorageStack::Build(const CrashImage* image) {
 
   std::vector<Volume::Member> members;
   for (uint16_t d = 0; d < n; ++d) {
-    links_.push_back(std::make_unique<PcieLink>(sim_.get(), PcieConfig{}));
+    links_.push_back(std::make_unique<PcieLink>(sim_.get(), config_.pcie));
     ssds_.push_back(std::make_unique<SsdModel>(sim_.get(), config_.ssd));
 
     NvmeControllerConfig ctrl_cfg;
@@ -140,6 +140,15 @@ Tracer& StorageStack::EnableTracing(size_t ring_capacity) {
   }
   sim_->set_tracer(tracer_.get());
   return *tracer_;
+}
+
+CriticalPathProfiler& StorageStack::EnableProfiling(ProfilerOptions options) {
+  Tracer& tracer = EnableTracing();
+  if (profiler_ == nullptr) {
+    profiler_ = std::make_unique<CriticalPathProfiler>(options);
+  }
+  profiler_->Attach(&tracer);
+  return *profiler_;
 }
 
 Metrics& StorageStack::EnableMetrics() {

@@ -16,6 +16,8 @@
 #include "src/extfs/extfs.h"
 #include "src/metrics/export.h"
 #include "src/metrics/metrics.h"
+#include "src/pcie/pcie_link.h"
+#include "src/profile/critical_path.h"
 #include "src/trace/tracer.h"
 #include "src/volume/volume.h"
 
@@ -23,6 +25,8 @@ namespace ccnvme {
 
 struct StackConfig {
   SsdConfig ssd = SsdConfig::Optane905P();
+  // Interconnect timing (doorbell MMIO cost, WC buffer, DMA bandwidth).
+  PcieConfig pcie;
   uint16_t num_queues = 1;
   bool enable_ccnvme = true;
   uint16_t queue_depth = 256;
@@ -105,6 +109,14 @@ class StorageStack {
   // The attached metrics engine, or nullptr when never enabled.
   Metrics* metrics() { return metrics_.get(); }
 
+  // Creates a causal critical-path profiler and hooks it onto the tracer's
+  // sink (implies EnableTracing). Pure observer: virtual time is
+  // byte-identical with profiling on or off. Idempotent (the first call's
+  // options win); lives as long as the stack.
+  CriticalPathProfiler& EnableProfiling(ProfilerOptions options = {});
+  // The attached profiler, or nullptr when never enabled.
+  CriticalPathProfiler* profiler() { return profiler_.get(); }
+
   Simulator& sim() { return *sim_; }
   // Device-0 accessors (the only device on classic stacks).
   PcieLink& link() { return *links_[0]; }
@@ -132,6 +144,7 @@ class StorageStack {
   // destruction: Shutdown() (run in ~StorageStack's body) unwinds actors
   // whose RAII spans still call into the tracer/metrics.
   std::unique_ptr<Metrics> metrics_;
+  std::unique_ptr<CriticalPathProfiler> profiler_;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<Simulator> sim_;
   // Non-empty when $CCNVME_METRICS requested an automatic end-of-run dump.

@@ -106,8 +106,14 @@ Status Jbd2Journal::Sync(const SyncOp& op, SyncMode mode) {
   }
 
   std::shared_ptr<TxState> tx;
+  const uint64_t join_begin = sim_->now();
   {
     SimLockGuard guard(mu_);
+    // Joining the running transaction stalls while kjournald holds the
+    // journal lock — the per-core handle wait of §3.
+    if (Tracer* t = sim_->tracer()) {
+      t->WaitEdgeEvent(WaitEdge::kJournalHandle, join_begin, sim_->now());
+    }
     if (running_ == nullptr) {
       running_ = std::make_shared<TxState>(sim_);
       running_->tx_id = fs_->AllocTxId();
@@ -135,7 +141,11 @@ Status Jbd2Journal::Sync(const SyncOp& op, SyncMode mode) {
   }
   {
     ScopedSpan wait_span(sim_->tracer(), TracePoint::kSyncWaitDurable);
+    const uint64_t barrier_begin = sim_->now();
     tx->durable.Wait();
+    if (Tracer* t = sim_->tracer()) {
+      t->WaitEdgeEvent(WaitEdge::kCommitBarrier, barrier_begin, sim_->now());
+    }
     Simulator::Sleep(costs_.wakeup_ns);
   }
   return OkStatus();

@@ -41,12 +41,19 @@ Status MqJournal::Sync(const SyncOp& op, SyncMode mode) {
   const uint32_t qid = blk_->current_queue();
   const uint32_t area_idx = qid % static_cast<uint32_t>(areas_.size());
   Area& area = *areas_[area_idx];
+  // Journal-handle wait: with fewer areas than queues (or same-core
+  // contention) syncs serialize on the area's build lock.
+  const uint64_t handle_begin = sim_->now();
   SimLockGuard build_guard(area.build_mu);
+  const uint64_t handle_acquired = sim_->now();
   const uint64_t tx_id = fs_->AllocTxId();
   // The journal is the layer that learns the transaction id; publish it so
   // every downstream span of this request flow carries it.
   MutableTraceContext().tx_id = tx_id;
   Tracer* tracer = sim_->tracer();
+  if (tracer != nullptr) {
+    tracer->WaitEdgeEvent(WaitEdge::kJournalHandle, handle_begin, handle_acquired, area_idx);
+  }
 
   CCNVME_CHECK_LE(op.metadata.size(), DescriptorBlock::kMaxEntries)
       << "metadata set exceeds one descriptor (split the sync op)";
@@ -74,9 +81,13 @@ Status MqJournal::Sync(const SyncOp& op, SyncMode mode) {
   std::vector<NvmeDriver::RequestHandle> overflow;
   size_t data_in_tx = 0;
   for (const BlockBufPtr& buf : op.data) {
+    const uint64_t frozen_begin = sim_->now();
     buf->lock.Lock();
     while (buf->writeback) {
       buf->wb_cv.Wait(buf->lock);
+    }
+    if (tracer != nullptr) {
+      tracer->WaitEdgeEvent(WaitEdge::kPageFrozen, frozen_begin, sim_->now(), buf->block_no);
     }
     buf->BeginWriteback();
     buf->lock.Unlock();
@@ -136,9 +147,13 @@ Status MqJournal::Sync(const SyncOp& op, SyncMode mode) {
     const BlockNo journal_lba = area.start + off;
     const Buffer* payload = nullptr;
     if (options_.shadow_paging) {
+      const uint64_t frozen_begin = sim_->now();
       buf->lock.Lock();
       while (buf->writeback) {
         buf->wb_cv.Wait(buf->lock);
+      }
+      if (tracer != nullptr) {
+        tracer->WaitEdgeEvent(WaitEdge::kPageFrozen, frozen_begin, sim_->now(), buf->block_no);
       }
       Simulator::Sleep(costs_.fs_memcpy_4k_ns);
       auto copy = std::make_shared<Buffer>(buf->data);
@@ -149,9 +164,13 @@ Status MqJournal::Sync(const SyncOp& op, SyncMode mode) {
       // No shadow paging: the page itself is the journal-write source, so
       // it stays frozen until the member's CQE arrives (the serialization
       // §5.3's shadow paging removes).
+      const uint64_t frozen_begin = sim_->now();
       buf->lock.Lock();
       while (buf->writeback) {
         buf->wb_cv.Wait(buf->lock);
+      }
+      if (tracer != nullptr) {
+        tracer->WaitEdgeEvent(WaitEdge::kPageFrozen, frozen_begin, sim_->now(), buf->block_no);
       }
       buf->BeginWriteback();
       buf->lock.Unlock();

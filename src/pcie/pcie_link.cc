@@ -58,6 +58,12 @@ void PcieLink::MmioWrite(uint64_t bytes) {
     stall += mmio_drain_at_ns_ - now - config_.max_mmio_backlog_ns;
   }
   Simulator::Sleep(stall);
+  if (Tracer* t = sim_->tracer()) {
+    // Only the stall beyond the fixed TLP-issue cost is a causal wait (the
+    // CPU parked behind the WC-buffer drain backlog).
+    t->WaitEdgeEvent(WaitEdge::kWcDrain, now + config_.mmio_write_overhead_ns, now + stall,
+                     bytes);
+  }
 }
 
 void PcieLink::MmioReadFence(uint64_t bytes) {
@@ -76,6 +82,11 @@ void PcieLink::MmioReadFence(uint64_t bytes) {
   }
   const uint64_t drain_horizon = mmio_drain_at_ns_;
   Simulator::Sleep(wait);
+  if (tracer != nullptr && drain_horizon > now) {
+    // Portion of the fence spent held behind not-yet-drained posted writes
+    // (ordering wait), as opposed to the unavoidable read RTT.
+    tracer->WaitEdgeEvent(WaitEdge::kPostedOrder, now, drain_horizon, bytes);
+  }
   if (Metrics* m = sim_->metrics()) {
     // Non-posted reads must not pass posted writes: by the time the fence
     // returns, every posted MMIO burst issued before it must have drained.

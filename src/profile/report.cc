@@ -1,0 +1,180 @@
+#include "src/profile/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "src/common/json.h"
+
+namespace ccnvme {
+namespace {
+
+double Pct(uint64_t part, uint64_t whole) {
+  return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+std::string Row(const char* name, uint64_t ns, uint64_t total, uint64_t requests) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  %-28s %14llu ns  %6.2f%%  (%llu reqs)\n", name,
+                static_cast<unsigned long long>(ns), Pct(ns, total),
+                static_cast<unsigned long long>(requests));
+  return buf;
+}
+
+// Sorted (descending ns, ascending packed key) view of a detail map.
+std::vector<std::pair<uint32_t, uint64_t>> SortedDetail(
+    const std::map<uint32_t, uint64_t>& detail) {
+  std::vector<std::pair<uint32_t, uint64_t>> rows(detail.begin(), detail.end());
+  std::stable_sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return rows;
+}
+
+}  // namespace
+
+std::string FormatDominantLine(const CriticalPathProfiler& profiler) {
+  std::ostringstream os;
+  if (profiler.finished_requests() == 0) {
+    os << "dominant: (no finished requests)";
+    return os.str();
+  }
+  const BlameKey key = profiler.DominantKey();
+  const auto& blame = profiler.blame();
+  uint64_t ns = 0;
+  auto it = blame.find(key.packed());
+  if (it != blame.end()) ns = it->second.total_ns;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "dominant: %s (%.1f%% of %llu ns total latency, %llu requests)",
+                key.name(), Pct(ns, profiler.total_latency_ns()),
+                static_cast<unsigned long long>(profiler.total_latency_ns()),
+                static_cast<unsigned long long>(profiler.finished_requests()));
+  os << buf;
+  return os.str();
+}
+
+std::string FormatBlameReport(const CriticalPathProfiler& profiler,
+                              const BlameReportOptions& options) {
+  std::ostringstream os;
+  const uint64_t total = profiler.total_latency_ns();
+  os << "=== critical-path blame report ===\n";
+  os << "requests: " << profiler.finished_requests() << "  total latency: " << total
+     << " ns";
+  if (profiler.finished_requests() > 0) {
+    os << "  mean: "
+       << total / profiler.finished_requests() << " ns";
+  }
+  os << "\n";
+  if (profiler.finished_requests() == 0) {
+    return os.str();
+  }
+  os << FormatDominantLine(profiler) << "\n";
+
+  os << "\n-- top blame keys --\n";
+  const auto& blame = profiler.blame();
+  for (const auto& [key, ns] : profiler.TopKeys(options.top_k)) {
+    uint64_t requests = 0;
+    auto it = blame.find(key.packed());
+    if (it != blame.end()) requests = it->second.requests;
+    os << Row(key.name(), ns, total, requests);
+  }
+
+  const auto& detail = profiler.wait_detail();
+  if (!detail.empty()) {
+    os << "\n-- wait-edge expansion (what the blocked time was spent on) --\n";
+    for (const auto& [wait_packed, ns] : profiler.TopWaitEdges(options.top_k)) {
+      os << "  " << BlameKey::FromPacked(wait_packed.packed()).name() << " = " << ns
+         << " ns\n";
+      auto dit = detail.find(wait_packed.packed());
+      if (dit == detail.end()) continue;
+      size_t shown = 0;
+      for (const auto& [sub_packed, sub_ns] : SortedDetail(dit->second)) {
+        if (shown++ >= options.wait_detail_k) break;
+        char buf[160];
+        std::snprintf(buf, sizeof(buf), "    -> %-26s %14llu ns  %6.2f%%\n",
+                      BlameKey::FromPacked(sub_packed).name(),
+                      static_cast<unsigned long long>(sub_ns), Pct(sub_ns, ns));
+        os << buf;
+      }
+    }
+  }
+
+  if (options.show_histograms) {
+    os << "\n-- per-request blame distribution --\n";
+    for (const auto& [key, ns] : profiler.TopKeys(options.top_k)) {
+      (void)ns;
+      auto it = blame.find(key.packed());
+      if (it == blame.end()) continue;
+      os << "  " << key.name() << ": " << it->second.per_request_ns.Summary() << "\n";
+    }
+    os << "  latency: " << profiler.latency_ns().Summary() << "\n";
+  }
+
+  if (options.show_slowest && profiler.slowest() != nullptr) {
+    const auto& slow = *profiler.slowest();
+    os << "\n-- slowest request (req " << slow.req_id << ", tx " << slow.tx_id
+       << ", latency " << slow.latency_ns() << " ns) --\n";
+    for (const auto& seg : slow.critical_path) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "  [%12llu, %12llu) %-28s %12llu ns\n",
+                    static_cast<unsigned long long>(seg.begin_ns),
+                    static_cast<unsigned long long>(seg.end_ns), seg.key.name(),
+                    static_cast<unsigned long long>(seg.dur_ns()));
+      os << buf;
+    }
+  }
+  return os.str();
+}
+
+std::string FlameJson(const CriticalPathProfiler& profiler, bool pretty) {
+  JsonWriter w(pretty);
+  w.Open('{');
+  w.Key("name", true);
+  w.String("root");
+  w.Key("value", false);
+  w.os << profiler.total_latency_ns();
+  w.Key("requests", false);
+  w.os << profiler.finished_requests();
+  w.Key("children", false);
+  w.Open('[');
+  const auto& detail = profiler.wait_detail();
+  bool first = true;
+  for (const auto& [key, ns] : profiler.TopKeys(profiler.blame().size())) {
+    if (!first) w.os << ',';
+    w.NewlineIndent();
+    w.Open('{');
+    w.Key("name", true);
+    w.String(key.name());
+    w.Key("value", false);
+    w.os << ns;
+    auto dit = detail.find(key.packed());
+    if (dit != detail.end() && !dit->second.empty()) {
+      w.Key("children", false);
+      w.Open('[');
+      bool sub_first = true;
+      for (const auto& [sub_packed, sub_ns] : SortedDetail(dit->second)) {
+        if (!sub_first) w.os << ',';
+        w.NewlineIndent();
+        w.Open('{');
+        w.Key("name", true);
+        w.String(BlameKey::FromPacked(sub_packed).name());
+        w.Key("value", false);
+        w.os << sub_ns;
+        w.Close('}');
+        sub_first = false;
+      }
+      w.Close(']');
+    }
+    w.Close('}');
+    first = false;
+  }
+  w.Close(']');
+  w.Close('}');
+  if (pretty) w.os << '\n';
+  return w.os.str();
+}
+
+}  // namespace ccnvme

@@ -1,0 +1,39 @@
+// Human-readable and machine-readable renderings of a
+// CriticalPathProfiler's aggregates: the top-k blame table, per-phase blame
+// histograms, the wait-edge DAG expansion ("where the 3% goes"), and a
+// flame-style JSON dump for external viewers.
+#ifndef SRC_PROFILE_REPORT_H_
+#define SRC_PROFILE_REPORT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/profile/critical_path.h"
+
+namespace ccnvme {
+
+struct BlameReportOptions {
+  size_t top_k = 10;             // rows in the blame table
+  size_t wait_detail_k = 5;      // sub-rows per expanded wait edge
+  bool show_histograms = true;   // per-key blame distribution summaries
+  bool show_slowest = true;      // critical path of the slowest request
+};
+
+// Aggregate text report: total blame table (run + wait keys, descending),
+// each wait edge expanded into its causal sub-attribution, optional
+// per-key histograms, and the slowest request's exact critical path.
+std::string FormatBlameReport(const CriticalPathProfiler& profiler,
+                              const BlameReportOptions& options = {});
+
+// Flame-style JSON: {"name":"root","value":<total ns>,"children":[
+//   {"name":"<key>","value":ns,"children":[... wait detail ...]}]}
+// Deterministic ordering (descending value, then packed key).
+std::string FlameJson(const CriticalPathProfiler& profiler, bool pretty = true);
+
+// One line naming the dominant critical-path contributor, e.g.
+//   "dominant: wait.commit_barrier (41.3% of 12345678 ns total latency)"
+std::string FormatDominantLine(const CriticalPathProfiler& profiler);
+
+}  // namespace ccnvme
+
+#endif  // SRC_PROFILE_REPORT_H_

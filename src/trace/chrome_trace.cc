@@ -16,9 +16,9 @@ void AppendTimestamp(std::string& out, uint64_t ns) {
 
 void AppendCommonFields(std::string& out, const TraceEvent& ev) {
   out += "\"name\":\"";
-  out += TracePointName(ev.point);
+  out += ev.is_wait_edge() ? WaitEdgeName(ev.edge) : TracePointName(ev.point);
   out += "\",\"cat\":\"";
-  out += TraceLayerName(TracePointLayer(ev.point));
+  out += ev.is_wait_edge() ? "wait" : TraceLayerName(TracePointLayer(ev.point));
   out += "\",\"pid\":1,\"tid\":";
   out += std::to_string(ev.track);
   out += ",\"ts\":";
@@ -49,6 +49,10 @@ void AppendArgs(std::string& out, uint64_t req_id, uint64_t tx_id, uint64_t arg0
 }  // namespace
 
 std::string ChromeTraceJson(const Tracer& tracer) {
+  return ChromeTraceJson(tracer, TraceFilter{});
+}
+
+std::string ChromeTraceJson(const Tracer& tracer, const TraceFilter& filter) {
   std::string out;
   out.reserve(256 + tracer.size() * 128);
   out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
@@ -69,8 +73,9 @@ std::string ChromeTraceJson(const Tracer& tracer) {
 
   for (size_t i = 0; i < tracer.size(); ++i) {
     const TraceEvent& ev = tracer.event(i);
+    if (!filter.Matches(ev)) continue;
     sep();
-    if (ev.is_span) {
+    if (ev.is_span || ev.is_wait_edge()) {
       out += "{\"ph\":\"X\",";
       AppendCommonFields(out, ev);
       out += ",\"dur\":";
@@ -86,7 +91,6 @@ std::string ChromeTraceJson(const Tracer& tracer) {
 
   // Spans still open when the trace was captured.
   for (const auto& [track, span] : tracer.OpenSpans()) {
-    sep();
     TraceEvent ev;
     ev.ts_ns = span.begin_ns;
     ev.req_id = span.req_id;
@@ -95,6 +99,8 @@ std::string ChromeTraceJson(const Tracer& tracer) {
     ev.point = span.point;
     ev.track = track;
     ev.device = span.device;
+    if (!filter.Matches(ev)) continue;
+    sep();
     out += "{\"ph\":\"B\",";
     AppendCommonFields(out, ev);
     AppendArgs(out, ev.req_id, ev.tx_id, ev.arg0, ev.device);
@@ -106,9 +112,14 @@ std::string ChromeTraceJson(const Tracer& tracer) {
 }
 
 Status WriteChromeTrace(const Tracer& tracer, const std::string& path) {
+  return WriteChromeTrace(tracer, path, TraceFilter{});
+}
+
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path,
+                        const TraceFilter& filter) {
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
   if (!f) return IoError("cannot open " + path);
-  const std::string json = ChromeTraceJson(tracer);
+  const std::string json = ChromeTraceJson(tracer, filter);
   f.write(json.data(), static_cast<std::streamsize>(json.size()));
   f.close();
   if (!f) return IoError("short write to " + path);

@@ -9,15 +9,30 @@
 
 namespace ccnvme {
 
+// Restricts an export to one request and/or transaction. 0 = no constraint.
+struct TraceFilter {
+  uint64_t req_id = 0;
+  uint64_t tx_id = 0;
+
+  bool empty() const { return req_id == 0 && tx_id == 0; }
+  bool Matches(const TraceEvent& ev) const {
+    if (req_id != 0 && ev.req_id != req_id) return false;
+    if (tx_id != 0 && ev.tx_id != tx_id) return false;
+    return true;
+  }
+};
+
 // Serializes the tracer's retained events as Chrome trace-event JSON
 // ({"traceEvents": [...]} object form). Timestamps are microseconds with
 // nanosecond resolution (the simulator's virtual clock); completed spans
-// become "X" events, still-open spans "B", instants "i", and each actor
-// track gets a thread_name metadata record.
+// become "X" events, wait edges "X" events with cat "wait", still-open spans
+// "B", instants "i", and each actor track gets a thread_name metadata record.
 std::string ChromeTraceJson(const Tracer& tracer);
+std::string ChromeTraceJson(const Tracer& tracer, const TraceFilter& filter);
 
 // ChromeTraceJson + write to |path|.
 Status WriteChromeTrace(const Tracer& tracer, const std::string& path);
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path, const TraceFilter& filter);
 
 }  // namespace ccnvme
 

@@ -186,6 +186,76 @@ constexpr const char* TraceLayerName(TraceLayer l) {
   return "?";
 }
 
+// Causal wait edges: "the current request/transaction was blocked on
+// <resource> from t0 to t1". Emitted only when an actual wait occurred
+// (t1 > t0), so edge events are sparse. The critical-path profiler
+// (src/profile) gives wait edges attribution priority over active spans:
+// a nanosecond spent under a wait edge is blamed on the resource, not on
+// whichever span happened to enclose it.
+enum class WaitEdge : uint16_t {
+  // --- pcie ---------------------------------------------------------------
+  kWcDrain = 0,       // MMIO write stalled behind the WC-buffer drain backlog
+  kPostedOrder,       // read fence held until prior posted writes drained
+
+  // --- driver / ccnvme ----------------------------------------------------
+  kSqFull,            // submission blocked on a full (P-)SQ slot
+  kDoorbellCoalesce,  // staged SQE invisible to the device until tx commit
+                      // flushed + rang the doorbell (tx-aware MMIO window)
+  kSealCommitGate,    // sealed transaction waiting for the commit doorbell
+  kTxDurable,         // waiting for in-order transaction durability (CQE+head)
+
+  // --- jbd2 / mqfs --------------------------------------------------------
+  kJournalHandle,     // journal handle wait: per-core build lock / tx join
+  kCommitBarrier,     // fsync parked until kjournald committed the compound tx
+  kPageFrozen,        // page write blocked on in-flight journal writeback
+
+  // --- volume -------------------------------------------------------------
+  kVolumeFanout,      // cross-device commit waiting for straggler members
+
+  kNumEdges,
+};
+
+inline constexpr size_t kNumWaitEdges = static_cast<size_t>(WaitEdge::kNumEdges);
+
+constexpr const char* WaitEdgeName(WaitEdge e) {
+  switch (e) {
+    case WaitEdge::kWcDrain: return "wait.wc_drain";
+    case WaitEdge::kPostedOrder: return "wait.posted_order";
+    case WaitEdge::kSqFull: return "wait.sq_full";
+    case WaitEdge::kDoorbellCoalesce: return "wait.doorbell_coalesce";
+    case WaitEdge::kSealCommitGate: return "wait.seal_commit_gate";
+    case WaitEdge::kTxDurable: return "wait.tx_durable";
+    case WaitEdge::kJournalHandle: return "wait.journal_handle";
+    case WaitEdge::kCommitBarrier: return "wait.commit_barrier";
+    case WaitEdge::kPageFrozen: return "wait.page_frozen";
+    case WaitEdge::kVolumeFanout: return "wait.volume_fanout";
+    case WaitEdge::kNumEdges: break;
+  }
+  return "?";
+}
+
+constexpr TraceLayer WaitEdgeLayer(WaitEdge e) {
+  switch (e) {
+    case WaitEdge::kWcDrain:
+    case WaitEdge::kPostedOrder:
+      return TraceLayer::kPcie;
+    case WaitEdge::kSqFull:
+      return TraceLayer::kDriver;
+    case WaitEdge::kDoorbellCoalesce:
+    case WaitEdge::kSealCommitGate:
+    case WaitEdge::kTxDurable:
+      return TraceLayer::kCcNvme;
+    case WaitEdge::kJournalHandle:
+    case WaitEdge::kCommitBarrier:
+    case WaitEdge::kPageFrozen:
+      return TraceLayer::kJournal;
+    case WaitEdge::kVolumeFanout:
+    case WaitEdge::kNumEdges:
+      break;
+  }
+  return TraceLayer::kBlock;
+}
+
 // Hot-path traffic counters with compile-time handles. These mirror (and
 // supersede for reporting) the per-field members of pcie::TrafficStats.
 enum class TraceCounter : uint16_t {

@@ -14,6 +14,7 @@ Tracer::Tracer(Simulator* sim, size_t ring_capacity) : sim_(sim) {
   ring_.resize(ring_capacity);
   total_recorded_ = 0;
   agg_.resize(kNumTracePoints);
+  edge_agg_.resize(kNumWaitEdges);
   // Track 0 catches events recorded outside any actor (event-loop
   // callbacks); actors get tracks 1..N in first-event order.
   auto sim_track = std::make_unique<Track>();
@@ -40,6 +41,7 @@ Tracer::Track& Tracer::CurrentTrack() {
 void Tracer::Append(const TraceEvent& ev) {
   ring_[total_recorded_ % ring_.size()] = ev;
   ++total_recorded_;
+  if (sink_ != nullptr) sink_->OnTraceEvent(ev);
 }
 
 const TraceEvent& Tracer::event(size_t i) const {
@@ -111,6 +113,31 @@ void Tracer::InstantWith(TracePoint point, const TraceContext& ctx, uint64_t arg
   }
 }
 
+void Tracer::WaitEdgeEvent(WaitEdge edge, uint64_t begin_ns, uint64_t end_ns, uint64_t arg0) {
+  WaitEdgeWith(edge, CurrentTraceContext(), begin_ns, end_ns, arg0);
+}
+
+void Tracer::WaitEdgeWith(WaitEdge edge, const TraceContext& ctx, uint64_t begin_ns,
+                          uint64_t end_ns, uint64_t arg0) {
+  if (end_ns <= begin_ns) return;
+  Track& track = CurrentTrack();
+  TraceEvent ev;
+  ev.ts_ns = begin_ns;
+  ev.dur_ns = end_ns - begin_ns;
+  ev.req_id = ctx.req_id;
+  ev.tx_id = ctx.tx_id;
+  ev.arg0 = arg0;
+  ev.edge = edge;
+  ev.track = track.id;
+  ev.device = ctx.device;
+  Append(ev);
+
+  PointAgg& agg = edge_agg_[static_cast<size_t>(edge)];
+  ++agg.count;
+  agg.total_ns += ev.dur_ns;
+  agg.dur_ns.Add(ev.dur_ns);
+}
+
 void Tracer::AddCounter(TraceCounter c, uint64_t delta) {
   counters_[static_cast<size_t>(c)] += delta;
   if (Metrics* m = sim_->metrics()) {
@@ -133,6 +160,11 @@ void Tracer::ResetAggregation() {
     a.total_ns = 0;
     a.dur_ns.Reset();
   }
+  for (PointAgg& a : edge_agg_) {
+    a.count = 0;
+    a.total_ns = 0;
+    a.dur_ns.Reset();
+  }
   for (uint64_t& c : counters_) c = 0;
   extra_counters_.Reset();
 }
@@ -151,9 +183,13 @@ std::vector<std::string> Tracer::FormatTail(size_t max_events) const {
   out.reserve(n);
   for (size_t i = size() - n; i < size(); ++i) {
     const TraceEvent& ev = event(i);
+    const char* name = ev.is_wait_edge() ? WaitEdgeName(ev.edge) : TracePointName(ev.point);
     char buf[256];
     int len = std::snprintf(buf, sizeof(buf), "[%12" PRIu64 " ns] %-14s %-20s",
-                            ev.ts_ns, track_name(ev.track).c_str(), TracePointName(ev.point));
+                            ev.ts_ns, track_name(ev.track).c_str(), name);
+    if (ev.is_wait_edge()) {
+      len += std::snprintf(buf + len, sizeof(buf) - len, " dur=%" PRIu64, ev.dur_ns);
+    }
     if (ev.is_span) {
       len += std::snprintf(buf + len, sizeof(buf) - len, " dur=%" PRIu64, ev.dur_ns);
     }

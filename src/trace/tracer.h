@@ -33,15 +33,30 @@
 namespace ccnvme {
 
 struct TraceEvent {
-  uint64_t ts_ns = 0;   // begin time for spans, event time for instants
-  uint64_t dur_ns = 0;  // spans only
+  uint64_t ts_ns = 0;   // begin time for spans/edges, event time for instants
+  uint64_t dur_ns = 0;  // spans and wait edges only
   uint64_t req_id = 0;
   uint64_t tx_id = 0;
   uint64_t arg0 = 0;
   TracePoint point = TracePoint::kNumPoints;
+  // Set (!= kNumEdges) iff this event is a wait edge; then [ts_ns,
+  // ts_ns+dur_ns] is the blocked window and |point| is unused.
+  WaitEdge edge = WaitEdge::kNumEdges;
   bool is_span = false;
   uint32_t track = 0;
   uint16_t device = 0;  // volume member device the event executed against
+
+  bool is_wait_edge() const { return edge != WaitEdge::kNumEdges; }
+};
+
+// Observer of the full event stream, in append order. Used by the
+// critical-path profiler to see every event without ring-wraparound loss.
+// Implementations MUST NOT touch the simulator (no Sleep/Schedule): the
+// tracer's "never perturbs virtual time" contract extends to its sink.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnTraceEvent(const TraceEvent& ev) = 0;
 };
 
 class Tracer {
@@ -63,6 +78,16 @@ class Tracer {
   void Instant(TracePoint point, uint64_t arg0 = 0);
   void InstantWith(TracePoint point, const TraceContext& ctx, uint64_t arg0 = 0);
 
+  // Records one causal wait edge: the context's request/transaction was
+  // blocked on |edge| over [begin_ns, end_ns]. No-op when end_ns <= begin_ns
+  // (call sites measure around possibly-blocking operations and emit
+  // unconditionally). end_ns may lie in the past relative to now() — some
+  // edges (doorbell coalescing, fan-out stragglers) are only attributable
+  // after the fact.
+  void WaitEdgeEvent(WaitEdge edge, uint64_t begin_ns, uint64_t end_ns, uint64_t arg0 = 0);
+  void WaitEdgeWith(WaitEdge edge, const TraceContext& ctx, uint64_t begin_ns, uint64_t end_ns,
+                    uint64_t arg0 = 0);
+
   // --- Counters (hot path) ------------------------------------------------
 
   void AddCounter(TraceCounter c, uint64_t delta = 1);
@@ -82,9 +107,18 @@ class Tracer {
     Histogram dur_ns;
   };
   const PointAgg& agg(TracePoint p) const { return agg_[static_cast<size_t>(p)]; }
+  // Same running totals for wait edges (count, blocked ns, histogram).
+  const PointAgg& edge_agg(WaitEdge e) const { return edge_agg_[static_cast<size_t>(e)]; }
   // Clears aggregation and counters (benchmarks call this after warm-up).
   // The event ring and open-span stacks are left untouched.
   void ResetAggregation();
+
+  // --- Sink ----------------------------------------------------------------
+
+  // At most one sink; pass nullptr to detach. The sink sees every event in
+  // append order, including those later overwritten in the ring.
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+  TraceSink* sink() const { return sink_; }
 
   // --- Ring access ---------------------------------------------------------
 
@@ -145,6 +179,8 @@ class Tracer {
   uint64_t counters_[kNumTraceCounters] = {};
   CounterSet extra_counters_;
   std::vector<PointAgg> agg_;
+  std::vector<PointAgg> edge_agg_;
+  TraceSink* sink_ = nullptr;
 };
 
 // RAII span, tolerant of a null tracer (the common "tracing disabled" case)

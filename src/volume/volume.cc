@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/metrics/metrics.h"
+#include "src/trace/tracer.h"
 
 namespace ccnvme {
 
@@ -262,17 +263,30 @@ CcNvmeDriver::TxHandle Volume::CommitTx(uint16_t qid, uint64_t tx_id, uint64_t l
   // registered) so the volume-level durable cannot fire mid-fan-out.
   struct State {
     int remaining = 1;
+    uint64_t tx_id = 0;
     std::function<void()> cb;
     std::vector<std::pair<uint16_t, uint64_t>> seqs;
     std::vector<std::shared_ptr<Buffer>> slices;
+    // Per-member device tx handles, for straggler wait-edge attribution.
+    std::vector<std::pair<uint16_t, CcNvmeDriver::TxHandle>> handles;
   };
   auto st = std::make_shared<State>();
+  st->tx_id = tx_id;
   st->cb = std::move(on_durable);
   st->seqs = std::move(tx.member_seqs);
   st->slices = std::move(tx.slices);
   auto done_one = [this, st, parent] {
     if (--st->remaining > 0) return;
     for (const auto& [dev, seq] : st->seqs) RecordCompletion(dev, seq);
+    if (Tracer* t = sim_->tracer()) {
+      // Fan-out stragglers: a member that completed early still holds the
+      // volume transaction open until the slowest leg lands.
+      const uint64_t end = sim_->now();
+      for (const auto& [dev, h] : st->handles) {
+        t->WaitEdgeWith(WaitEdge::kVolumeFanout, {0, st->tx_id, dev}, h->durable_at_ns, end,
+                        dev);
+      }
+    }
     if (st->cb) st->cb();
     parent->durable_at_ns = sim_->now();
     parent->durable.Signal();
@@ -285,7 +299,7 @@ CcNvmeDriver::TxHandle Volume::CommitTx(uint16_t qid, uint64_t tx_id, uint64_t l
       members_[dev].cc->SubmitTx(qid, tx_id, commit_lba, data, nullptr);
     }
     st->remaining++;
-    members_[dev].cc->SealTx(qid, tx_id, done_one);
+    st->handles.emplace_back(dev, members_[dev].cc->SealTx(qid, tx_id, done_one));
     if (Metrics* m = sim_->metrics()) {
       m->monitors().OnVolumeMemberSealed(tx_id);
     }
@@ -302,6 +316,7 @@ CcNvmeDriver::TxHandle Volume::CommitTx(uint16_t qid, uint64_t tx_id, uint64_t l
     st->remaining++;
     CcNvmeDriver::TxHandle h =
         members_[commit_dev].cc->CommitTx(qid, tx_id, commit_lba, data, done_one);
+    st->handles.emplace_back(commit_dev, h);
     parent->atomic_at_ns = h->atomic_at_ns;
   };
 
@@ -317,7 +332,18 @@ CcNvmeDriver::TxHandle Volume::CommitTx(uint16_t qid, uint64_t tx_id, uint64_t l
     // Two-phase: seal every member, THEN ring the commit doorbell. The
     // commit device's P-SQDB is the volume-wide atomicity point.
     for (uint16_t dev : seal) seal_member(dev);
+    const size_t sealed_count = st->handles.size();
     commit_member();
+    if (Tracer* t = sim_->tracer()) {
+      // Seal→commit gate: a sealed member sits atomic-but-unordered until
+      // the commit device's doorbell makes the whole volume tx atomic.
+      for (size_t i = 0; i < sealed_count; ++i) {
+        const auto& [dev, h] = st->handles[i];
+        t->WaitEdgeWith(WaitEdge::kSealCommitGate,
+                        {CurrentTraceContext().req_id, tx_id, dev}, h->atomic_at_ns,
+                        parent->atomic_at_ns, dev);
+      }
+    }
   }
   done_one();
   return parent;

@@ -1,0 +1,175 @@
+// Runs EVERY registered bench scenario (the whole evaluation: tables 1/3/4,
+// figures 2/5/9-14, ablations, scaling sweeps) in one process and writes a
+// schema-versioned BENCH_<date>.json — the repo's continuous performance
+// record. Virtual time is deterministic, so two runs with the same seed are
+// bit-identical and the CI perf gate can diff against a committed baseline
+// with ZERO tolerance.
+//
+// Usage:
+//   bench_all [--scenario SUBSTR] [--seed N] [--warmup N]
+//             [--out PATH]              (default BENCH_<YYYY-MM-DD>.json)
+//             [--compare BASELINE.json] (exit 1 on any regression)
+//             [--tolerance F]           (relative; default 0 = exact match)
+//             [--inject doorbell=F]     (scale MMIO doorbell cost — the CI
+//                                        negative test proves the gate trips)
+//             [--list] [--quiet]
+//
+// The scenario narration streams to stderr; stdout carries the run summary
+// and, under --compare, the per-metric diff.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "bench/bench_runner.h"
+
+namespace ccnvme {
+namespace {
+
+std::string DefaultOutPath() {
+  std::time_t now = std::time(nullptr);
+  std::tm tm_buf{};
+  localtime_r(&now, &tm_buf);
+  char date[16];
+  std::strftime(date, sizeof(date), "%Y-%m-%d", &tm_buf);
+  return std::string("BENCH_") + date + ".json";
+}
+
+int Usage(const char* argv0, int code) {
+  std::fprintf(stderr,
+               "usage: %s [--list] [--scenario SUBSTR] [--seed N] [--warmup N]\n"
+               "          [--out PATH] [--compare BASELINE.json] [--tolerance F]\n"
+               "          [--inject doorbell=FACTOR] [--quiet]\n",
+               argv0);
+  return code;
+}
+
+int RunBenchAll(int argc, char** argv) {
+  std::string filter;
+  std::string out_path = DefaultOutPath();
+  std::string compare_path;
+  uint64_t seed = 42;
+  int warmup = -1;
+  double tolerance = 0.0;
+  double inject_doorbell = 1.0;
+  bool list = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      const std::string eq = std::string(flag) + "=";
+      if (arg.rfind(eq, 0) == 0) return argv[i] + eq.size();
+      if (arg == flag && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (const char* sv = value("--scenario")) {
+      filter = sv;
+    } else if (const char* seedv = value("--seed")) {
+      seed = std::strtoull(seedv, nullptr, 10);
+    } else if (const char* wv = value("--warmup")) {
+      warmup = std::atoi(wv);
+    } else if (const char* ov = value("--out")) {
+      out_path = ov;
+    } else if (const char* cv = value("--compare")) {
+      compare_path = cv;
+    } else if (const char* tv = value("--tolerance")) {
+      tolerance = std::strtod(tv, nullptr);
+    } else if (const char* iv = value("--inject")) {
+      if (std::strncmp(iv, "doorbell=", 9) == 0) {
+        inject_doorbell = std::strtod(iv + 9, nullptr);
+      } else {
+        std::fprintf(stderr, "unknown --inject target: %s\n", iv);
+        return 2;
+      }
+    } else {
+      return Usage(argv[0], arg == "--help" || arg == "-h" ? 0 : 2);
+    }
+  }
+
+  if (list) {
+    for (const auto& s : AllBenchScenarios()) {
+      std::printf("%-32s %s\n", s.name.c_str(), s.description.c_str());
+    }
+    return 0;
+  }
+
+  if (quiet) {
+    // Scenario narration goes through stderr (json mode); silence it.
+    std::FILE* devnull = std::freopen("/dev/null", "w", stderr);
+    (void)devnull;
+  }
+
+  // json=true routes per-scenario narration to stderr so stdout stays a
+  // clean summary/diff stream for CI logs.
+  const BenchReport report =
+      RunScenarios(filter, seed, warmup, /*json=*/true, inject_doorbell);
+  if (report.scenarios.empty()) {
+    std::fprintf(stderr, "no scenarios matched '%s'\n", filter.c_str());
+    return 2;
+  }
+
+  const std::string doc = BenchReportToJson(report, /*pretty=*/true);
+  if (!out_path.empty() && out_path != "-") {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+  } else {
+    std::fputs(doc.c_str(), stdout);
+  }
+
+  size_t metric_count = 0;
+  for (const auto& s : report.scenarios) metric_count += s.metrics.size();
+  std::printf("bench_all: %zu scenarios, %zu metrics, seed %llu -> %s\n",
+              report.scenarios.size(), metric_count,
+              static_cast<unsigned long long>(report.seed), out_path.c_str());
+
+  if (compare_path.empty()) {
+    return 0;
+  }
+
+  std::ifstream in(compare_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read baseline %s\n", compare_path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  BenchReport baseline;
+  std::string error;
+  if (!ParseBenchReport(buf.str(), &baseline, &error)) {
+    std::fprintf(stderr, "bad baseline %s: %s\n", compare_path.c_str(), error.c_str());
+    return 2;
+  }
+
+  std::string diff;
+  const int regressions = CompareBenchReports(baseline, report, tolerance, &diff);
+  if (!diff.empty()) {
+    std::fputs(diff.c_str(), stdout);
+  }
+  if (regressions > 0) {
+    std::printf("PERF GATE: %d regression(s) vs %s (tolerance %.3g)\n", regressions,
+                compare_path.c_str(), tolerance);
+    return 1;
+  }
+  std::printf("PERF GATE: ok — no regressions vs %s (tolerance %.3g)\n",
+              compare_path.c_str(), tolerance);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ccnvme
+
+int main(int argc, char** argv) { return ccnvme::RunBenchAll(argc, argv); }

@@ -1,0 +1,136 @@
+// Causal critical-path bottleneck report for the Fig. 14 workload: create +
+// 4 KB write + fsync()/fatomic() on MQFS over ccNVMe, profiled with the
+// critical-path engine (src/profile). Prints the top-k blame table, the
+// wait-edge expansion ("where the 3% goes"), per-key blame histograms and
+// the slowest request's exact critical path; optionally dumps a flame-style
+// JSON for external viewers.
+//
+// Usage:
+//   perf_report [--mode fsync|fatomic] [--iters N] [--warmup N]
+//               [--top K] [--detail K] [--flame PATH] [--no-histograms]
+//               [--queues N] [--threads N]
+//
+// The tool exists to answer one question by name: which edge dominates the
+// end-to-end latency of a durable write. On the default workload that is the
+// device round trip the caller must wait out (wait.tx_durable).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/harness/stack.h"
+#include "src/profile/report.h"
+
+namespace ccnvme {
+namespace {
+
+int Usage(const char* argv0, int code) {
+  std::fprintf(stderr,
+               "usage: %s [--mode fsync|fatomic] [--iters N] [--warmup N]\n"
+               "          [--top K] [--detail K] [--flame PATH] [--no-histograms]\n"
+               "          [--queues N] [--threads N]\n",
+               argv0);
+  return code;
+}
+
+int RunPerfReport(int argc, char** argv) {
+  std::string mode = "fsync";
+  std::string flame_path;
+  int iters = 100;
+  int warmup = 10;
+  int queues = 1;
+  int threads = 1;
+  BlameReportOptions report_opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      const std::string eq = std::string(flag) + "=";
+      if (arg.rfind(eq, 0) == 0) return argv[i] + eq.size();
+      if (arg == flag && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* mv = value("--mode")) {
+      mode = mv;
+    } else if (const char* nv = value("--iters")) {
+      iters = std::atoi(nv);
+    } else if (const char* wv = value("--warmup")) {
+      warmup = std::atoi(wv);
+    } else if (const char* kv = value("--top")) {
+      report_opts.top_k = static_cast<size_t>(std::atoi(kv));
+    } else if (const char* dv = value("--detail")) {
+      report_opts.wait_detail_k = static_cast<size_t>(std::atoi(dv));
+    } else if (const char* fv = value("--flame")) {
+      flame_path = fv;
+    } else if (arg == "--no-histograms") {
+      report_opts.show_histograms = false;
+    } else if (const char* qv = value("--queues")) {
+      queues = std::atoi(qv);
+    } else if (const char* tv = value("--threads")) {
+      threads = std::atoi(tv);
+    } else {
+      return Usage(argv[0], arg == "--help" || arg == "-h" ? 0 : 2);
+    }
+  }
+  if (mode != "fsync" && mode != "fatomic") {
+    std::fprintf(stderr, "perf_report: unknown --mode '%s'\n", mode.c_str());
+    return 2;
+  }
+  if (threads > queues) queues = threads;
+
+  StackConfig cfg;
+  cfg.ssd = SsdConfig::Optane905P();
+  cfg.enable_ccnvme = true;
+  cfg.num_queues = static_cast<uint16_t>(queues);
+  cfg.fs.journal = JournalKind::kMultiQueue;
+  cfg.fs.journal_areas = static_cast<uint16_t>(queues);
+  cfg.fs.journal_blocks = 4096;
+
+  StorageStack stack(cfg);
+  CriticalPathProfiler& profiler = stack.EnableProfiling();
+  Status st = stack.MkfsAndMount();
+  CCNVME_CHECK(st.ok()) << st.ToString();
+
+  const bool fsync = mode == "fsync";
+  for (int t = 0; t < threads; ++t) {
+    stack.Spawn("perf_report." + std::to_string(t), [&, t] {
+      for (int i = 0; i < iters; ++i) {
+        if (t == 0 && i == warmup) {
+          profiler.ResetAggregation();
+        }
+        auto ino = stack.fs().Create("/pr_" + std::to_string(t) + "_" +
+                                     std::to_string(i));
+        CCNVME_CHECK(ino.ok());
+        Buffer data(kFsBlockSize, static_cast<uint8_t>(i));
+        CCNVME_CHECK(stack.fs().Write(*ino, 0, data).ok());
+        Status sst = fsync ? stack.fs().Fsync(*ino) : stack.fs().Fatomic(*ino);
+        CCNVME_CHECK(sst.ok());
+      }
+    }, static_cast<uint16_t>(t % queues));
+  }
+  stack.sim().Run();
+
+  std::printf("workload: MQFS create+write(4K)+%s, %d iter x %d thread (%d warm-up)\n\n",
+              mode.c_str(), iters, threads, warmup);
+  std::fputs(FormatBlameReport(profiler, report_opts).c_str(), stdout);
+  std::printf("\n%s\n", FormatDominantLine(profiler).c_str());
+
+  if (!flame_path.empty()) {
+    const std::string flame = FlameJson(profiler, /*pretty=*/true);
+    std::FILE* f = std::fopen(flame_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", flame_path.c_str());
+      return 2;
+    }
+    std::fwrite(flame.data(), 1, flame.size(), f);
+    std::fclose(f);
+    std::printf("wrote flame JSON to %s\n", flame_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ccnvme
+
+int main(int argc, char** argv) { return ccnvme::RunPerfReport(argc, argv); }

@@ -3,10 +3,21 @@
 // chrome://tracing), plus a per-layer aggregation summary on stdout.
 //
 // Usage: trace_dump [append|varmail|minikv] [out.json]
+//                   [--req <id>] [--tx <id>]
 //   (defaults: append, trace.json)
+//
+// --req/--tx restrict the export AND the stdout dump to one request and/or
+// transaction: instead of the whole-run aggregation you get that request's
+// span tree — every span, wait edge and instant that touched it, nested by
+// interval containment — which is the raw input the critical-path profiler
+// (src/profile) attributes blame over.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "src/trace/chrome_trace.h"
 #include "src/workload/fio_append.h"
@@ -26,7 +37,72 @@ StackConfig MqfsConfig() {
   return cfg;
 }
 
-int RunDump(const std::string& workload, const std::string& out_path) {
+// Prints every retained event matching |filter|, oldest-begin first, nested
+// by interval containment so a request's causal structure reads as a tree:
+//   ts          dur       event
+//   121000   +35776 ns    fs.sync_total                 [harness]
+//   121000    +6568 ns    . fs.submit_data              [harness]
+//   143000   +18446 ns    . wait.tx_durable             [harness]
+void PrintSpanTree(const Tracer& tracer, const TraceFilter& filter) {
+  struct Item {
+    uint64_t begin;
+    uint64_t end;
+    const TraceEvent* ev;
+  };
+  std::vector<Item> items;
+  for (size_t i = 0; i < tracer.size(); ++i) {
+    const TraceEvent& ev = tracer.event(i);
+    if (!filter.Matches(ev)) continue;
+    items.push_back(Item{ev.ts_ns, ev.ts_ns + ev.dur_ns, &ev});
+  }
+  if (items.empty()) {
+    std::printf("no retained events match req=%llu tx=%llu (ring overwrote %llu)\n",
+                static_cast<unsigned long long>(filter.req_id),
+                static_cast<unsigned long long>(filter.tx_id),
+                static_cast<unsigned long long>(tracer.overwritten()));
+    return;
+  }
+  // Outer spans first: earlier begin, then longer duration, waits after runs
+  // at equal intervals (a wait edge nests inside the span that blocked).
+  std::stable_sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.begin != b.begin) return a.begin < b.begin;
+    if (a.end != b.end) return a.end > b.end;
+    return a.ev->is_wait_edge() < b.ev->is_wait_edge();
+  });
+
+  std::printf("%zu events for req=%llu tx=%llu:\n\n", items.size(),
+              static_cast<unsigned long long>(filter.req_id),
+              static_cast<unsigned long long>(filter.tx_id));
+  std::printf("%12s %12s    %-44s %s\n", "ts_ns", "dur_ns", "event", "track");
+  std::vector<uint64_t> enclosing;  // end times of open ancestor intervals
+  for (const Item& it : items) {
+    while (!enclosing.empty() && it.begin >= enclosing.back()) {
+      enclosing.pop_back();
+    }
+    const TraceEvent& ev = *it.ev;
+    const char* name = ev.is_wait_edge() ? WaitEdgeName(ev.edge)
+                                         : TracePointName(ev.point);
+    std::string label;
+    for (size_t d = 0; d < enclosing.size(); ++d) label += ". ";
+    label += name;
+    char dur[24];
+    if (ev.is_span || ev.is_wait_edge()) {
+      std::snprintf(dur, sizeof(dur), "+%llu",
+                    static_cast<unsigned long long>(ev.dur_ns));
+    } else {
+      std::snprintf(dur, sizeof(dur), "instant");
+    }
+    std::printf("%12llu %12s    %-44s [%s]\n",
+                static_cast<unsigned long long>(ev.ts_ns), dur, label.c_str(),
+                tracer.track_name(ev.track).c_str());
+    if ((ev.is_span || ev.is_wait_edge()) && ev.dur_ns > 0) {
+      enclosing.push_back(it.end);
+    }
+  }
+}
+
+int RunDump(const std::string& workload, const std::string& out_path,
+            const TraceFilter& filter) {
   StackConfig cfg = MqfsConfig();
   StorageStack stack(cfg);
   Tracer& tracer = stack.EnableTracing();
@@ -64,14 +140,21 @@ int RunDump(const std::string& workload, const std::string& out_path) {
   st = stack.Unmount();
   CCNVME_CHECK(st.ok()) << st.ToString();
 
-  st = WriteChromeTrace(tracer, out_path);
+  st = WriteChromeTrace(tracer, out_path, filter);
   if (!st.ok()) {
     std::fprintf(stderr, "trace_dump: %s\n", st.ToString().c_str());
     return 2;
   }
-  std::printf("\nwrote %zu events (%llu recorded, %llu overwritten) to %s\n",
+  std::printf("\nwrote %zu events (%llu recorded, %llu overwritten) to %s%s\n",
               tracer.size(), static_cast<unsigned long long>(tracer.total_recorded()),
-              static_cast<unsigned long long>(tracer.overwritten()), out_path.c_str());
+              static_cast<unsigned long long>(tracer.overwritten()), out_path.c_str(),
+              filter.empty() ? "" : " (filtered)");
+
+  if (!filter.empty()) {
+    std::printf("\n");
+    PrintSpanTree(tracer, filter);
+    return 0;
+  }
 
   std::printf("\nper-layer aggregation (whole run):\n");
   std::printf("%-8s %-22s %10s %14s %12s %12s\n", "layer", "point", "count", "total_ns",
@@ -110,11 +193,31 @@ int RunDump(const std::string& workload, const std::string& out_path) {
 }  // namespace ccnvme
 
 int main(int argc, char** argv) {
-  const std::string workload = argc > 1 ? argv[1] : "append";
-  const std::string out_path = argc > 2 ? argv[2] : "trace.json";
-  if (workload == "-h" || workload == "--help") {
-    std::printf("usage: trace_dump [append|varmail|minikv] [out.json]\n");
-    return 0;
+  std::string workload = "append";
+  std::string out_path = "trace.json";
+  ccnvme::TraceFilter filter;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      std::printf("usage: trace_dump [append|varmail|minikv] [out.json] "
+                  "[--req <id>] [--tx <id>]\n");
+      return 0;
+    }
+    if (arg == "--req" && i + 1 < argc) {
+      filter.req_id = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--tx" && i + 1 < argc) {
+      filter.tx_id = std::strtoull(argv[++i], nullptr, 10);
+    } else if (positional == 0) {
+      workload = arg;
+      positional++;
+    } else if (positional == 1) {
+      out_path = arg;
+      positional++;
+    } else {
+      std::fprintf(stderr, "trace_dump: unexpected argument '%s'\n", argv[i]);
+      return 2;
+    }
   }
-  return ccnvme::RunDump(workload, out_path);
+  return ccnvme::RunDump(workload, out_path, filter);
 }
