@@ -1,0 +1,233 @@
+// Multi-tenant contention pathologies on the N-core host model.
+//
+// The Fig. 10/11 curves (fig10_transaction / fig11_filesystem) show the
+// healthy scaling regime; these scenarios provoke the three pathologies that
+// only appear under multi-tenant load, each surfaced through the wait-edge
+// instrumentation so tools/perf_report can blame the cross-core edge:
+//
+//   sqfull_storm    — many clients per core against a shallow queue: the
+//                     submission path parks on wait.sq_full and throughput
+//                     is set by completion drain, not CPU.
+//   doorbell_herd   — every client rings per-request doorbells (the naive
+//                     non-tx-aware MMIO mode) from all cores at once; the
+//                     write-combining drain (wait.wc_drain) and MMIO posting
+//                     serialize the herd. Transaction-aware MMIO makes the
+//                     herd disappear.
+//   commit_convoy   — every core fsyncs the SAME file: cross-core group
+//                     commit turns N callers into one leader and N-1
+//                     followers parked on wait.fsync_leader (the convoy),
+//                     trading per-call latency for one shared journal
+//                     commit.
+#include <memory>
+#include <vector>
+
+#include "bench/bench_runner.h"
+#include "bench/tx_engines.h"
+#include "src/common/rng.h"
+#include "src/harness/host_model.h"
+#include "src/workload/fio_append.h"
+
+namespace ccnvme {
+namespace {
+
+// ccNVMe-atomic append pressure: |clients_per_core| clients per core issue
+// 1-block transactions back to back. Returns kTPS; per-edge blocked time is
+// read from the stack's tracer by the caller.
+double RunTxStorm(BenchContext& ctx, StorageStack& stack, uint16_t num_cores,
+                  uint32_t clients_per_core, uint32_t blocks_per_tx, uint64_t duration_ns,
+                  uint64_t* out_total_tx = nullptr) {
+  HostModelConfig hm_cfg;
+  hm_cfg.num_cores = num_cores;
+  hm_cfg.contexts_per_core = 1;
+  HostModel host(&stack, hm_cfg);
+
+  const uint64_t start_ns = stack.sim().now();
+  const uint64_t end_ns = start_ns + duration_ns;
+  uint64_t total_tx = 0;
+
+  struct ClientState {
+    Rng rng{0};
+    std::vector<Buffer> payloads;
+    Buffer jd;
+    CcNvmeDriver::TxHandle last;
+  };
+  auto states = std::make_shared<std::vector<ClientState>>(
+      static_cast<size_t>(num_cores) * clients_per_core);
+  auto queue_tx_id = std::make_shared<std::vector<uint64_t>>(num_cores, 1);
+
+  for (uint16_t core = 0; core < num_cores; ++core) {
+    for (uint32_t k = 0; k < clients_per_core; ++k) {
+      const size_t i = static_cast<size_t>(core) * clients_per_core + k;
+      ClientState& st = (*states)[i];
+      st.rng = Rng(ctx.seed() + i);
+      st.payloads.assign(blocks_per_tx, Buffer(kLbaSize, 1));
+      st.jd = Buffer(kLbaSize, 0x3D);
+      host.AddClient(
+          "storm" + std::to_string(i),
+          [&, states, queue_tx_id, core, i] {
+            ClientState& s = (*states)[i];
+            if (stack.sim().now() >= end_ns) {
+              if (s.last != nullptr) {
+                stack.ccnvme()->WaitDurable(s.last);
+                s.last = nullptr;
+              }
+              return false;
+            }
+            const uint64_t tx_id = (*queue_tx_id)[core]++;
+            std::vector<uint64_t> lbas;
+            for (uint32_t b = 0; b < blocks_per_tx; ++b) {
+              lbas.push_back(10'000 + s.rng.Uniform(500'000));
+            }
+            s.last = RunOneTransaction(stack, TxEngine::kCcNvmeAtomic, core, tx_id, lbas,
+                                       s.payloads, s.jd, 600'000 + (tx_id % 10'000) * 2);
+            total_tx++;
+            return true;
+          },
+          core);
+    }
+  }
+  host.Run();
+  if (out_total_tx != nullptr) {
+    *out_total_tx = total_tx;
+  }
+  const double secs = static_cast<double>(stack.sim().now() - start_ns) / 1e9;
+  return total_tx / secs / 1e3;
+}
+
+void RunSqFullStorm(BenchContext& ctx) {
+  ctx.Log("SQ-full storm: 2 cores x 32 clients against queue depth 16\n\n");
+  StackConfig cfg;
+  cfg.ssd = SsdConfig::OptaneP5800X();
+  ctx.ApplyInjections(&cfg);
+  cfg.num_queues = 2;
+  cfg.queue_depth = 16;  // shallow ring: the P-SQ itself is the bottleneck
+  StorageStack stack(cfg);
+  Tracer& tracer = stack.EnableTracing();
+
+  const double ktps = RunTxStorm(ctx, stack, 2, 32, 1, 4'000'000);
+
+  const Tracer::PointAgg& sq_full = tracer.edge_agg(WaitEdge::kSqFull);
+  ctx.Log("throughput            %8.0f kTPS\n", ktps);
+  ctx.Log("wait.sq_full          %8llu blocks, %llu us total\n",
+          static_cast<unsigned long long>(sq_full.count),
+          static_cast<unsigned long long>(sq_full.total_ns / 1000));
+  ctx.Metric("sqfull_storm_ktps", ktps);
+  ctx.Metric("sqfull_storm_blocks", static_cast<double>(sq_full.count));
+  ctx.Blame(WaitEdgeName(WaitEdge::kSqFull), sq_full.total_ns);
+  CCNVME_CHECK_GT(sq_full.count, 0u) << "storm failed to hit the SQ-full edge";
+}
+
+void RunDoorbellHerd(BenchContext& ctx) {
+  ctx.Log("Doorbell herd: 4 cores x 8 clients, 16-block txs, per-request vs tx-aware MMIO\n\n");
+  double ktps[2] = {0, 0};
+  double mmio_per_tx[2] = {0, 0};
+  for (int naive = 0; naive < 2; ++naive) {
+    StackConfig cfg;
+    cfg.ssd = SsdConfig::OptaneP5800X();
+    ctx.ApplyInjections(&cfg);
+    cfg.num_queues = 4;
+    cfg.cc_options.tx_aware_mmio = naive == 0;
+    StorageStack stack(cfg);
+    Tracer& tracer = stack.EnableTracing();
+    uint64_t total_tx = 0;
+    ktps[naive] = RunTxStorm(ctx, stack, 4, 8, 16, 4'000'000, &total_tx);
+    mmio_per_tx[naive] = total_tx == 0 ? 0.0
+                                       : static_cast<double>(tracer.counter(
+                                             TraceCounter::kMmioWrites)) /
+                                             static_cast<double>(total_tx);
+  }
+  ctx.Log("tx-aware MMIO         %8.0f kTPS  %6.1f doorbell MMIOs/tx\n", ktps[0],
+          mmio_per_tx[0]);
+  ctx.Log("per-request doorbells %8.0f kTPS  %6.1f doorbell MMIOs/tx\n", ktps[1],
+          mmio_per_tx[1]);
+  ctx.Log("(the herd multiplies posted MMIO traffic %0.1fx; with a slow BAR —\n"
+          " --inject doorbell=N — the naive mode collapses first)\n",
+          mmio_per_tx[0] > 0 ? mmio_per_tx[1] / mmio_per_tx[0] : 0.0);
+  ctx.Metric("doorbell_herd_txaware_ktps", ktps[0]);
+  ctx.Metric("doorbell_herd_naive_ktps", ktps[1]);
+  ctx.Metric("doorbell_herd_naive_mmio_per_tx", mmio_per_tx[1]);
+  ctx.Metric("doorbell_herd_txaware_mmio_per_tx", mmio_per_tx[0]);
+  CCNVME_CHECK_GT(mmio_per_tx[1], mmio_per_tx[0])
+      << "per-request doorbells must multiply MMIO traffic";
+}
+
+void RunCommitConvoy(BenchContext& ctx) {
+  ctx.Log("Commit convoy: 4 cores x 2 contexts all fsyncing ONE shared file (MQFS)\n\n");
+  StackConfig cfg;
+  cfg.ssd = SsdConfig::Optane905P();
+  ctx.ApplyInjections(&cfg);
+  cfg.num_queues = 4;
+  cfg.enable_ccnvme = true;
+  cfg.fs.journal = JournalKind::kMultiQueue;
+  cfg.fs.journal_areas = 4;
+  cfg.fs.journal_blocks = 16384;
+  StorageStack stack(cfg);
+  Tracer& tracer = stack.EnableTracing();
+  Status st = stack.MkfsAndMount();
+  CCNVME_CHECK(st.ok()) << st.ToString();
+
+  auto ino = std::make_shared<InodeNum>(kInvalidInode);
+  stack.Run([&] {
+    auto created = stack.fs().Create("/convoy");
+    CCNVME_CHECK(created.ok());
+    *ino = *created;
+  });
+
+  HostModelConfig hm_cfg;
+  hm_cfg.num_cores = 4;
+  hm_cfg.contexts_per_core = 2;
+  HostModel host(&stack, hm_cfg);
+
+  const uint64_t start_ns = stack.sim().now();
+  const uint64_t end_ns = start_ns + 4'000'000;
+  uint64_t total_ops = 0;
+  auto offsets = std::make_shared<std::vector<uint64_t>>(8, 0);
+  auto bufs = std::make_shared<std::vector<Buffer>>();
+  for (uint32_t i = 0; i < 8; ++i) {
+    bufs->push_back(Buffer(kFsBlockSize, static_cast<uint8_t>(i + 1)));
+  }
+  for (uint32_t i = 0; i < 8; ++i) {
+    host.AddClient("convoy" + std::to_string(i), [&, offsets, bufs, ino, i] {
+      if (stack.sim().now() >= end_ns) {
+        return false;
+      }
+      // Distinct 4 KB regions of the shared file: every fsync contends on
+      // the same inode, never on the same bytes.
+      const uint64_t off =
+          (static_cast<uint64_t>(i) * 64 + (*offsets)[i] % 64) * kFsBlockSize;
+      (*offsets)[i]++;
+      CCNVME_CHECK(stack.fs().Write(*ino, off, (*bufs)[i]).ok());
+      CCNVME_CHECK(stack.fs().Fsync(*ino).ok());
+      total_ops++;
+      return true;
+    });
+  }
+  host.Run();
+
+  const double secs = static_cast<double>(stack.sim().now() - start_ns) / 1e9;
+  const Tracer::PointAgg& leader = tracer.edge_agg(WaitEdge::kFsyncLeader);
+  ctx.Log("throughput            %8.1f K fsync/s over one inode\n", total_ops / secs / 1e3);
+  ctx.Log("wait.fsync_leader     %8llu parks, %llu us total\n",
+          static_cast<unsigned long long>(leader.count),
+          static_cast<unsigned long long>(leader.total_ns / 1000));
+  ctx.Metric("commit_convoy_kfsync", total_ops / secs / 1e3);
+  ctx.Metric("commit_convoy_leader_parks", static_cast<double>(leader.count));
+  ctx.Blame(WaitEdgeName(WaitEdge::kFsyncLeader), leader.total_ns);
+  CCNVME_CHECK_GT(leader.count, 0u) << "convoy failed to hit the fsync-leader edge";
+}
+
+void RunCorePathologies(BenchContext& ctx) {
+  RunSqFullStorm(ctx);
+  ctx.Log("\n");
+  RunDoorbellHerd(ctx);
+  ctx.Log("\n");
+  RunCommitConvoy(ctx);
+}
+
+CCNVME_REGISTER_BENCH("core_pathologies",
+                      "multi-tenant contention pathologies: SQ-full storm, doorbell herd, "
+                      "cross-core commit convoy",
+                      RunCorePathologies);
+
+}  // namespace
+}  // namespace ccnvme

@@ -2,8 +2,12 @@
 //
 //   (a) single-core throughput vs. write size (append + fsync)
 //   (b) single-core average latency vs. write size
-//   (c) multi-core throughput, 4 KB appends, 1-24 threads
+//   (c) multi-core throughput, 4 KB appends, 1-8 simulated cores
 //   (d) multi-core average latency
+//
+// The multi-core points run on the N-core host model (one SQ/CQ pair per
+// core, two submission contexts per core, four clients multiplexed per
+// core) instead of the old one-actor-per-thread flat pool.
 //
 // Systems: MQFS (fsync), MQFS-atomic (fdataatomic), Ext4, HoraeFS, Ext4-NJ.
 // Expected shape (paper): single-core MQFS ~2.1x Ext4, ~1.9x HoraeFS, ~1.2x
@@ -29,23 +33,28 @@ const System kSystems[] = {
     {"MQFS-atomic", JournalKind::kMultiQueue, SyncMode::kFdataatomic},
 };
 
-FioResult RunPoint(BenchContext& ctx, const System& sys, int threads,
+// A point on the core-scaling curve: |cores| simulated cores, each with its
+// own hardware queue, |contexts_per_core| submission contexts and
+// |clients_per_core| clients multiplexed over them.
+FioResult RunPoint(BenchContext& ctx, const System& sys, uint16_t cores,
+                   uint16_t contexts_per_core, uint32_t clients_per_core,
                    uint32_t write_size) {
   StackConfig cfg;
   cfg.ssd = SsdConfig::Optane905P();
   ctx.ApplyInjections(&cfg);
-  cfg.num_queues = static_cast<uint16_t>(threads);
+  cfg.num_queues = cores;
   cfg.enable_ccnvme = sys.journal == JournalKind::kMultiQueue;
   cfg.fs.journal = sys.journal;
-  cfg.fs.journal_areas = sys.journal == JournalKind::kMultiQueue
-                             ? static_cast<uint32_t>(threads)
-                             : 1;
+  cfg.fs.journal_areas =
+      sys.journal == JournalKind::kMultiQueue ? static_cast<uint32_t>(cores) : 1;
   cfg.fs.journal_blocks = 4096 * cfg.fs.journal_areas;
   StorageStack stack(cfg);
   Status st = stack.MkfsAndMount();
   CCNVME_CHECK(st.ok()) << st.ToString();
   FioOptions opts;
-  opts.num_threads = threads;
+  opts.num_cores = cores;
+  opts.num_threads = cores * contexts_per_core;
+  opts.num_clients = cores * clients_per_core;
   opts.write_size = write_size;
   opts.sync_mode = sys.mode;
   opts.duration_ns = 8'000'000;
@@ -62,7 +71,7 @@ void RunFig11(BenchContext& ctx) {
   for (uint32_t size_kb : {4, 16, 64, 128}) {
     ctx.Log("%8u", size_kb);
     for (const auto& sys : kSystems) {
-      const FioResult r = RunPoint(ctx, sys, 1, size_kb * 1024);
+      const FioResult r = RunPoint(ctx, sys, 1, 1, 1, size_kb * 1024);
       if (size_kb == 4 && sys.journal == JournalKind::kMultiQueue &&
           sys.mode == SyncMode::kFsync) {
         ctx.Metric("mqfs_1t_4k_mbps", r.ThroughputMBps(size_kb * 1024));
@@ -74,19 +83,20 @@ void RunFig11(BenchContext& ctx) {
     ctx.Log("\n");
   }
 
-  ctx.Log("\nFigure 11(c,d): multi-core throughput (KIOPS) / avg latency (us), 4KB\n\n");
-  ctx.Log("%8s", "threads");
+  ctx.Log("\nFigure 11(c,d): multi-core throughput (KIOPS) / avg latency (us), 4KB\n");
+  ctx.Log("(host model: 2 contexts and 4 clients per core, 1 queue pair per core)\n\n");
+  ctx.Log("%8s", "cores");
   for (const auto& sys : kSystems) {
     ctx.Log(" | %11s KIOPS  us", sys.name);
   }
   ctx.Log("\n");
-  for (int threads : {1, 4, 8, 12, 16, 24}) {
-    ctx.Log("%8d", threads);
+  for (uint16_t cores : {1, 2, 4, 8}) {
+    ctx.Log("%8u", cores);
     for (const auto& sys : kSystems) {
-      const FioResult r = RunPoint(ctx, sys, threads, 4096);
-      if (threads == 8 && sys.journal == JournalKind::kMultiQueue &&
+      const FioResult r = RunPoint(ctx, sys, cores, 2, 4, 4096);
+      if (cores == 8 && sys.journal == JournalKind::kMultiQueue &&
           sys.mode == SyncMode::kFsync) {
-        ctx.Metric("mqfs_8t_4k_kiops", r.ThroughputKiops());
+        ctx.Metric("mqfs_8c_4k_kiops", r.ThroughputKiops());
       }
       ctx.Log(" | %11.1f      %5.0f", r.ThroughputKiops(), r.latency_ns.Mean() / 1e3);
     }

@@ -11,6 +11,9 @@
 //   ccNVMe   — the transaction-aware path: N+1 REQ_TX writes into the P-SQ,
 //              one WC flush + one doorbell; durability via in-order
 //              completion. The *atomic* variant returns at the doorbell.
+//   OPIMQ    — order-preserving submission (FAST'25 lineage): the per-stream
+//              dispatcher epoch-gates data then commit, no flush/FUA on PLP
+//              drives; durability when the stream's dispatcher signals.
 #ifndef BENCH_TX_ENGINES_H_
 #define BENCH_TX_ENGINES_H_
 
@@ -21,7 +24,7 @@
 
 namespace ccnvme {
 
-enum class TxEngine { kClassic, kHorae, kCcNvme, kCcNvmeAtomic };
+enum class TxEngine { kClassic, kHorae, kCcNvme, kCcNvmeAtomic, kOpimq };
 
 inline const char* TxEngineName(TxEngine e) {
   switch (e) {
@@ -33,6 +36,8 @@ inline const char* TxEngineName(TxEngine e) {
       return "ccNVMe";
     case TxEngine::kCcNvmeAtomic:
       return "ccNVMe-atomic";
+    case TxEngine::kOpimq:
+      return "OPIMQ";
   }
   return "?";
 }
@@ -74,6 +79,17 @@ inline CcNvmeDriver::TxHandle RunOneTransaction(StorageStack& stack, TxEngine en
       for (auto& h : handles) {
         CCNVME_CHECK(stack.nvme().Wait(h).ok());
       }
+      return nullptr;
+    }
+    case TxEngine::kOpimq: {
+      std::vector<const Buffer*> ptrs;
+      ptrs.reserve(payloads.size());
+      for (const Buffer& p : payloads) {
+        ptrs.push_back(&p);
+      }
+      auto tx = stack.opimq().SubmitOrdered(qid, tx_id, lbas, std::move(ptrs), jd_lba + 1,
+                                            &jd_block);
+      stack.opimq().Wait(tx);
       return nullptr;
     }
     case TxEngine::kCcNvme:

@@ -249,4 +249,68 @@ CrashWorkload CrashMonkey::AtomicOverwrite() {
   };
 }
 
+// ---------------------------------------------------------------------------
+// Multi-core workloads
+
+CrashWorkload CrashMonkey::MultiCoreAppends() {
+  return [](CrashTestContext& ctx) {
+    constexpr uint16_t kCores = 2;
+    for (uint16_t core = 0; core < kCores; ++core) {
+      ctx.SpawnOnCore(core, [&ctx, core] {
+        ExtFs& fs = ctx.fs();
+        const std::string path = "/mc_" + std::to_string(core);
+        auto ino = fs.Create(path);
+        CCNVME_CHECK(ino.ok());
+        for (int round = 0; round < 3; ++round) {
+          if (round > 0) {
+            ctx.InvalidateFact(path);
+          }
+          const size_t len = kFsBlockSize / 2 + static_cast<size_t>(round) * 300;
+          const uint8_t fill = static_cast<uint8_t>(0x40 + core * 8 + round);
+          CCNVME_CHECK(fs.Append(*ino, Buffer(len, fill)).ok());
+          CCNVME_CHECK(fs.Fsync(*ino).ok());
+          // The file is exclusive to this core, so freezing its content
+          // right after fsync is race-free even mid-interleaving.
+          ctx.AddFact(OracleFact::FileContent(fs, path));
+        }
+      });
+    }
+    ctx.Join();
+  };
+}
+
+CrashWorkload CrashMonkey::MultiCoreSharedFsync() {
+  return [](CrashTestContext& ctx) {
+    ExtFs& fs = ctx.fs();
+    constexpr uint16_t kCores = 2;
+    constexpr uint64_t kRegion = 2 * kFsBlockSize;
+    auto ino = fs.Create("/shared");
+    CCNVME_CHECK(ino.ok());
+    CCNVME_CHECK(fs.Write(*ino, 0, Buffer(kCores * kRegion, 0x00)).ok());
+    CCNVME_CHECK(fs.Fsync(*ino).ok());
+    ctx.AddFact(OracleFact::FileContent(fs, "/shared"));
+
+    // The writers are about to legally mutate the file.
+    ctx.InvalidateFact("/shared");
+    const InodeNum shared = *ino;
+    for (uint16_t core = 0; core < kCores; ++core) {
+      ctx.SpawnOnCore(core, [&ctx, shared, core] {
+        ExtFs& fs = ctx.fs();
+        const uint64_t off = core * kRegion;
+        CCNVME_CHECK(
+            fs.Write(shared, off, Buffer(kRegion, static_cast<uint8_t>(0xA0 + core))).ok());
+        // Both cores fsync the SAME inode concurrently: one becomes the
+        // group-commit leader, the other piggybacks or follows. When OUR
+        // fsync returns, OUR region must be durable — the exact guarantee
+        // the test_skip_cross_core_order injected bug breaks.
+        CCNVME_CHECK(fs.Fsync(shared).ok());
+        ctx.AddFact(OracleFact::FileRegion(fs, "/shared", off, kRegion));
+      });
+    }
+    ctx.Join();
+    // All writers done and fsynced: the whole file is stable again.
+    ctx.AddFact(OracleFact::FileContent(fs, "/shared"));
+  };
+}
+
 }  // namespace ccnvme

@@ -57,6 +57,17 @@ class CrashMonkey {
   // Requires a data-journaling MQFS config for true data atomicity.
   static CrashWorkload AtomicOverwrite();
 
+  // --- Multi-core workloads ----------------------------------------------
+  // Two cores append+fsync their own files concurrently (SpawnOnCore), so
+  // the recorded stream interleaves both queues' traffic and crash cuts
+  // land between one core's commit and the other's in-flight writes.
+  static CrashWorkload MultiCoreAppends();
+  // Two cores overwrite disjoint regions of ONE shared file and fsync it
+  // concurrently: cross-core group commit (leader/follower aggregation).
+  // Each core arms a FileRegion fact the moment its own fsync returns —
+  // exactly the guarantee the test_skip_cross_core_order bug breaks.
+  static CrashWorkload MultiCoreSharedFsync();
+
  private:
   StackConfig config_;
   uint64_t seed_;

@@ -7,6 +7,7 @@
 #include "src/common/logging.h"
 #include "src/metrics/export.h"
 #include "src/nvme/pmr.h"
+#include "src/sim/sync.h"
 
 namespace ccnvme {
 
@@ -62,6 +63,24 @@ OracleFact OracleFact::ContentOneOf(const OracleFact& before, const OracleFact& 
   return f;
 }
 
+OracleFact OracleFact::FileRegion(ExtFs& fs, const std::string& path, uint64_t offset,
+                                  uint64_t length) {
+  OracleFact f;
+  f.kind = Kind::kFileRegion;
+  f.path = path;
+  f.offset = offset;
+  f.size = length;
+  auto ino = fs.Lookup(path);
+  CCNVME_CHECK(ino.ok()) << "FileRegion fact for missing " << path;
+  Buffer content(length);
+  if (length > 0) {
+    Status st = fs.Read(*ino, offset, content);
+    CCNVME_CHECK(st.ok());
+  }
+  f.content_hash = Fnv1a(content);
+  return f;
+}
+
 std::string DescribeFact(const OracleFact& f) {
   switch (f.kind) {
     case OracleFact::Kind::kFileExists:
@@ -75,6 +94,9 @@ std::string DescribeFact(const OracleFact& f) {
     case OracleFact::Kind::kFileContentOneOf:
       return "one-of(" + f.path + ", sizes=" + std::to_string(f.size) + "|" +
              std::to_string(f.alt_size) + ")";
+    case OracleFact::Kind::kFileRegion:
+      return "region(" + f.path + ", off=" + std::to_string(f.offset) +
+             ", len=" + std::to_string(f.size) + ")";
   }
   return "?";
 }
@@ -86,10 +108,15 @@ inline constexpr size_t kSectorsPerBlock = kFsBlockSize / kSectorSize;
 
 class ContextImpl : public CrashTestContext {
  public:
-  ContextImpl(ExtFs& fs, std::vector<FactEvent>* facts, const std::vector<BioEvent>* events)
-      : fs_(fs), facts_(facts), events_(events) {}
+  ContextImpl(StorageStack& stack, std::vector<FactEvent>* facts,
+              const std::vector<BioEvent>* events)
+      : stack_(stack),
+        facts_(facts),
+        events_(events),
+        live_mu_(&stack.sim()),
+        live_cv_(&stack.sim()) {}
 
-  ExtFs& fs() override { return fs_; }
+  ExtFs& fs() override { return stack_.fs(); }
   void AddFact(const OracleFact& fact) override {
     facts_->push_back({events_->size(), false, fact});
   }
@@ -98,11 +125,36 @@ class ContextImpl : public CrashTestContext {
     f.path = path;
     facts_->push_back({events_->size(), true, f});
   }
+  void SpawnOnCore(uint16_t core, std::function<void()> body) override {
+    live_++;
+    const uint16_t queue =
+        static_cast<uint16_t>(core % stack_.config().num_queues);
+    stack_.Spawn("wl.core" + std::to_string(core) + "." + std::to_string(spawned_++),
+                 [this, body = std::move(body)] {
+                   body();
+                   live_mu_.Lock();
+                   live_--;
+                   live_mu_.Unlock();
+                   live_cv_.NotifyAll();
+                 },
+                 queue);
+  }
+  void Join() override {
+    live_mu_.Lock();
+    while (live_ > 0) {
+      live_cv_.Wait(live_mu_);
+    }
+    live_mu_.Unlock();
+  }
 
  private:
-  ExtFs& fs_;
+  StorageStack& stack_;
   std::vector<FactEvent>* facts_;
   const std::vector<BioEvent>* events_;
+  SimMutex live_mu_;
+  SimCondVar live_cv_;
+  uint32_t live_ = 0;
+  uint32_t spawned_ = 0;
 };
 
 // Persistence classification of a recorded event under a crash at a given
@@ -255,7 +307,7 @@ CrashRecording RecordWorkload(const StackConfig& config, const CrashWorkload& wo
   rec.base = stack.CaptureCrashImage();
 
   stack.SetRecorder([&rec](const BioEvent& ev) { rec.events.push_back(ev); });
-  ContextImpl ctx(stack.fs(), &rec.facts, &rec.events);
+  ContextImpl ctx(stack, &rec.facts, &rec.events);
   stack.Run([&] { workload(ctx); });
   rec.trace_tail = tracer.FormatTail(32);
   return rec;
@@ -427,17 +479,29 @@ std::string CheckCrashState(const CrashRecording& rec, const CrashPlan& plan,
     return "mount failed: " + mount.ToString();
   }
 
-  // Latest fact per path wins (a later unlink supersedes an earlier
-  // create); an invalidation disarms the path until the next fact.
+  // Latest fact per key wins (a later unlink supersedes an earlier
+  // create); an invalidation disarms the path until the next fact. Region
+  // facts are keyed per path@offset so one file's regions coexist, and an
+  // invalidation of the path disarms every one of them.
+  const auto fact_key = [](const OracleFact& f) {
+    return f.kind == OracleFact::Kind::kFileRegion
+               ? f.path + "@" + std::to_string(f.offset)
+               : f.path;
+  };
   std::map<std::string, OracleFact> active;
   for (const auto& fe : rec.facts) {
     if (fe.event_index > plan.crash_index) {
       break;
     }
     if (fe.invalidate) {
-      active.erase(fe.fact.path);
+      const std::string region_prefix = fe.fact.path + "@";
+      for (auto it = active.begin(); it != active.end();) {
+        const bool match = it->first == fe.fact.path ||
+                           it->first.compare(0, region_prefix.size(), region_prefix) == 0;
+        it = match ? active.erase(it) : ++it;
+      }
     } else {
-      active[fe.fact.path] = fe.fact;
+      active[fact_key(fe.fact)] = fe.fact;
     }
   }
 
@@ -448,8 +512,8 @@ std::string CheckCrashState(const CrashRecording& rec, const CrashPlan& plan,
       failure = "inconsistent fs: " + consistent.ToString();
       return;
     }
-    for (const auto& [path, fact] : active) {
-      auto ino = stack.fs().Lookup(path);
+    for (const auto& [key, fact] : active) {
+      auto ino = stack.fs().Lookup(fact.path);
       switch (fact.kind) {
         case OracleFact::Kind::kFileAbsent:
           if (ino.ok()) {
@@ -464,6 +528,27 @@ std::string CheckCrashState(const CrashRecording& rec, const CrashPlan& plan,
             return;
           }
           break;
+        case OracleFact::Kind::kFileRegion: {
+          if (!ino.ok()) {
+            failure = DescribeFact(fact) + " violated: path missing";
+            return;
+          }
+          auto size = stack.fs().FileSize(*ino);
+          if (!size.ok() || *size < fact.offset + fact.size) {
+            failure = DescribeFact(fact) + " violated: file too short";
+            return;
+          }
+          Buffer content(fact.size);
+          if (fact.size > 0 && !stack.fs().Read(*ino, fact.offset, content).ok()) {
+            failure = DescribeFact(fact) + " violated: region unreadable";
+            return;
+          }
+          if (Fnv1a(content) != fact.content_hash) {
+            failure = DescribeFact(fact) + " violated: region content mismatch";
+            return;
+          }
+          break;
+        }
         case OracleFact::Kind::kFileContent:
         case OracleFact::Kind::kFileContentOneOf: {
           if (!ino.ok()) {

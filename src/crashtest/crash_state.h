@@ -41,13 +41,19 @@ struct OracleFact {
     // (size, content_hash) OR (alt_size, alt_content_hash) — all-or-nothing,
     // never a mix of the two versions.
     kFileContentOneOf,
+    // A byte range [offset, offset+size) of the file. Region facts for the
+    // same path coexist (keyed by path@offset), so concurrent workload
+    // actors can each arm a fact about their own exclusive region the
+    // moment their fsync returns, while other actors keep mutating theirs.
+    kFileRegion,
   };
   Kind kind = Kind::kFileExists;
   std::string path;
   uint64_t size = 0;
-  uint64_t content_hash = 0;  // FNV-1a of the full file content
+  uint64_t content_hash = 0;  // FNV-1a of the full file content (or region)
   uint64_t alt_size = 0;      // kFileContentOneOf only
   uint64_t alt_content_hash = 0;
+  uint64_t offset = 0;  // kFileRegion only
 
   static OracleFact FileExists(std::string path);
   static OracleFact FileAbsent(std::string path);
@@ -56,6 +62,9 @@ struct OracleFact {
   static OracleFact FileContent(ExtFs& fs, const std::string& path);
   // |before| and |after| must be kFileContent facts for the same path.
   static OracleFact ContentOneOf(const OracleFact& before, const OracleFact& after);
+  // Freezes the current bytes of [offset, offset+length) of the file.
+  static OracleFact FileRegion(ExtFs& fs, const std::string& path, uint64_t offset,
+                               uint64_t length);
 };
 
 std::string DescribeFact(const OracleFact& f);
@@ -71,7 +80,15 @@ class CrashTestContext {
   // The workload is about to legally mutate |path|: its previous fact may
   // stop holding once the mutation commits, so the tester must not check it
   // until a new fact re-arms the path. Call before rename/unlink/etc.
+  // Disarms the path's whole-file fact AND all of its region facts.
   virtual void InvalidateFact(const std::string& path) = 0;
+  // Spawns |body| as a concurrent workload actor bound to simulated core
+  // |core| — its I/O is issued on hardware queue core % num_queues, so two
+  // spawned bodies on different cores interleave in virtual time exactly
+  // like two host CPUs. AddFact/InvalidateFact are safe from any actor.
+  virtual void SpawnOnCore(uint16_t core, std::function<void()> body) = 0;
+  // Blocks the calling actor until every spawned body has returned.
+  virtual void Join() = 0;
 };
 
 using CrashWorkload = std::function<void(CrashTestContext&)>;

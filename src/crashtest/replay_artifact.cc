@@ -202,6 +202,8 @@ std::string ReplayArtifact::ToJson() const {
   out << "  \"metadata_shadow_paging\": " << b(config.fs.metadata_shadow_paging) << ",\n";
   out << "  \"selective_revocation\": " << b(config.fs.selective_revocation) << ",\n";
   out << "  \"test_skip_psq_window_scan\": " << b(config.fs.test_skip_psq_window_scan) << ",\n";
+  out << "  \"test_skip_cross_core_order\": " << b(config.fs.test_skip_cross_core_order)
+      << ",\n";
   out << "  \"num_devices\": " << config.num_devices << ",\n";
   out << "  \"volume_kind\": \""
       << (config.volume.kind == VolumeKind::kMirror ? "mirror" : "stripe") << "\",\n";
@@ -255,6 +257,10 @@ Result<ReplayArtifact> ReplayArtifact::FromJson(const std::string& json) {
                           GetBool(json, "selective_revocation"));
   CCNVME_ASSIGN_OR_RETURN(art.config.fs.test_skip_psq_window_scan,
                           GetBool(json, "test_skip_psq_window_scan"));
+  // Optional (older artifacts predate cross-core fsync aggregation).
+  if (Result<bool> cc = GetBool(json, "test_skip_cross_core_order"); cc.ok()) {
+    art.config.fs.test_skip_cross_core_order = *cc;
+  }
   // Optional volume geometry (older artifacts predate multi-device volumes).
   if (Result<uint64_t> nd = GetUInt(json, "num_devices"); nd.ok()) {
     art.config.num_devices = static_cast<uint16_t>(*nd);

@@ -1,0 +1,98 @@
+// OPIMQ-style order-preserving submission (FAST'25 lineage).
+//
+// The third transaction engine next to jbd2 (wait-and-flush) and ccNVMe
+// (transaction-aware P-SQ): the host preserves write order *in the
+// submission path* instead of draining the device between ordered writes.
+// Each hardware queue is an ordered stream; a per-stream dispatcher releases
+// epoch k+1 to the device only after epoch k's completions arrived (on PLP
+// drives completion == durable, so this is an order guarantee with NO flush
+// and NO FUA; on volatile-cache drives a flush barrier rides between
+// epochs). Clients submit asynchronously and never block on the device —
+// the dispatcher absorbs the ordering wait, surfaced to the profiler as
+// WaitEdge::kOrderGate.
+//
+// An ordered transaction is two epochs on its stream: the data blocks, then
+// the commit record. Completion order therefore equals submission order per
+// stream by construction — the exact-order property tests/multicore_test.cc
+// asserts over randomized multi-core schedules.
+#ifndef SRC_DRIVER_OPIMQ_H_
+#define SRC_DRIVER_OPIMQ_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/driver/nvme_driver.h"
+#include "src/sim/sync.h"
+
+namespace ccnvme {
+
+class OpimqDriver {
+ public:
+  struct Tx {
+    explicit Tx(Simulator* sim) : done(sim) {}
+    uint64_t tx_id = 0;
+    uint16_t qid = 0;
+    uint64_t seq = 0;  // 1-based submission sequence within the stream
+    uint64_t submitted_at_ns = 0;
+    uint64_t durable_at_ns = 0;
+    SimCompletion done;
+
+    // Payload; buffers must stay alive until |done| is signaled.
+    std::vector<uint64_t> lbas;
+    std::vector<const Buffer*> payloads;
+    uint64_t commit_lba = 0;
+    const Buffer* commit_block = nullptr;
+  };
+  using TxHandle = std::shared_ptr<Tx>;
+
+  // |volatile_cache| = the drive loses completed-but-unflushed writes on
+  // power cut (no PLP): epoch gaps then need a flush barrier and the commit
+  // record goes out FUA.
+  OpimqDriver(Simulator* sim, NvmeDriver* nvme, bool volatile_cache);
+
+  // Enqueues an ordered transaction on stream |qid| and returns immediately;
+  // the stream's dispatcher submits it once every earlier transaction on the
+  // stream is durable. A transaction never migrates streams.
+  TxHandle SubmitOrdered(uint16_t qid, uint64_t tx_id, std::vector<uint64_t> lbas,
+                         std::vector<const Buffer*> payloads, uint64_t commit_lba,
+                         const Buffer* commit_block);
+
+  // Blocks the calling actor until |tx| is durable.
+  void Wait(const TxHandle& tx);
+
+  uint16_t num_queues() const { return static_cast<uint16_t>(streams_.size()); }
+  // Transactions durably completed on |qid|.
+  uint64_t completed(uint16_t qid) const { return streams_[qid]->completion_log.size(); }
+  uint64_t total_completed() const { return total_completed_; }
+  // tx_ids in durable-completion order — the order oracle for the exact-order
+  // property test.
+  const std::vector<uint64_t>& completion_log(uint16_t qid) const {
+    return streams_[qid]->completion_log;
+  }
+
+  OpimqDriver(const OpimqDriver&) = delete;
+  OpimqDriver& operator=(const OpimqDriver&) = delete;
+
+ private:
+  struct Stream {
+    explicit Stream(Simulator* sim) : pending(sim) {}
+    SimQueue<TxHandle> pending;
+    uint64_t next_seq = 1;
+    uint64_t durable_seq = 0;
+    std::vector<uint64_t> completion_log;
+    bool dispatcher_spawned = false;
+  };
+
+  void DispatchLoop(uint16_t qid);
+
+  Simulator* sim_;
+  NvmeDriver* nvme_;
+  bool volatile_cache_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  uint64_t total_completed_ = 0;
+};
+
+}  // namespace ccnvme
+
+#endif  // SRC_DRIVER_OPIMQ_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/metrics/metrics.h"
 #include "src/trace/tracer.h"
 #include "src/jbd2/jbd2.h"
 #include "src/mqfs/mq_journal.h"
@@ -962,7 +963,74 @@ Status ExtFs::SyncInternal(InodeNum ino, SyncMode mode) {
   return journal_->Sync(op, mode);
 }
 
-Status ExtFs::Fsync(InodeNum ino) { return SyncInternal(ino, SyncMode::kFsync); }
+Status ExtFs::Fsync(InodeNum ino) {
+  if (!options_.cross_core_fsync_aggregation) {
+    return SyncInternal(ino, SyncMode::kFsync);
+  }
+  // Cross-core group commit, per inode: register an epoch, then either wait
+  // for a leader whose commit covers it or become the leader and commit for
+  // everyone registered so far. Correctness lean: a leader computes its
+  // coverage high-water mark BEFORE SyncInternal captures the dirty sets, so
+  // every registered caller's completed writes are inside the commit.
+  CCNVME_ASSIGN_OR_RETURN(InodePtr inode, GetInode(ino));
+  Inode& node = *inode;
+  node.sync_gate_mu.Lock();
+  const uint64_t my_epoch = ++node.fsync_requested;
+  const uint64_t gate_entry_ns = sim_->now();
+  while (node.fsync_covered < my_epoch && node.fsync_leader_active) {
+    if (options_.test_skip_cross_core_order) {
+      // INJECTED BUG: assume the in-flight leader will cover us. It captured
+      // its batch before we registered, so our data may miss the commit.
+      const uint64_t covered = node.fsync_covered;
+      node.sync_gate_mu.Unlock();
+      if (Metrics* m = sim_->metrics()) {
+        m->monitors().OnFsyncReturn(ino, my_epoch, covered);
+      }
+      return OkStatus();
+    }
+    node.sync_gate_cv.Wait(node.sync_gate_mu);
+  }
+  if (node.fsync_covered >= my_epoch) {
+    // A leader that won the race after we registered already persisted our
+    // epoch: piggy-backed group commit, no I/O of our own.
+    const uint64_t covered = node.fsync_covered;
+    node.sync_gate_mu.Unlock();
+    if (Tracer* t = sim_->tracer()) {
+      if (sim_->now() > gate_entry_ns) {
+        t->WaitEdgeEvent(WaitEdge::kFsyncLeader, gate_entry_ns, sim_->now(), ino);
+      }
+    }
+    if (Metrics* m = sim_->metrics()) {
+      m->monitors().OnFsyncReturn(ino, my_epoch, covered);
+    }
+    return OkStatus();
+  }
+  // Leader: cover every epoch registered up to now.
+  node.fsync_leader_active = true;
+  const uint64_t batch_high = node.fsync_requested;
+  node.sync_gate_mu.Unlock();
+  if (Tracer* t = sim_->tracer()) {
+    if (sim_->now() > gate_entry_ns) {
+      t->WaitEdgeEvent(WaitEdge::kFsyncLeader, gate_entry_ns, sim_->now(), ino);
+    }
+  }
+  const Status st = SyncInternal(ino, SyncMode::kFsync);
+  node.sync_gate_mu.Lock();
+  node.fsync_leader_active = false;
+  if (st.ok()) {
+    node.fsync_covered = std::max(node.fsync_covered, batch_high);
+    node.fsync_leader_commits++;
+  }
+  const uint64_t covered = node.fsync_covered;
+  node.sync_gate_mu.Unlock();
+  node.sync_gate_cv.NotifyAll();
+  if (st.ok()) {
+    if (Metrics* m = sim_->metrics()) {
+      m->monitors().OnFsyncReturn(ino, my_epoch, covered);
+    }
+  }
+  return st;
+}
 Status ExtFs::Fatomic(InodeNum ino) { return SyncInternal(ino, SyncMode::kFatomic); }
 Status ExtFs::Fdataatomic(InodeNum ino) { return SyncInternal(ino, SyncMode::kFdataatomic); }
 

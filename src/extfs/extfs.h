@@ -45,6 +45,15 @@ struct ExtFsOptions {
   // This is the paper's recovery contract broken on purpose — the crash
   // explorer must catch it (replaying half-persisted transactions).
   bool test_skip_psq_window_scan = false;
+  // Cross-core fsync aggregation: concurrent fsyncs of one inode elect a
+  // leader whose single journal commit covers every caller registered at
+  // election time (group commit across cores). Free when uncontended.
+  bool cross_core_fsync_aggregation = true;
+  // TEST ONLY: breaks the aggregation contract on purpose — a follower that
+  // finds a leader in flight returns immediately, claiming durability the
+  // leader's commit may not include. The fs.fsync_cross_core_order monitor
+  // and the multi-core crash exploration must both catch it.
+  bool test_skip_cross_core_order = false;
 };
 
 struct DirEntry {

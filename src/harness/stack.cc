@@ -81,6 +81,9 @@ void StorageStack::Build(const CrashImage* image) {
     } else {
       ccs_.push_back(nullptr);
     }
+    opimqs_.push_back(std::make_unique<OpimqDriver>(
+        sim_.get(), nvmes_[d].get(),
+        config_.ssd.volatile_cache && !config_.ssd.power_loss_protection));
     members.push_back(Volume::Member{nvmes_[d].get(), ccs_[d].get(), ssds_[d].get()});
   }
 

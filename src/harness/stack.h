@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/block/block_layer.h"
+#include "src/driver/opimq.h"
 #include "src/extfs/extfs.h"
 #include "src/metrics/export.h"
 #include "src/metrics/metrics.h"
@@ -124,12 +125,15 @@ class StorageStack {
   NvmeController& controller() { return *controllers_[0]; }
   NvmeDriver& nvme() { return *nvmes_[0]; }
   CcNvmeDriver* ccnvme() { return ccs_[0].get(); }
+  // Order-preserving submission driver (OPIMQ-style engine); always present.
+  OpimqDriver& opimq() { return *opimqs_[0]; }
   // Per-member accessors for multi-device stacks.
   uint16_t num_devices() const { return static_cast<uint16_t>(ssds_.size()); }
   SsdModel& ssd(uint16_t device) { return *ssds_[device]; }
   NvmeController& controller(uint16_t device) { return *controllers_[device]; }
   NvmeDriver& nvme(uint16_t device) { return *nvmes_[device]; }
   CcNvmeDriver* ccnvme(uint16_t device) { return ccs_[device].get(); }
+  OpimqDriver& opimq(uint16_t device) { return *opimqs_[device]; }
   // The volume binding the members, or nullptr on single-device stacks.
   Volume* volume() { return volume_.get(); }
   BlockLayer& blk() { return *blk_; }
@@ -154,6 +158,7 @@ class StorageStack {
   std::vector<std::unique_ptr<NvmeController>> controllers_;
   std::vector<std::unique_ptr<NvmeDriver>> nvmes_;
   std::vector<std::unique_ptr<CcNvmeDriver>> ccs_;
+  std::vector<std::unique_ptr<OpimqDriver>> opimqs_;
   std::unique_ptr<Volume> volume_;
   std::unique_ptr<BlockLayer> blk_;
   std::unique_ptr<ExtFs> fs_;

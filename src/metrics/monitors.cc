@@ -210,6 +210,16 @@ void InvariantMonitors::OnRecoveryWindowScan(uint64_t window_txs, uint64_t in_do
   }
 }
 
+void InvariantMonitors::OnFsyncReturn(uint64_t ino, uint64_t required, uint64_t covered) {
+  if (covered < required) {
+    Violate(MonitorId::kFsyncCrossCoreOrder,
+            Format("fsync(ino=%llu) returned at epoch %llu but only %llu is durable",
+                   static_cast<unsigned long long>(ino),
+                   static_cast<unsigned long long>(required),
+                   static_cast<unsigned long long>(covered)));
+  }
+}
+
 uint64_t InvariantMonitors::total_violations() const {
   uint64_t total = 0;
   for (const Stat& s : stats_) {

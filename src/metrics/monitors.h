@@ -40,6 +40,8 @@ enum class MonitorId : uint16_t {
   kJournalCommitAfterBlocks,   // commit record issued before all member blocks
   kVolumeSealBeforeCommit,     // commit-device ring before every member sealed
   kRecoveryWindowScan,         // recovery ignored part of a non-empty window
+  kFsyncCrossCoreOrder,        // fsync returned before its cross-core group
+                               // commit covered the caller's registration
   kNumMonitors,
 };
 
@@ -58,6 +60,7 @@ constexpr const char* MonitorName(MonitorId id) {
     case MonitorId::kJournalCommitAfterBlocks: return "journal.commit_after_blocks";
     case MonitorId::kVolumeSealBeforeCommit: return "volume.seal_before_commit";
     case MonitorId::kRecoveryWindowScan: return "recovery.window_scan";
+    case MonitorId::kFsyncCrossCoreOrder: return "fs.fsync_cross_core_order";
     case MonitorId::kNumMonitors: break;
   }
   return "?";
@@ -106,6 +109,12 @@ class InvariantMonitors {
 
   // --- recovery: the in-doubt set must cover the whole window -------------
   void OnRecoveryWindowScan(uint64_t window_txs, uint64_t in_doubt_txs);
+
+  // --- src/extfs: cross-core fsync aggregation ----------------------------
+  // Fired as an fsync returns to its caller: the group-commit epoch the
+  // caller registered (|required|) must be covered by a finished leader
+  // commit (|covered|), or the caller was handed durability it doesn't have.
+  void OnFsyncReturn(uint64_t ino, uint64_t required, uint64_t covered);
 
   // --- Reporting ----------------------------------------------------------
   uint64_t violations(MonitorId id) const { return stats_[Index(id)].count; }

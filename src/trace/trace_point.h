@@ -212,6 +212,12 @@ enum class WaitEdge : uint16_t {
   // --- volume -------------------------------------------------------------
   kVolumeFanout,      // cross-device commit waiting for straggler members
 
+  // --- opimq / multi-core ---------------------------------------------------
+  kOrderGate,         // ordered submission held until the predecessor epoch
+                      // on the same stream became durable (OPIMQ gate)
+  kFsyncLeader,       // follower fsync parked behind the cross-core leader
+                      // that is committing its dirty range
+
   kNumEdges,
 };
 
@@ -229,6 +235,8 @@ constexpr const char* WaitEdgeName(WaitEdge e) {
     case WaitEdge::kCommitBarrier: return "wait.commit_barrier";
     case WaitEdge::kPageFrozen: return "wait.page_frozen";
     case WaitEdge::kVolumeFanout: return "wait.volume_fanout";
+    case WaitEdge::kOrderGate: return "wait.order_gate";
+    case WaitEdge::kFsyncLeader: return "wait.fsync_leader";
     case WaitEdge::kNumEdges: break;
   }
   return "?";
@@ -240,6 +248,7 @@ constexpr TraceLayer WaitEdgeLayer(WaitEdge e) {
     case WaitEdge::kPostedOrder:
       return TraceLayer::kPcie;
     case WaitEdge::kSqFull:
+    case WaitEdge::kOrderGate:
       return TraceLayer::kDriver;
     case WaitEdge::kDoorbellCoalesce:
     case WaitEdge::kSealCommitGate:
@@ -248,6 +257,7 @@ constexpr TraceLayer WaitEdgeLayer(WaitEdge e) {
     case WaitEdge::kJournalHandle:
     case WaitEdge::kCommitBarrier:
     case WaitEdge::kPageFrozen:
+    case WaitEdge::kFsyncLeader:
       return TraceLayer::kJournal;
     case WaitEdge::kVolumeFanout:
     case WaitEdge::kNumEdges:

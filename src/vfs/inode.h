@@ -61,12 +61,25 @@ struct DiskInode {
 
 // In-memory inode: the disk fields plus runtime state.
 struct Inode {
-  Inode(Simulator* sim, InodeNum number) : ino(number), lock(sim) {}
+  Inode(Simulator* sim, InodeNum number)
+      : ino(number), lock(sim), sync_gate_mu(sim), sync_gate_cv(sim) {}
 
   InodeNum ino;
   DiskInode disk;
   bool dirty = false;  // disk fields differ from the inode table block
   SimMutex lock;
+
+  // Cross-core fsync aggregation (group commit per inode): each fsync call
+  // registers an epoch; a single leader runs the sync covering every epoch
+  // registered so far, followers park on the gate until their epoch is
+  // covered. The gate adds zero virtual time when uncontended, so a
+  // single-context run is unchanged.
+  SimMutex sync_gate_mu;
+  SimCondVar sync_gate_cv;
+  uint64_t fsync_requested = 0;  // epochs handed out to fsync callers
+  uint64_t fsync_covered = 0;    // epochs made durable by finished leaders
+  bool fsync_leader_active = false;
+  uint64_t fsync_leader_commits = 0;  // leader syncs actually run (stats)
 
   // Blocks with dirty file data awaiting fsync.
   std::set<BlockNo> dirty_data;

@@ -1,6 +1,11 @@
 #include "src/workload/fio_append.h"
 
+#include <algorithm>
+#include <memory>
+#include <vector>
+
 #include "src/common/logging.h"
+#include "src/harness/host_model.h"
 
 namespace ccnvme {
 
@@ -8,44 +13,71 @@ FioResult RunFioAppend(StorageStack& stack, const FioOptions& options) {
   FioResult result;
   const uint64_t start_ns = stack.sim().now();
   const uint64_t end_ns = start_ns + options.duration_ns;
-  int finished = 0;
 
-  for (int t = 0; t < options.num_threads; ++t) {
-    const uint16_t queue = static_cast<uint16_t>(t % stack.config().num_queues);
-    stack.Spawn("fio" + std::to_string(t), [&, t] {
-      const std::string path = "/fio_" + std::to_string(t);
-      auto ino = stack.fs().Create(path);
-      CCNVME_CHECK(ino.ok()) << ino.status().ToString();
-      const Buffer data(options.write_size, static_cast<uint8_t>(t + 1));
-      uint64_t offset = 0;
-      while (stack.sim().now() < end_ns) {
-        const uint64_t op_start = stack.sim().now();
-        Status st = stack.fs().Write(*ino, offset, data);
-        CCNVME_CHECK(st.ok()) << st.ToString();
-        switch (options.sync_mode) {
-          case SyncMode::kFsync:
-            st = stack.fs().Fsync(*ino);
-            break;
-          case SyncMode::kFatomic:
-            st = stack.fs().Fatomic(*ino);
-            break;
-          case SyncMode::kFdataatomic:
-            st = stack.fs().Fdataatomic(*ino);
-            break;
-        }
-        CCNVME_CHECK(st.ok()) << st.ToString();
-        result.latency_ns.Add(stack.sim().now() - op_start);
-        result.ops++;
-        offset += options.write_size;
-        if (offset + options.write_size > options.max_file_bytes) {
-          offset = 0;
-        }
-      }
-      finished++;
-    }, queue);
+  HostModelConfig hm_cfg;
+  hm_cfg.num_cores =
+      options.num_cores != 0
+          ? options.num_cores
+          : static_cast<uint16_t>(std::min<int>(options.num_threads,
+                                                stack.config().num_queues));
+  hm_cfg.total_contexts = static_cast<uint32_t>(options.num_threads);
+  hm_cfg.context_switch_ns = options.context_switch_ns;
+  HostModel host(&stack, hm_cfg);
+
+  const uint32_t num_clients = options.num_clients != 0
+                                   ? options.num_clients
+                                   : static_cast<uint32_t>(options.num_threads);
+
+  // Per-client state lives across scheduling quanta (one quantum = one
+  // append+sync); the vector is sized up front so references stay stable.
+  struct ClientState {
+    InodeNum ino = kInvalidInode;
+    uint64_t offset = 0;
+    Buffer data;
+  };
+  auto states = std::make_shared<std::vector<ClientState>>(num_clients);
+  for (uint32_t i = 0; i < num_clients; ++i) {
+    (*states)[i].data = Buffer(options.write_size, static_cast<uint8_t>(i + 1));
   }
-  stack.sim().Run();
-  CCNVME_CHECK_EQ(finished, options.num_threads);
+
+  for (uint32_t i = 0; i < num_clients; ++i) {
+    host.AddClient(
+        "fio" + std::to_string(i),
+        [&stack, &result, &options, states, i, end_ns] {
+          ClientState& st = (*states)[i];
+          if (st.ino == kInvalidInode) {
+            auto ino = stack.fs().Create("/fio_" + std::to_string(i));
+            CCNVME_CHECK(ino.ok()) << ino.status().ToString();
+            st.ino = *ino;
+          }
+          if (stack.sim().now() >= end_ns) {
+            return false;
+          }
+          const uint64_t op_start = stack.sim().now();
+          Status s = stack.fs().Write(st.ino, st.offset, st.data);
+          CCNVME_CHECK(s.ok()) << s.ToString();
+          switch (options.sync_mode) {
+            case SyncMode::kFsync:
+              s = stack.fs().Fsync(st.ino);
+              break;
+            case SyncMode::kFatomic:
+              s = stack.fs().Fatomic(st.ino);
+              break;
+            case SyncMode::kFdataatomic:
+              s = stack.fs().Fdataatomic(st.ino);
+              break;
+          }
+          CCNVME_CHECK(s.ok()) << s.ToString();
+          result.latency_ns.Add(stack.sim().now() - op_start);
+          result.ops++;
+          st.offset += options.write_size;
+          if (st.offset + options.write_size > options.max_file_bytes) {
+            st.offset = 0;
+          }
+          return true;
+        });
+  }
+  host.Run();
   result.elapsed_ns = stack.sim().now() - start_ns;
   return result;
 }

@@ -13,6 +13,10 @@
 namespace ccnvme {
 
 struct FioOptions {
+  // Hardware contexts of the host model (how many clients may be inside the
+  // kernel/device concurrently). With the defaults below this is also the
+  // client count, reproducing the historical "one actor per thread" runs
+  // byte-identically.
   int num_threads = 1;
   uint32_t write_size = 4096;
   SyncMode sync_mode = SyncMode::kFsync;
@@ -20,6 +24,15 @@ struct FioOptions {
   // Restart appends from offset 0 once a file reaches this size (keeps the
   // simulated files within the inode's mapping capacity).
   uint64_t max_file_bytes = 4ull << 20;
+  // --- host model (src/harness/host_model.h) ------------------------------
+  // Simulated host cores; every context of core c submits on hardware queue
+  // c % num_queues. 0 = min(num_threads, num_queues), the legacy mapping.
+  uint16_t num_cores = 0;
+  // Concurrent clients multiplexed over the contexts (each appends to its
+  // own file). 0 = num_threads, i.e. no multiplexing.
+  uint32_t num_clients = 0;
+  // CPU charge when a context switches between clients (0 = free, legacy).
+  uint64_t context_switch_ns = 0;
 };
 
 struct FioResult {

@@ -220,6 +220,77 @@ TEST(ExhaustiveVolumeInjectedBugTest, SkippedCommitGateIsCaught) {
   EXPECT_FALSE(report.failures.empty());
 }
 
+// --- Multi-core workloads ---------------------------------------------
+//
+// SpawnOnCore puts two cores' worth of FS traffic in flight at once, so
+// the recorded stream interleaves both hardware queues and the explorer's
+// cuts land between one core's commit and the other's in-flight writes.
+
+class ExhaustiveMultiCoreTest : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ExhaustiveMultiCoreTest,
+                         ::testing::Values("multicore_appends", "multicore_shared_fsync"),
+                         [](const ::testing::TestParamInfo<const char*>& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '_') {
+                               c = 'X';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST_P(ExhaustiveMultiCoreTest, AllBoundariesRecover) {
+  ExpectAllPassed(ExploreWorkload(MqfsConfig(), GetParam(), TestOptions()));
+}
+
+// The multicore recording must actually have both cores in flight: both
+// hardware queues ring P-SQDB doorbells, and the two cores' transactional
+// writes interleave rather than fully serialize.
+TEST(ExhaustiveMultiCoreTest, BothQueuesInFlight) {
+  Result<CrashWorkload> workload = FindCrashWorkload("multicore_appends");
+  ASSERT_TRUE(workload.ok());
+  const CrashRecording rec = RecordWorkload(MqfsConfig(), *workload);
+  std::set<uint16_t> doorbell_qids;
+  for (const BioEvent& ev : rec.events) {
+    if (ev.op == BioOp::kPmrDoorbell) {
+      doorbell_qids.insert(ev.qid);
+    }
+  }
+  EXPECT_GT(doorbell_qids.size(), 1u)
+      << "multicore workload must ring doorbells on more than one queue";
+  // Interleaving: some event from queue 1 lands before the last queue-0
+  // doorbell (a serialized run would fully order one core after the other).
+  size_t first_q1 = rec.events.size();
+  size_t last_q0 = 0;
+  for (size_t i = 0; i < rec.events.size(); ++i) {
+    if (rec.events[i].op != BioOp::kPmrDoorbell) {
+      continue;
+    }
+    if (rec.events[i].qid == 1 && i < first_q1) {
+      first_q1 = i;
+    }
+    if (rec.events[i].qid == 0) {
+      last_q0 = i;
+    }
+  }
+  EXPECT_LT(first_q1, last_q0) << "cores did not interleave";
+}
+
+// INJECTED BUG: with cross-core ordering skipped, a follower fsync returns
+// while a concurrent leader's commit — which does NOT cover the follower's
+// write — is still in flight. The region fact the follower arms on return
+// must be violated by some cut.
+TEST(ExhaustiveMultiCoreInjectedBugTest, SkippedCrossCoreOrderIsCaught) {
+  StackConfig cfg = MqfsConfig();
+  cfg.fs.test_skip_cross_core_order = true;
+  const ExplorerReport report =
+      ExploreWorkload(cfg, "multicore_shared_fsync", TestOptions());
+  EXPECT_FALSE(report.AllPassed())
+      << "explorer failed to catch the skipped cross-core fsync ordering";
+  EXPECT_FALSE(report.failures.empty());
+}
+
 // Injected recovery bug: skipping the P-SQ window scan makes recovery
 // trust every journal descriptor without re-validating member checksums,
 // so it replays half-persisted transactions. The explorer must catch it.

@@ -1,0 +1,374 @@
+// Multi-core host-model battery (ctest label: "multicore").
+//
+// Pins down the concurrency properties the N-core host model introduces:
+//   * per-core OPIMQ stream isolation — one stream's backlog never gates
+//     another queue's progress;
+//   * the OPIMQ exact-order property — completion order equals submission
+//     order per stream, over randomized multi-core schedules;
+//   * cross-core fsync aggregation — concurrent fsyncs of one inode fold
+//     into leader/follower group commits without ever returning before the
+//     caller's writes are durable (the online monitor catches the injected
+//     test_skip_cross_core_order bug);
+//   * scheduling determinism — same seed and core count give a
+//     byte-identical virtual-time trace;
+//   * legacy equivalence — core count 1 with one context reproduces the
+//     pre-host-model single-actor run exactly.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/driver/opimq.h"
+#include "src/harness/host_model.h"
+#include "src/harness/stack.h"
+#include "src/metrics/metrics.h"
+#include "src/metrics/monitors.h"
+#include "src/workload/fio_append.h"
+
+namespace ccnvme {
+namespace {
+
+StackConfig RawConfig(uint16_t queues) {
+  StackConfig cfg;
+  cfg.num_queues = queues;
+  return cfg;
+}
+
+StackConfig MqfsConfig(uint16_t queues) {
+  StackConfig cfg;
+  cfg.num_queues = queues;
+  cfg.enable_ccnvme = true;
+  cfg.fs.journal = JournalKind::kMultiQueue;
+  cfg.fs.journal_areas = queues;
+  cfg.fs.journal_blocks = 4096 * queues;
+  return cfg;
+}
+
+// --- OPIMQ stream isolation ---------------------------------------------
+
+TEST(OpimqStreamTest, BacklogOnOneStreamDoesNotGateAnother) {
+  StorageStack stack(RawConfig(2));
+  std::vector<Buffer> big(64, Buffer(kLbaSize, 0x11));
+  Buffer small(kLbaSize, 0x22);
+  Buffer commit(kLbaSize, 0x3D);
+  OpimqDriver::TxHandle slow;
+  std::vector<OpimqDriver::TxHandle> fast;
+  stack.Run([&] {
+    std::vector<const Buffer*> big_ptrs;
+    std::vector<uint64_t> big_lbas;
+    for (size_t b = 0; b < big.size(); ++b) {
+      big_ptrs.push_back(&big[b]);
+      big_lbas.push_back(10'000 + b);
+    }
+    slow = stack.opimq().SubmitOrdered(0, 1, big_lbas, big_ptrs, 20'000, &commit);
+    for (uint64_t k = 0; k < 5; ++k) {
+      fast.push_back(stack.opimq().SubmitOrdered(1, 100 + k, {30'000 + k}, {&small},
+                                                 40'000 + 2 * k, &commit));
+    }
+    for (const auto& tx : fast) {
+      stack.opimq().Wait(tx);
+    }
+    stack.opimq().Wait(slow);
+  });
+  // Queue 1's first transaction became durable before queue 0's 64-block
+  // backlog cleared: a shared stream would have gated it behind the big
+  // transaction's commit epoch. (The LAST small tx may well finish later —
+  // five serialized two-epoch rounds cost more than one parallel burst —
+  // which is fine; isolation is about not waiting for the OTHER stream.)
+  EXPECT_LT(fast.front()->durable_at_ns, slow->durable_at_ns);
+  EXPECT_EQ(stack.opimq().completed(0), 1u);
+  EXPECT_EQ(stack.opimq().completed(1), 5u);
+  EXPECT_EQ(stack.opimq().completion_log(1),
+            (std::vector<uint64_t>{100, 101, 102, 103, 104}));
+}
+
+// --- OPIMQ exact order over randomized multi-core schedules -------------
+
+// Runs |clients_per_core| clients per core, each submitting |txs_per_client|
+// ordered transactions of random size on its core's stream, randomly
+// blocking on its own tail. Returns the per-queue completion logs and fills
+// |expected| with the per-queue submission orders.
+std::vector<std::vector<uint64_t>> RunOpimqSchedule(uint16_t cores,
+                                                    uint32_t clients_per_core,
+                                                    int txs_per_client, uint64_t seed,
+                                                    std::vector<std::vector<uint64_t>>* expected) {
+  StorageStack stack(RawConfig(cores));
+  HostModelConfig hm_cfg;
+  hm_cfg.num_cores = cores;
+  hm_cfg.contexts_per_core = 1;
+  HostModel host(&stack, hm_cfg);
+
+  struct ClientState {
+    Rng rng{0};
+    std::vector<Buffer> payloads;
+    Buffer commit;
+    int submitted = 0;
+    OpimqDriver::TxHandle last;
+  };
+  auto states = std::make_shared<std::vector<ClientState>>(
+      static_cast<size_t>(cores) * clients_per_core);
+  expected->assign(cores, {});
+
+  for (uint16_t core = 0; core < cores; ++core) {
+    for (uint32_t k = 0; k < clients_per_core; ++k) {
+      const size_t i = static_cast<size_t>(core) * clients_per_core + k;
+      ClientState& st = (*states)[i];
+      st.rng = Rng(seed + i * 7919);
+      st.payloads.assign(4, Buffer(kLbaSize, static_cast<uint8_t>(i + 1)));
+      st.commit = Buffer(kLbaSize, 0x3D);
+      host.AddClient(
+          "opimq" + std::to_string(i),
+          [&stack, states, expected, core, i, txs_per_client] {
+            ClientState& s = (*states)[i];
+            if (s.submitted >= txs_per_client) {
+              if (s.last != nullptr) {
+                stack.opimq().Wait(s.last);
+                s.last = nullptr;
+              }
+              return false;
+            }
+            const uint64_t tx_id = i * 1000 + static_cast<uint64_t>(s.submitted);
+            const size_t blocks = 1 + s.rng.Uniform(4);
+            std::vector<uint64_t> lbas;
+            std::vector<const Buffer*> ptrs;
+            for (size_t b = 0; b < blocks; ++b) {
+              lbas.push_back(10'000 + s.rng.Uniform(400'000));
+              ptrs.push_back(&s.payloads[b]);
+            }
+            (*expected)[core].push_back(tx_id);
+            s.last = stack.opimq().SubmitOrdered(core, tx_id, lbas, ptrs,
+                                                 500'000 + tx_id * 2, &s.commit);
+            s.submitted++;
+            // Sometimes block on the tail so the other cores' clients (and
+            // this core's siblings) interleave at a random point.
+            if (s.rng.Uniform(3) == 0) {
+              stack.opimq().Wait(s.last);
+              s.last = nullptr;
+            }
+            return true;
+          },
+          core);
+    }
+  }
+  host.Run();
+  std::vector<std::vector<uint64_t>> logs;
+  for (uint16_t q = 0; q < cores; ++q) {
+    logs.push_back(stack.opimq().completion_log(q));
+  }
+  return logs;
+}
+
+TEST(OpimqOrderPropertyTest, CompletionOrderEqualsSubmissionOrder) {
+  for (uint16_t cores : {2, 4}) {
+    for (uint64_t seed : {7ull, 8ull, 9ull}) {
+      std::vector<std::vector<uint64_t>> expected;
+      const auto logs = RunOpimqSchedule(cores, 3, 12, seed, &expected);
+      for (uint16_t q = 0; q < cores; ++q) {
+        EXPECT_EQ(logs[q], expected[q])
+            << "stream " << q << " reordered (cores=" << cores << ", seed=" << seed << ")";
+        EXPECT_EQ(logs[q].size(), 3u * 12u);  // every tx landed on its core's stream
+      }
+    }
+  }
+}
+
+TEST(OpimqOrderPropertyTest, SameSeedSameSchedule) {
+  std::vector<std::vector<uint64_t>> expected_a, expected_b;
+  const auto a = RunOpimqSchedule(4, 3, 12, 42, &expected_a);
+  const auto b = RunOpimqSchedule(4, 3, 12, 42, &expected_b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(expected_a, expected_b);
+}
+
+// --- Cross-core fsync aggregation ---------------------------------------
+
+// Eight clients on four cores write disjoint regions of ONE shared file and
+// fsync it concurrently. Returns total fsyncs; |leader_parks| gets the
+// wait.fsync_leader count, |violations| the online-monitor count.
+uint64_t RunSharedFsyncs(bool inject_skip_order, uint64_t* leader_parks,
+                         uint64_t* violations) {
+  StackConfig cfg = MqfsConfig(4);
+  cfg.fs.test_skip_cross_core_order = inject_skip_order;
+  StorageStack stack(cfg);
+  Tracer& tracer = stack.EnableTracing();
+  stack.EnableMetrics();
+  CCNVME_CHECK(stack.MkfsAndMount().ok());
+
+  auto ino = std::make_shared<InodeNum>(kInvalidInode);
+  stack.Run([&] {
+    auto created = stack.fs().Create("/agg");
+    CCNVME_CHECK(created.ok());
+    *ino = *created;
+  });
+
+  HostModelConfig hm_cfg;
+  hm_cfg.num_cores = 4;
+  hm_cfg.contexts_per_core = 2;
+  HostModel host(&stack, hm_cfg);
+  auto rounds = std::make_shared<std::vector<int>>(8, 0);
+  auto bufs = std::make_shared<std::vector<Buffer>>();
+  for (uint32_t i = 0; i < 8; ++i) {
+    bufs->push_back(Buffer(kFsBlockSize, static_cast<uint8_t>(0x50 + i)));
+  }
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < 8; ++i) {
+    host.AddClient("agg" + std::to_string(i), [&stack, &total, rounds, bufs, ino, i] {
+      if ((*rounds)[i] >= 6) {
+        return false;
+      }
+      const uint64_t off =
+          (static_cast<uint64_t>(i) * 8 + static_cast<uint64_t>((*rounds)[i])) *
+          kFsBlockSize;
+      (*rounds)[i]++;
+      CCNVME_CHECK(stack.fs().Write(*ino, off, (*bufs)[i]).ok());
+      CCNVME_CHECK(stack.fs().Fsync(*ino).ok());
+      total++;
+      return true;
+    });
+  }
+  host.Run();
+  *leader_parks = tracer.edge_agg(WaitEdge::kFsyncLeader).count;
+  *violations =
+      stack.metrics()->monitors().violations(MonitorId::kFsyncCrossCoreOrder);
+  return total;
+}
+
+TEST(CrossCoreFsyncTest, AggregationCoversEveryCaller) {
+  uint64_t leader_parks = 0, violations = 0;
+  const uint64_t total = RunSharedFsyncs(false, &leader_parks, &violations);
+  EXPECT_EQ(total, 48u);
+  // Concurrent callers actually aggregated: someone parked behind a leader.
+  EXPECT_GT(leader_parks, 0u);
+  // And nobody's fsync returned before its writes were durable.
+  EXPECT_EQ(violations, 0u);
+}
+
+TEST(CrossCoreFsyncTest, OnlineMonitorCatchesSkippedOrdering) {
+  uint64_t leader_parks = 0, violations = 0;
+  RunSharedFsyncs(true, &leader_parks, &violations);
+  EXPECT_GT(violations, 0u)
+      << "fs.fsync_cross_core_order monitor missed the injected early return";
+}
+
+// --- Scheduling determinism ---------------------------------------------
+
+struct TraceRun {
+  FioResult result;
+  uint64_t end_ns = 0;
+  std::vector<std::string> trace;
+};
+
+TraceRun RunTracedFio(uint16_t cores, uint16_t contexts_per_core,
+                      uint32_t clients_per_core) {
+  StorageStack stack(MqfsConfig(cores));
+  Tracer& tracer = stack.EnableTracing();
+  CCNVME_CHECK(stack.MkfsAndMount().ok());
+  FioOptions opts;
+  opts.num_cores = cores;
+  opts.num_threads = cores * contexts_per_core;
+  opts.num_clients = cores * clients_per_core;
+  opts.duration_ns = 3'000'000;
+  TraceRun run;
+  run.result = RunFioAppend(stack, opts);
+  run.end_ns = stack.sim().now();
+  run.trace = tracer.FormatTail(64);
+  return run;
+}
+
+TEST(HostModelDeterminismTest, SameCoreCountByteIdenticalTrace) {
+  for (uint16_t cores : {2, 4}) {
+    const TraceRun a = RunTracedFio(cores, 2, 4);
+    const TraceRun b = RunTracedFio(cores, 2, 4);
+    EXPECT_EQ(a.result.ops, b.result.ops);
+    EXPECT_EQ(a.result.elapsed_ns, b.result.elapsed_ns);
+    EXPECT_EQ(a.end_ns, b.end_ns);
+    EXPECT_EQ(a.trace, b.trace) << "virtual-time trace diverged at " << cores << " cores";
+  }
+}
+
+// --- Legacy equivalence --------------------------------------------------
+
+// Core count 1 with one context and one client must reproduce the
+// pre-host-model run — a single actor doing create + append/fsync rounds —
+// with the identical operation count AND identical final virtual time.
+TEST(HostModelLegacyTest, SingleContextMatchesDirectActor) {
+  const uint64_t kDuration = 3'000'000;
+  const uint32_t kWriteSize = 4096;
+
+  // Reference: the historical one-actor loop, no host model.
+  StorageStack direct(MqfsConfig(1));
+  CCNVME_CHECK(direct.MkfsAndMount().ok());
+  uint64_t direct_ops = 0;
+  direct.Run([&] {
+    const uint64_t end_ns = direct.sim().now() + kDuration;
+    auto ino = direct.fs().Create("/fio_0");
+    CCNVME_CHECK(ino.ok());
+    Buffer data(kWriteSize, 1);
+    uint64_t offset = 0;
+    while (direct.sim().now() < end_ns) {
+      CCNVME_CHECK(direct.fs().Write(*ino, offset, data).ok());
+      CCNVME_CHECK(direct.fs().Fsync(*ino).ok());
+      direct_ops++;
+      offset += kWriteSize;
+      if (offset + kWriteSize > (4ull << 20)) {
+        offset = 0;
+      }
+    }
+  });
+  const uint64_t direct_end = direct.sim().now();
+
+  StorageStack modeled(MqfsConfig(1));
+  CCNVME_CHECK(modeled.MkfsAndMount().ok());
+  FioOptions opts;
+  opts.num_cores = 1;
+  opts.num_threads = 1;
+  opts.num_clients = 1;
+  opts.write_size = kWriteSize;
+  opts.duration_ns = kDuration;
+  const FioResult r = RunFioAppend(modeled, opts);
+
+  EXPECT_EQ(r.ops, direct_ops);
+  EXPECT_EQ(modeled.sim().now(), direct_end);
+}
+
+// --- Scheduling accounting -----------------------------------------------
+
+TEST(HostModelTest, QuantaAndSwitchAccounting) {
+  StorageStack stack(MqfsConfig(2));
+  CCNVME_CHECK(stack.MkfsAndMount().ok());
+  HostModelConfig hm_cfg;
+  hm_cfg.num_cores = 2;
+  hm_cfg.contexts_per_core = 1;
+  HostModel host(&stack, hm_cfg);
+  auto done = std::make_shared<std::vector<int>>(6, 0);
+  for (uint32_t i = 0; i < 6; ++i) {
+    host.AddClient("q" + std::to_string(i), [&stack, done, i] {
+      if ((*done)[i] >= 3) {
+        return false;
+      }
+      (*done)[i]++;
+      auto ino = stack.fs().Lookup("/q_" + std::to_string(i));
+      if (!ino.ok()) {
+        auto created = stack.fs().Create("/q_" + std::to_string(i));
+        CCNVME_CHECK(created.ok());
+        ino = *created;
+      }
+      CCNVME_CHECK(stack.fs().Write(*ino, 0, Buffer(512, 1)).ok());
+      CCNVME_CHECK(stack.fs().Fsync(*ino).ok());
+      return true;
+    });
+  }
+  host.Run();
+  EXPECT_EQ(host.num_cores(), 2u);
+  EXPECT_EQ(host.num_clients(), 6u);
+  // 3 clients per core, each 3 working quanta + 1 retire quantum.
+  EXPECT_EQ(host.quanta(0) + host.quanta(1), 6u * 4u);
+  // One context multiplexing 3 clients must have switched between them.
+  EXPECT_GT(host.client_switches(0), 0u);
+  EXPECT_GT(host.client_switches(1), 0u);
+}
+
+}  // namespace
+}  // namespace ccnvme
