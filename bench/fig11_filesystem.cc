@@ -9,7 +9,9 @@
 // core, two submission contexts per core, four clients multiplexed per
 // core) instead of the old one-actor-per-thread flat pool.
 //
-// Systems: MQFS (fsync), MQFS-atomic (fdataatomic), Ext4, HoraeFS, Ext4-NJ.
+// Systems: MQFS (fsync), MQFS-atomic (fdataatomic), Ext4, HoraeFS, Ext4-NJ,
+// and NVLog (extfs over the byte-addressable NVM write-ahead log: fsync
+// returns at the NVM flush+fence; the disk commit drains in the background).
 // Expected shape (paper): single-core MQFS ~2.1x Ext4, ~1.9x HoraeFS, ~1.2x
 // Ext4-NJ on average; multi-core MQFS beats HoraeFS/Ext4 and approaches or
 // beats Ext4-NJ until the PCIe/device bandwidth bound; MQFS-atomic on top.
@@ -31,6 +33,7 @@ const System kSystems[] = {
     {"Ext4-NJ", JournalKind::kNone, SyncMode::kFsync},
     {"MQFS", JournalKind::kMultiQueue, SyncMode::kFsync},
     {"MQFS-atomic", JournalKind::kMultiQueue, SyncMode::kFdataatomic},
+    {"NVLog", JournalKind::kNvlog, SyncMode::kFsync},
 };
 
 // A point on the core-scaling curve: |cores| simulated cores, each with its
@@ -77,6 +80,10 @@ void RunFig11(BenchContext& ctx) {
         ctx.Metric("mqfs_1t_4k_mbps", r.ThroughputMBps(size_kb * 1024));
         ctx.Metric("mqfs_1t_4k_mean_latency_ns", r.latency_ns.Mean());
       }
+      if (size_kb == 4 && sys.journal == JournalKind::kNvlog) {
+        ctx.Metric("nvlog_1t_4k_mbps", r.ThroughputMBps(size_kb * 1024));
+        ctx.Metric("nvlog_1t_4k_mean_latency_ns", r.latency_ns.Mean());
+      }
       ctx.Log(" | %11.0f      %5.0f", r.ThroughputMBps(size_kb * 1024),
                   r.latency_ns.Mean() / 1e3);
     }
@@ -97,6 +104,9 @@ void RunFig11(BenchContext& ctx) {
       if (cores == 8 && sys.journal == JournalKind::kMultiQueue &&
           sys.mode == SyncMode::kFsync) {
         ctx.Metric("mqfs_8c_4k_kiops", r.ThroughputKiops());
+      }
+      if (cores == 8 && sys.journal == JournalKind::kNvlog) {
+        ctx.Metric("nvlog_8c_4k_kiops", r.ThroughputKiops());
       }
       ctx.Log(" | %11.1f      %5.0f", r.ThroughputKiops(), r.latency_ns.Mean() / 1e3);
     }

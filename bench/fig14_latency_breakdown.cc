@@ -121,6 +121,14 @@ void RunFig14(BenchContext& ctx) {
           nj.Of(TracePoint::kSyncTotal));
   ctx.Log("(paper:         17928          10519          10040 |      38487)\n");
 
+  ctx.Log("\nFigure 14(c): NVLog/extfs fsync() path of a newly created file (ns, 905P)\n");
+  ctx.Log("(absorb-then-drain: fsync returns at the NVM fence; disk drain is off-path)\n\n");
+  const Breakdown nvlog =
+      RunBreakdown(ctx, JournalKind::kNvlog, SyncMode::kFsync, /*profile=*/true);
+  ctx.Log("%12s %12s | %10s\n", "nvlog.append", "nvlog.fence", "fsync");
+  ctx.Log("%12.0f %12.0f | %10.0f\n", nvlog.Of(TracePoint::kNvlogAppend),
+          nvlog.Of(TracePoint::kNvlogFence), nvlog.Of(TracePoint::kSyncTotal));
+
   const double speedup =
       1.0 - mqfs.Of(TracePoint::kSyncTotal) / nj.Of(TracePoint::kSyncTotal);
   ctx.Log("\nMQFS decreases fsync latency by %.0f%% vs Ext4-NJ (paper: 42%%)\n",
@@ -129,6 +137,7 @@ void RunFig14(BenchContext& ctx) {
   ctx.Metric("mqfs_fsync_total_ns", mqfs.Of(TracePoint::kSyncTotal));
   ctx.Metric("mqfs_fatomic_total_ns", mqfs_atomic.Of(TracePoint::kSyncTotal));
   ctx.Metric("ext4nj_fsync_total_ns", nj.Of(TracePoint::kSyncTotal));
+  ctx.Metric("nvlog_fsync_total_ns", nvlog.Of(TracePoint::kSyncTotal));
   ctx.Metric("mqfs_fsync_speedup_pct", speedup * 100);
 }
 

@@ -14,6 +14,10 @@
 //   OPIMQ    — order-preserving submission (FAST'25 lineage): the per-stream
 //              dispatcher epoch-gates data then commit, no flush/FUA on PLP
 //              drives; durability when the stream's dispatcher signals.
+//   NVLog    — absorb-then-drain on a byte-addressable NVM tier: JD + blocks
+//              are stored into an NVM log and one flush+fence is the
+//              durability point (no disk I/O on the critical path); the
+//              checkpoint to home LBAs rides behind as plain async writes.
 #ifndef BENCH_TX_ENGINES_H_
 #define BENCH_TX_ENGINES_H_
 
@@ -21,10 +25,19 @@
 #include <vector>
 
 #include "src/harness/stack.h"
+#include "src/nvm/nvlog_format.h"
+#include "src/nvm/nvm_device.h"
 
 namespace ccnvme {
 
-enum class TxEngine { kClassic, kHorae, kCcNvme, kCcNvmeAtomic, kOpimq };
+enum class TxEngine { kClassic, kHorae, kCcNvme, kCcNvmeAtomic, kOpimq, kNvlog };
+
+// Per-client drain state for TxEngine::kNvlog: disk writes submitted after
+// the NVM durability point, not yet reaped. Bounded by the engine so
+// backpressure (not memory) limits the undrained window.
+struct NvlogEngineState {
+  std::vector<NvmeDriver::RequestHandle> outstanding;
+};
 
 inline const char* TxEngineName(TxEngine e) {
   switch (e) {
@@ -38,6 +51,8 @@ inline const char* TxEngineName(TxEngine e) {
       return "ccNVMe-atomic";
     case TxEngine::kOpimq:
       return "OPIMQ";
+    case TxEngine::kNvlog:
+      return "NVLog";
   }
   return "?";
 }
@@ -49,7 +64,8 @@ inline CcNvmeDriver::TxHandle RunOneTransaction(StorageStack& stack, TxEngine en
                                                 uint16_t qid, uint64_t tx_id,
                                                 const std::vector<uint64_t>& lbas,
                                                 const std::vector<Buffer>& payloads,
-                                                const Buffer& jd_block, uint64_t jd_lba) {
+                                                const Buffer& jd_block, uint64_t jd_lba,
+                                                NvlogEngineState* nvlog = nullptr) {
   switch (engine) {
     case TxEngine::kClassic: {
       std::vector<NvmeDriver::RequestHandle> handles;
@@ -90,6 +106,37 @@ inline CcNvmeDriver::TxHandle RunOneTransaction(StorageStack& stack, TxEngine en
       auto tx = stack.opimq().SubmitOrdered(qid, tx_id, lbas, std::move(ptrs), jd_lba + 1,
                                             &jd_block);
       stack.opimq().Wait(tx);
+      return nullptr;
+    }
+    case TxEngine::kNvlog: {
+      NvmDevice* nvm = stack.nvm_device();
+      CCNVME_CHECK(nvm != nullptr) << "TxEngine::kNvlog needs StackConfig::nvm.enabled";
+      CCNVME_CHECK(nvlog != nullptr);
+      // Absorb: JD + payloads into this queue's slice of the NVM ring, then
+      // one flush+fence — that barrier is the transaction's durability point.
+      const uint64_t entry_bytes = (lbas.size() + 1) * kLbaSize;
+      const uint64_t per_queue =
+          (nvm->size() - kNvLogCtrlBytes) / stack.config().num_queues;
+      const uint64_t slots = per_queue / entry_bytes;
+      CCNVME_CHECK(slots > 0) << "NVM too small for one NVLog entry";
+      const uint64_t off = kNvLogCtrlBytes +
+                           static_cast<uint64_t>(qid) * per_queue +
+                           (tx_id % slots) * entry_bytes;
+      nvm->Store(off, jd_block);
+      for (size_t i = 0; i < payloads.size(); ++i) {
+        nvm->Store(off + (i + 1) * kLbaSize, payloads[i]);
+      }
+      nvm->FlushFence();
+      // Drain (off the critical path): checkpoint payloads to their home
+      // LBAs; reap oldest first once the undrained window hits the cap.
+      while (nvlog->outstanding.size() >= 64) {
+        CCNVME_CHECK(stack.nvme().Wait(nvlog->outstanding.front()).ok());
+        nvlog->outstanding.erase(nvlog->outstanding.begin());
+      }
+      for (size_t i = 0; i < lbas.size(); ++i) {
+        nvlog->outstanding.push_back(stack.nvme().SubmitWrite(qid, lbas[i], &payloads[i],
+                                                              /*fua=*/false));
+      }
       return nullptr;
     }
     case TxEngine::kCcNvme:

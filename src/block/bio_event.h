@@ -1,12 +1,15 @@
 // Block/driver event vocabulary shared by the block layer, the ccNVMe
 // driver and the crash-test recorder.
 //
-// A recorded stream interleaves two persistence domains:
+// A recorded stream interleaves three persistence domains:
 //   * media events  — bio submissions (kWrite/kFlush) and their durable
 //     completions (kComplete), emitted by the block layer;
 //   * PMR events    — MMIO traffic against the SSD's persistent memory
 //     region (kPmrWrite/kPmrFence/kPmrDoorbell), emitted by the ccNVMe
-//     driver.
+//     driver;
+//   * NVM events    — CPU stores into the byte-addressable NVM tier and
+//     their persist barriers (kNvmWrite/kNvmFence), emitted by the NVM
+//     device model (src/nvm).
 // The crash-state exploration engine replays a prefix of this stream to
 // reconstruct every device state a power cut could leave behind, including
 // partially-persisted (torn) writes in both domains.
@@ -39,6 +42,15 @@ enum class BioOp {
   // write can reach media only if its transaction's doorbell event
   // precedes the crash point.
   kPmrDoorbell,
+  // --- NVM (byte-addressable persistent memory) events --------------------
+  // A CPU store into the NVM tier: visible to loads immediately, but
+  // crash-durable only once a later kNvmFence covers it; until then a power
+  // cut may persist any 8-byte-word subset (torn store). |lba| is a byte
+  // offset into the NVM region.
+  kNvmWrite,
+  // clwb+sfence persist barrier: all earlier kNvmWrite stores are
+  // persistent from here on. Global — the NVM tier has one cache domain.
+  kNvmFence,
 };
 
 // Bio flags (subset of the kernel's REQ_*).

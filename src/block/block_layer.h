@@ -26,6 +26,8 @@
 
 namespace ccnvme {
 
+class NvmDevice;
+
 class BlockLayer {
  public:
   // |cc| may be null for stacks without the ccNVMe extension.
@@ -85,6 +87,14 @@ class BlockLayer {
   // [P-SQ-head, P-SQDB) window, or the union across all volume members.
   std::vector<CcNvmeDriver::UnfinishedRequest> RecoveredWindow() const;
 
+  // --- NVM tier (NVLog) ---------------------------------------------------
+  // The byte-addressable NVM device, when the stack has one. The block
+  // layer only carries the pointer (file systems reach it through their
+  // block layer the same way they reach the ccNVMe driver); all NVM traffic
+  // goes through the device directly, never through bios.
+  void set_nvm(NvmDevice* nvm) { nvm_ = nvm; }
+  NvmDevice* nvm() { return nvm_; }
+
   void set_recorder(BioRecorder recorder) { recorder_ = std::move(recorder); }
 
   // True when the device has a volatile write cache without power-loss
@@ -114,6 +124,7 @@ class BlockLayer {
   NvmeDriver* nvme_;
   CcNvmeDriver* cc_;
   Volume* volume_ = nullptr;
+  NvmDevice* nvm_ = nullptr;
   HostCosts costs_;
   BioRecorder recorder_;
   bool needs_flush_ = false;

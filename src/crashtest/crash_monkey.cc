@@ -250,6 +250,60 @@ CrashWorkload CrashMonkey::AtomicOverwrite() {
 }
 
 // ---------------------------------------------------------------------------
+// NVLog workloads
+
+CrashWorkload CrashMonkey::NvlogAppends() {
+  return [](CrashTestContext& ctx) {
+    ExtFs& fs = ctx.fs();
+    // Two files, alternating appends. Each fsync returns at the NVM fence;
+    // the drainer's block-stack checkpoint trails behind, so the recorded
+    // stream interleaves armed facts with undrained log entries.
+    auto a = fs.Create("/nv_a");
+    auto b = fs.Create("/nv_b");
+    CCNVME_CHECK(a.ok() && b.ok());
+    for (int round = 0; round < 3; ++round) {
+      if (round > 0) {
+        ctx.InvalidateFact("/nv_a");
+      }
+      CCNVME_CHECK(
+          fs.Append(*a, Buffer(800 + static_cast<size_t>(round) * 300,
+                               static_cast<uint8_t>(0x50 + round))).ok());
+      CCNVME_CHECK(fs.Fsync(*a).ok());
+      ctx.AddFact(OracleFact::FileContent(fs, "/nv_a"));
+
+      if (round > 0) {
+        ctx.InvalidateFact("/nv_b");
+      }
+      CCNVME_CHECK(fs.Append(*b, Buffer(kFsBlockSize / 2,
+                                        static_cast<uint8_t>(0x70 + round))).ok());
+      CCNVME_CHECK(fs.Fsync(*b).ok());
+      ctx.AddFact(OracleFact::FileContent(fs, "/nv_b"));
+    }
+  };
+}
+
+CrashWorkload CrashMonkey::NvlogOverwriteChurn() {
+  return [](CrashTestContext& ctx) {
+    ExtFs& fs = ctx.fs();
+    auto f = fs.Create("/nv_churn");
+    CCNVME_CHECK(f.ok());
+    CCNVME_CHECK(fs.Write(*f, 0, Buffer(2 * kFsBlockSize, 0x01)).ok());
+    CCNVME_CHECK(fs.Fsync(*f).ok());
+    ctx.AddFact(OracleFact::FileContent(fs, "/nv_churn"));
+    // Each round logs a fresh copy of the SAME data block; all the copies
+    // can sit undrained in the ring together, so recovery's in-seq replay
+    // (and the drainer's newest-wins coalescing) must pick the last one.
+    for (int round = 1; round <= 4; ++round) {
+      ctx.InvalidateFact("/nv_churn");
+      CCNVME_CHECK(fs.Write(*f, 100, Buffer(kFsBlockSize,
+                            static_cast<uint8_t>(0x80 + round))).ok());
+      CCNVME_CHECK(fs.Fsync(*f).ok());
+      ctx.AddFact(OracleFact::FileContent(fs, "/nv_churn"));
+    }
+  };
+}
+
+// ---------------------------------------------------------------------------
 // Multi-core workloads
 
 CrashWorkload CrashMonkey::MultiCoreAppends() {

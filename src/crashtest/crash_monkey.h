@@ -57,6 +57,17 @@ class CrashMonkey {
   // Requires a data-journaling MQFS config for true data atomicity.
   static CrashWorkload AtomicOverwrite();
 
+  // --- NVLog (NVM write-ahead log) workloads ------------------------------
+  // Appends + fsyncs over the NVLog stack: every fsync's durability point is
+  // an NVM flush+fence, and crash cuts land inside the absorb-then-drain
+  // window — after the fence (fact armed, entry undrained) but before or in
+  // the middle of the background checkpoint to the block stack.
+  static CrashWorkload NvlogAppends();
+  // Repeated in-place overwrites of one block region, fsynced each round:
+  // several log entries covering the SAME home block queue up undrained, so
+  // drain-batch coalescing and in-order replay decide which content wins.
+  static CrashWorkload NvlogOverwriteChurn();
+
   // --- Multi-core workloads ----------------------------------------------
   // Two cores append+fsync their own files concurrently (SpawnOnCore), so
   // the recorded stream interleaves both queues' traffic and crash cuts

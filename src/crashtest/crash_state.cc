@@ -6,6 +6,7 @@
 
 #include "src/common/logging.h"
 #include "src/metrics/export.h"
+#include "src/nvm/nvm_device.h"
 #include "src/nvme/pmr.h"
 #include "src/sim/sync.h"
 
@@ -185,6 +186,9 @@ std::vector<WState> Classify(const CrashRecording& rec, size_t crash_index) {
   // (device, tx_id) pairs whose P-SQ-head advance landed.
   std::set<std::pair<uint16_t, uint64_t>> head_advanced_txs;
   std::map<std::pair<uint16_t, uint16_t>, std::vector<size_t>> fences_by_dev_qid;
+  // NVM persist barriers are global (one cache domain per NVM tier), so a
+  // sorted index list suffices.
+  std::vector<size_t> nvm_fences;
   for (size_t i = 0; i < n; ++i) {
     const BioEvent& ev = events[i];
     switch (ev.op) {
@@ -213,6 +217,9 @@ std::vector<WState> Classify(const CrashRecording& rec, size_t crash_index) {
         break;
       case BioOp::kPmrFence:
         fences_by_dev_qid[{ev.device, ev.qid}].push_back(i);
+        break;
+      case BioOp::kNvmFence:
+        nvm_fences.push_back(i);
         break;
       default:
         break;
@@ -283,6 +290,12 @@ std::vector<WState> Classify(const CrashRecording& rec, size_t crash_index) {
         }
       }
       state[i] = fenced ? WState::kDurable : WState::kUncertain;
+    } else if (ev.op == BioOp::kNvmWrite) {
+      // NVM store: persistent once any later flush+fence barrier precedes
+      // the cut (clwb+sfence drains the whole cache domain); otherwise any
+      // 8-byte-word subset may have landed.
+      const bool fenced = !nvm_fences.empty() && nvm_fences.back() > i;
+      state[i] = fenced ? WState::kDurable : WState::kUncertain;
     }
   }
   return state;
@@ -318,7 +331,8 @@ std::vector<size_t> ConsistencyBoundaries(const std::vector<BioEvent>& events) {
   out.push_back(0);
   for (size_t i = 0; i < events.size(); ++i) {
     const BioOp op = events[i].op;
-    if (op == BioOp::kComplete || op == BioOp::kFlush || op == BioOp::kPmrDoorbell) {
+    if (op == BioOp::kComplete || op == BioOp::kFlush || op == BioOp::kPmrDoorbell ||
+        op == BioOp::kNvmFence) {
       out.push_back(i + 1);
     } else if (op == BioOp::kPmrWrite && (events[i].flags & kBioPmrWc) == 0) {
       // An uncached P-SQ-head advance moves a transaction OUT of its
@@ -358,7 +372,9 @@ std::vector<UncertainItem> CollectUncertain(const CrashRecording& rec, size_t cr
         items.push_back(UncertainItem{i, static_cast<uint32_t>(b), false});
       }
     } else if (ev.op == BioOp::kPmrWrite) {
-      items.push_back(UncertainItem{i, 0, true});
+      items.push_back(UncertainItem{i, 0, true, false});
+    } else if (ev.op == BioOp::kNvmWrite) {
+      items.push_back(UncertainItem{i, 0, false, true});
     }
   }
   return items;
@@ -373,7 +389,8 @@ uint64_t TornMask(uint64_t torn_seed, const UncertainItem& item, uint8_t variant
   uint8_t key[32];
   PutU64(key, 0, torn_seed);
   PutU64(key, 8, item.event_index);
-  PutU64(key, 16, (static_cast<uint64_t>(item.block) << 1) | (item.is_pmr ? 1 : 0));
+  PutU64(key, 16, (static_cast<uint64_t>(item.block) << 2) | (item.is_nvm ? 2 : 0) |
+                      (item.is_pmr ? 1 : 0));
   PutU64(key, 24, variant);
   const uint64_t h = Fnv1a(key);
   const uint64_t non_trivial = (units == 64 ? ~0ull - 1 : (1ull << units) - 2);
@@ -392,6 +409,7 @@ CrashImage BuildCrashState(const CrashRecording& rec, const CrashPlan& plan,
 
   CrashImage image;
   image.devices = rec.base.devices;
+  image.nvm = rec.base.nvm;
   // One reconstructed PMR per member device.
   std::vector<Pmr> pmrs;
   pmrs.reserve(image.devices.size());
@@ -403,6 +421,24 @@ CrashImage BuildCrashState(const CrashRecording& rec, const CrashPlan& plan,
   const size_t n = std::min(plan.crash_index, rec.events.size());
   for (size_t i = 0; i < n; ++i) {
     const BioEvent& ev = rec.events[i];
+    if (ev.op == BioOp::kNvmWrite) {
+      CCNVME_CHECK_LE(ev.lba + ev.data.size(), image.nvm.size())
+          << "NVM store outside the recorded base image";
+      uint64_t mask = ~0ull;  // all words
+      if (state[i] == WState::kUncertain) {
+        const uint8_t c = choice_of[{i, 0}];
+        if (c == kChoiceAbsent) {
+          continue;
+        }
+        if (c >= kChoiceTornBase) {
+          const size_t words = (ev.data.size() + kNvmWordSize - 1) / kNvmWordSize;
+          mask = TornMask(torn_seed, UncertainItem{i, 0, false, true},
+                          static_cast<uint8_t>(c - kChoiceTornBase), words);
+        }
+      }
+      NvmApplyTornWords(image.nvm, ev.lba, ev.data, mask);
+      continue;
+    }
     CCNVME_CHECK_LT(ev.device, image.devices.size());
     if (ev.op == BioOp::kWrite) {
       if (state[i] == WState::kAbsent) {

@@ -1,16 +1,17 @@
 // Shared crash-state model for the crash testers.
 //
 // A workload runs once against a fresh stack while a recorder captures the
-// unified event stream of both persistence domains (src/block/bio_event.h):
-// media bios with their durable completions, and the ccNVMe driver's PMR
+// unified event stream of all persistence domains (src/block/bio_event.h):
+// media bios with their durable completions, the ccNVMe driver's PMR
 // traffic (SQE stores, persistence fences, doorbell rings, P-SQ-head
-// advances). From that recording, any power-cut state is a pure function of
+// advances), and the NVM tier's stores and persist barriers. From that
+// recording, any power-cut state is a pure function of
 //
 //   * a crash index C — the cut falls between events C-1 and C, and
 //   * a choice vector — one entry per item whose persistence the cut
 //     leaves uncertain: absent, fully present, or TORN (a deterministic
 //     sub-unit subset: 512-byte sectors for media blocks, 8-byte MMIO
-//     words for PMR stores).
+//     words for PMR stores, 8-byte words for NVM stores).
 //
 // The model is transaction-aware: a REQ_TX write can reach media only if
 // its transaction's doorbell precedes the cut (the controller fetches
@@ -116,16 +117,18 @@ CrashRecording RecordWorkload(const StackConfig& config, const CrashWorkload& wo
 
 // Consistency boundaries: the crash indices where the set of guaranteed-
 // durable state changes — {0}, the index after every durable completion
-// (kComplete), flush submission (kFlush) and doorbell ring (kPmrDoorbell),
-// and {events.size()}. A crash anywhere between two adjacent boundaries
+// (kComplete), flush submission (kFlush), doorbell ring (kPmrDoorbell) and
+// NVM persist barrier (kNvmFence), and {events.size()}. A crash anywhere between two adjacent boundaries
 // differs only in its uncertain-item set, which the choice vector covers.
 std::vector<size_t> ConsistencyBoundaries(const std::vector<BioEvent>& events);
 
 // One item whose persistence a crash at the given index leaves uncertain.
 struct UncertainItem {
-  size_t event_index = 0;  // the kWrite (media) or kPmrWrite (PMR) event
+  size_t event_index = 0;  // the kWrite (media), kPmrWrite (PMR) or
+                           // kNvmWrite (NVM tier) event
   uint32_t block = 0;      // 4 KB block within a multi-block media write
   bool is_pmr = false;
+  bool is_nvm = false;
 };
 
 // Choice encoding: 0 = absent, 1 = fully present, 2+t = torn variant t.

@@ -14,6 +14,8 @@ const std::map<std::string, CrashWorkload>& CrashWorkloadRegistry() {
           {"truncate_shrink_grow", CrashMonkey::TruncateShrinkGrow()},
           {"overwrite_mixed", CrashMonkey::OverwriteMixed()},
           {"atomic_overwrite", CrashMonkey::AtomicOverwrite()},
+          {"nvlog_appends", CrashMonkey::NvlogAppends()},
+          {"nvlog_overwrite_churn", CrashMonkey::NvlogOverwriteChurn()},
           {"multicore_appends", CrashMonkey::MultiCoreAppends()},
           {"multicore_shared_fsync", CrashMonkey::MultiCoreSharedFsync()},
       };

@@ -33,13 +33,16 @@ const char* JournalKindName(JournalKind k) {
       return "ccnvme_jbd2";
     case JournalKind::kMultiQueue:
       return "multi_queue";
+    case JournalKind::kNvlog:
+      return "nvlog";
   }
   return "?";
 }
 
 Result<JournalKind> ParseJournalKind(const std::string& s) {
   for (JournalKind k : {JournalKind::kNone, JournalKind::kClassic, JournalKind::kHorae,
-                        JournalKind::kCcNvmeJbd2, JournalKind::kMultiQueue}) {
+                        JournalKind::kCcNvmeJbd2, JournalKind::kMultiQueue,
+                        JournalKind::kNvlog}) {
     if (s == JournalKindName(k)) {
       return k;
     }
@@ -204,6 +207,9 @@ std::string ReplayArtifact::ToJson() const {
   out << "  \"test_skip_psq_window_scan\": " << b(config.fs.test_skip_psq_window_scan) << ",\n";
   out << "  \"test_skip_cross_core_order\": " << b(config.fs.test_skip_cross_core_order)
       << ",\n";
+  out << "  \"test_skip_nvlog_fence\": " << b(config.fs.test_skip_nvlog_fence) << ",\n";
+  out << "  \"nvm_enabled\": " << b(config.nvm.enabled) << ",\n";
+  out << "  \"nvm_size_bytes\": " << config.nvm.size_bytes << ",\n";
   out << "  \"num_devices\": " << config.num_devices << ",\n";
   out << "  \"volume_kind\": \""
       << (config.volume.kind == VolumeKind::kMirror ? "mirror" : "stripe") << "\",\n";
@@ -260,6 +266,19 @@ Result<ReplayArtifact> ReplayArtifact::FromJson(const std::string& json) {
   // Optional (older artifacts predate cross-core fsync aggregation).
   if (Result<bool> cc = GetBool(json, "test_skip_cross_core_order"); cc.ok()) {
     art.config.fs.test_skip_cross_core_order = *cc;
+  }
+  // Optional NVM tier (older artifacts predate the NVLog architecture).
+  if (Result<bool> nf = GetBool(json, "test_skip_nvlog_fence"); nf.ok()) {
+    art.config.fs.test_skip_nvlog_fence = *nf;
+  }
+  if (Result<bool> ne = GetBool(json, "nvm_enabled"); ne.ok()) {
+    art.config.nvm.enabled = *ne;
+  }
+  if (Result<uint64_t> ns = GetUInt(json, "nvm_size_bytes"); ns.ok()) {
+    art.config.nvm.size_bytes = *ns;
+  }
+  if (art.config.fs.journal == JournalKind::kNvlog) {
+    art.config.nvm.enabled = true;
   }
   // Optional volume geometry (older artifacts predate multi-device volumes).
   if (Result<uint64_t> nd = GetUInt(json, "num_devices"); nd.ok()) {

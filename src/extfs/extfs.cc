@@ -7,6 +7,7 @@
 #include "src/trace/tracer.h"
 #include "src/jbd2/jbd2.h"
 #include "src/mqfs/mq_journal.h"
+#include "src/nvm/nvlog.h"
 
 namespace ccnvme {
 
@@ -162,6 +163,16 @@ Status ExtFs::Mount() {
       mopts.selective_revocation = options_.selective_revocation;
       mopts.test_skip_psq_window_scan = options_.test_skip_psq_window_scan;
       journal_ = std::make_unique<MqJournal>(sim_, blk_, &cache_, layout_, costs_, this, mopts);
+      break;
+    }
+    case JournalKind::kNvlog: {
+      CCNVME_CHECK(blk_->nvm() != nullptr)
+          << "JournalKind::kNvlog needs an NVM tier (StackConfig::nvm)";
+      NvLogOptions nopts;
+      nopts.drain_batch = options_.nvlog_drain_batch;
+      nopts.drain_delay_ns = options_.nvlog_drain_delay_ns;
+      nopts.test_skip_fence = options_.test_skip_nvlog_fence;
+      journal_ = std::make_unique<NvLogJournal>(sim_, blk_, blk_->nvm(), costs_, this, nopts);
       break;
     }
   }

@@ -10,6 +10,10 @@
 //   kMultiQueue -> MQFS           (multi-queue journaling over ccNVMe with
 //                                  metadata shadow paging and selective
 //                                  revocation; adds fatomic/fdataatomic)
+//   kNvlog      -> NVLog/extfs    (transparent NVM write-ahead log: fsync
+//                                  appends to byte-addressable NVM and
+//                                  returns at flush+fence; a background
+//                                  drainer checkpoints to the block stack)
 //
 // All metadata (superblock, bitmaps, inode table, directories) is serialized
 // to the simulated media, so a crash test can remount from raw bytes.
@@ -30,7 +34,7 @@
 
 namespace ccnvme {
 
-enum class JournalKind { kNone, kClassic, kHorae, kCcNvmeJbd2, kMultiQueue };
+enum class JournalKind { kNone, kClassic, kHorae, kCcNvmeJbd2, kMultiQueue, kNvlog };
 
 struct ExtFsOptions {
   JournalKind journal = JournalKind::kClassic;
@@ -54,6 +58,14 @@ struct ExtFsOptions {
   // leader's commit may not include. The fs.fsync_cross_core_order monitor
   // and the multi-core crash exploration must both catch it.
   bool test_skip_cross_core_order = false;
+  // NVLog knobs (kNvlog only): drain batch size and the absorb window the
+  // background drainer waits before checkpointing.
+  uint32_t nvlog_drain_batch = 8;
+  uint64_t nvlog_drain_delay_ns = 30000;
+  // TEST ONLY: fsync returns without the NVM flush+fence persist barrier,
+  // claiming durability the log does not have. The nvm.log_drain_order
+  // monitor and the crash explorer must both catch it.
+  bool test_skip_nvlog_fence = false;
 };
 
 struct DirEntry {

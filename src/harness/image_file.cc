@@ -8,8 +8,9 @@ namespace {
 constexpr uint32_t kImageMagic = 0x4D494343;  // "CCIM"
 // v1: single device (media table + PMR). v2: a device count follows the
 // block size, then v1's per-device payload repeated per member. v1 files
-// load as one-device images.
-constexpr uint32_t kImageVersion = 2;
+// load as one-device images. v3: a u64 NVM size + the NVM tier's durable
+// bytes follow the devices; v1/v2 files load with an empty NVM image.
+constexpr uint32_t kImageVersion = 3;
 }  // namespace
 
 Status SaveImage(const CrashImage& image, const std::string& path) {
@@ -34,6 +35,12 @@ Status SaveImage(const CrashImage& image, const std::string& path) {
       std::memcpy(out.data() + off + 8, data.data(), kFsBlockSize);
     }
     out.insert(out.end(), dev.pmr.begin(), dev.pmr.end());
+  }
+  {
+    const size_t off = out.size();
+    out.resize(off + 8);
+    PutU64(out, off, image.nvm.size());
+    out.insert(out.end(), image.nvm.begin(), image.nvm.end());
   }
   const uint64_t csum = Fnv1a(out);
   const size_t off = out.size();
@@ -79,7 +86,7 @@ Result<CrashImage> LoadImage(const std::string& path) {
     return Corruption("bad image magic");
   }
   const uint32_t version = GetU32(raw, 4);
-  if (version != 1 && version != 2) {
+  if (version != 1 && version != 2 && version != 3) {
     return NotSupported("unsupported image version");
   }
   if (GetU32(raw, 8) != kFsBlockSize) {
@@ -114,6 +121,19 @@ Result<CrashImage> LoadImage(const std::string& path) {
     image.devices[d].pmr.assign(raw.begin() + static_cast<long>(off),
                                 raw.begin() + static_cast<long>(off + pmr_size));
     off += pmr_size;
+  }
+  if (version >= 3) {
+    if (off + 8 > payload_end) {
+      return Corruption("image truncated in NVM header");
+    }
+    const uint64_t nvm_size = GetU64(raw, off);
+    off += 8;
+    if (off + nvm_size > payload_end) {
+      return Corruption("image truncated in NVM payload");
+    }
+    image.nvm.assign(raw.begin() + static_cast<long>(off),
+                     raw.begin() + static_cast<long>(off + nvm_size));
+    off += nvm_size;
   }
   if (off != payload_end) {
     return Corruption("image size inconsistent with header");

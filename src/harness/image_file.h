@@ -11,6 +11,7 @@
 //   [20..27] pmr size in bytes
 //   then per block: u64 block number + block payload
 //   then the PMR bytes
+//   then (v3) a u64 NVM size + the NVM tier's durable bytes
 //   finally a u64 FNV-1a checksum of everything before it
 #ifndef SRC_HARNESS_IMAGE_FILE_H_
 #define SRC_HARNESS_IMAGE_FILE_H_

@@ -106,6 +106,17 @@ void StorageStack::Build(const CrashImage* image) {
   if (volume_ != nullptr) {
     blk_->set_volume(volume_.get());
   }
+  if (config_.nvm.enabled || config_.fs.journal == JournalKind::kNvlog) {
+    config_.nvm.enabled = true;
+    if (image != nullptr && !image->nvm.empty()) {
+      // NVM contents survive power loss by design; boot from the image.
+      config_.nvm.size_bytes = image->nvm.size();
+      nvm_ = std::make_unique<NvmDevice>(sim_.get(), config_.nvm, image->nvm);
+    } else {
+      nvm_ = std::make_unique<NvmDevice>(sim_.get(), config_.nvm);
+    }
+    blk_->set_nvm(nvm_.get());
+  }
   fs_ = std::make_unique<ExtFs>(sim_.get(), blk_.get(), config_.costs, config_.fs);
 
   if (const char* env = std::getenv("CCNVME_METRICS"); env != nullptr && *env != '\0') {
@@ -169,6 +180,9 @@ void StorageStack::SetRecorder(BioRecorder recorder) {
       cc->set_recorder(recorder);
     }
   }
+  if (nvm_ != nullptr) {
+    nvm_->set_recorder(recorder);
+  }
   if (volume_ != nullptr) {
     // The volume records media events itself (with the member device
     // stamped); the block-layer recorder stays unset so events are not
@@ -186,6 +200,9 @@ CrashImage StorageStack::CaptureCrashImage() const {
     image.devices[d].media = ssds_[d]->media().SnapshotDurable();
     image.devices[d].pmr.assign(controllers_[d]->pmr().bytes().begin(),
                                 controllers_[d]->pmr().bytes().end());
+  }
+  if (nvm_ != nullptr) {
+    image.nvm = nvm_->durable_image();
   }
   return image;
 }

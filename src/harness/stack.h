@@ -17,6 +17,7 @@
 #include "src/extfs/extfs.h"
 #include "src/metrics/export.h"
 #include "src/metrics/metrics.h"
+#include "src/nvm/nvm_device.h"
 #include "src/pcie/pcie_link.h"
 #include "src/profile/critical_path.h"
 #include "src/trace/tracer.h"
@@ -42,6 +43,9 @@ struct StackConfig {
   // crash-consistent volume per |volume|.
   uint16_t num_devices = 1;
   VolumeConfig volume;
+  // Byte-addressable NVM tier (NVLog). Created when |nvm.enabled| or the
+  // file system selects JournalKind::kNvlog.
+  NvmConfig nvm;
 };
 
 // One member device's durable bytes: media durable view + PMR.
@@ -54,6 +58,10 @@ struct DeviceImage {
 // (single-device stacks use devices[0] via the accessors).
 struct CrashImage {
   std::vector<DeviceImage> devices;
+  // Durable view of the byte-addressable NVM tier; empty when the stack has
+  // none. Like the PMR, NVM contents survive power loss by design — only
+  // unfenced stores are at the crash explorer's mercy.
+  Buffer nvm;
 
   CrashImage() : devices(1) {}
   MediaStore::BlockMap& media() { return devices[0].media; }
@@ -136,6 +144,8 @@ class StorageStack {
   OpimqDriver& opimq(uint16_t device) { return *opimqs_[device]; }
   // The volume binding the members, or nullptr on single-device stacks.
   Volume* volume() { return volume_.get(); }
+  // The byte-addressable NVM tier, or nullptr when the stack has none.
+  NvmDevice* nvm_device() { return nvm_.get(); }
   BlockLayer& blk() { return *blk_; }
   ExtFs& fs() { return *fs_; }
   const StackConfig& config() const { return config_; }
@@ -160,6 +170,7 @@ class StorageStack {
   std::vector<std::unique_ptr<CcNvmeDriver>> ccs_;
   std::vector<std::unique_ptr<OpimqDriver>> opimqs_;
   std::unique_ptr<Volume> volume_;
+  std::unique_ptr<NvmDevice> nvm_;
   std::unique_ptr<BlockLayer> blk_;
   std::unique_ptr<ExtFs> fs_;
 };

@@ -220,6 +220,15 @@ void InvariantMonitors::OnFsyncReturn(uint64_t ino, uint64_t required, uint64_t 
   }
 }
 
+void InvariantMonitors::OnNvlogCheckpoint(uint64_t entry_seq, uint64_t durable_seq) {
+  if (entry_seq > durable_seq) {
+    Violate(MonitorId::kNvlogDrainOrder,
+            Format("nvlog entry %llu checkpointed but persist frontier is %llu",
+                   static_cast<unsigned long long>(entry_seq),
+                   static_cast<unsigned long long>(durable_seq)));
+  }
+}
+
 uint64_t InvariantMonitors::total_violations() const {
   uint64_t total = 0;
   for (const Stat& s : stats_) {

@@ -42,6 +42,8 @@ enum class MonitorId : uint16_t {
   kRecoveryWindowScan,         // recovery ignored part of a non-empty window
   kFsyncCrossCoreOrder,        // fsync returned before its cross-core group
                                // commit covered the caller's registration
+  kNvlogDrainOrder,            // checkpoint block issued before its covering
+                               // NVM log entry was fenced durable
   kNumMonitors,
 };
 
@@ -61,6 +63,7 @@ constexpr const char* MonitorName(MonitorId id) {
     case MonitorId::kVolumeSealBeforeCommit: return "volume.seal_before_commit";
     case MonitorId::kRecoveryWindowScan: return "recovery.window_scan";
     case MonitorId::kFsyncCrossCoreOrder: return "fs.fsync_cross_core_order";
+    case MonitorId::kNvlogDrainOrder: return "nvm.log_drain_order";
     case MonitorId::kNumMonitors: break;
   }
   return "?";
@@ -115,6 +118,13 @@ class InvariantMonitors {
   // caller registered (|required|) must be covered by a finished leader
   // commit (|covered|), or the caller was handed durability it doesn't have.
   void OnFsyncReturn(uint64_t ino, uint64_t required, uint64_t covered);
+
+  // --- src/nvm: log-before-checkpoint drain order -------------------------
+  // Fired as the NVLog drainer (or recovery) is about to checkpoint entry
+  // |entry_seq| to the block stack: the NVM persist frontier |durable_seq|
+  // must already cover it, or a crash between the two leaves a half-applied
+  // sync with no durable log entry to replay it from.
+  void OnNvlogCheckpoint(uint64_t entry_seq, uint64_t durable_seq);
 
   // --- Reporting ----------------------------------------------------------
   uint64_t violations(MonitorId id) const { return stats_[Index(id)].count; }

@@ -1,0 +1,344 @@
+#include "src/nvm/nvlog.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/logging.h"
+#include "src/extfs/extfs.h"
+#include "src/metrics/metrics.h"
+#include "src/trace/tracer.h"
+
+namespace ccnvme {
+
+// ---------------------------------------------------------------------------
+// NvLog (ring cursors over the NvmDevice)
+
+NvLog::NvLog(Simulator* sim, NvmDevice* nvm) : sim_(sim), nvm_(nvm) {}
+
+NvLogScan NvLog::Init() {
+  if (GetU64(nvm_->live_image(), 0) != kNvLogMagic) {
+    // Fresh device: lay down the control block and an empty ring.
+    nvm_->StoreU64(0, kNvLogMagic);
+    nvm_->StoreU64(kNvLogHeadWordOffset, PackNvLogHead(0, 0));
+    uint8_t zero[kNvmWordSize] = {};
+    RingStore(0, zero);
+    nvm_->FlushFence();
+  }
+  // One timed load of the whole region, then the shared offline scanner.
+  Buffer snap(nvm_->size());
+  nvm_->Load(0, snap);
+  NvLogScan scan = ScanNvLogImage(snap);
+  CCNVME_CHECK(scan.ctrl.valid) << "NVM log invalid after format: " << scan.stop_reason;
+  head_off_ = scan.ctrl.head_off;
+  head_seq_ = scan.ctrl.head_seq;
+  tail_off_ = scan.tail_end_off;
+  next_seq_ = (scan.tail.empty() ? head_seq_ : scan.tail.back().seq) + 1;
+  // Entries that survived the scan are durable by definition.
+  appended_seq_ = durable_seq_ = next_seq_ - 1;
+  used_bytes_ = 0;
+  for (const NvLogEntryInfo& e : scan.tail) {
+    used_bytes_ += e.entry_bytes;
+  }
+  return scan;
+}
+
+void NvLog::RingStore(size_t off, std::span<const uint8_t> data) {
+  const size_t ring = ring_bytes();
+  off %= ring;
+  const size_t first = std::min(data.size(), ring - off);
+  nvm_->Store(kNvLogCtrlBytes + off, data.first(first));
+  if (first < data.size()) {
+    nvm_->Store(kNvLogCtrlBytes, data.subspan(first));
+  }
+}
+
+uint64_t NvLog::Append(uint64_t tx_id, const std::vector<NvLogBlock>& blocks) {
+  const size_t entry_bytes = NvLogEntrySize(blocks.size());
+  CCNVME_CHECK(HasSpace(entry_bytes)) << "NvLog::Append without space";
+  const uint64_t seq = next_seq_++;
+  const Buffer header = EncodeNvLogHeader(seq, tx_id, blocks);
+  RingStore(tail_off_, header);
+  size_t off = tail_off_ + header.size();
+  for (const NvLogBlock& b : blocks) {
+    RingStore(off, b.payload);
+    off += b.payload.size();
+  }
+  // Zero the magic slot just past the new tail so a recovery scan never
+  // walks into a stale previous-lap entry.
+  uint8_t zero[kNvmWordSize] = {};
+  RingStore(off, zero);
+  tail_off_ = static_cast<uint32_t>((tail_off_ + entry_bytes) % ring_bytes());
+  used_bytes_ += entry_bytes;
+  appended_seq_ = seq;
+  return seq;
+}
+
+void NvLog::Fence() {
+  nvm_->FlushFence();
+  durable_seq_ = appended_seq_;
+}
+
+void NvLog::AdvanceHead(uint32_t new_off, uint64_t new_seq, size_t freed_bytes) {
+  nvm_->StoreU64(kNvLogHeadWordOffset, PackNvLogHead(new_seq, new_off));
+  // The barrier persists the frontier — and, being a global fence, every
+  // other store still pending (an appender's unfenced entry rides along).
+  nvm_->FlushFence();
+  durable_seq_ = appended_seq_;
+  head_off_ = new_off;
+  head_seq_ = new_seq;
+  CCNVME_CHECK_LE(freed_bytes, used_bytes_);
+  used_bytes_ -= freed_bytes;
+}
+
+NvLogBlock NvLog::LoadBlock(uint32_t entry_ring_off, size_t nblocks, size_t block_index) {
+  const size_t ring = ring_bytes();
+  const size_t header_bytes = NvLogHeaderSize(nblocks);
+  uint8_t lba_raw[8];
+  nvm_->Load(kNvLogCtrlBytes + (entry_ring_off + 32 + 16 * block_index) % ring, lba_raw);
+  NvLogBlock out;
+  out.home_lba = GetU64(lba_raw, 0);
+  out.payload.resize(kFsBlockSize);
+  const size_t off = (entry_ring_off + header_bytes + block_index * kFsBlockSize) % ring;
+  const size_t first = std::min(out.payload.size(), ring - off);
+  nvm_->Load(kNvLogCtrlBytes + off, std::span<uint8_t>(out.payload).first(first));
+  if (first < out.payload.size()) {
+    nvm_->Load(kNvLogCtrlBytes, std::span<uint8_t>(out.payload).subspan(first));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// NvLogJournal
+
+NvLogJournal::NvLogJournal(Simulator* sim, BlockLayer* blk, NvmDevice* nvm,
+                           const HostCosts& costs, ExtFs* fs, const NvLogOptions& options)
+    : sim_(sim),
+      blk_(blk),
+      nvm_(nvm),
+      costs_(costs),
+      fs_(fs),
+      options_(options),
+      log_(sim, nvm),
+      mu_(sim),
+      drain_cv_(sim),
+      space_cv_(sim),
+      idle_cv_(sim) {
+  log_.Init();
+  sim_->Spawn("nvlog_draind", [this] { DrainLoop(); });
+}
+
+Status NvLogJournal::Sync(const SyncOp& op, SyncMode mode) {
+  (void)mode;  // durability at NVM speed; nothing cheaper to decouple to
+  // EVERY dirty block — data and metadata alike — goes through the log; the
+  // block stack is off the critical path entirely.
+  std::vector<BlockBufPtr> bufs;
+  bufs.reserve(op.data.size() + op.metadata.size());
+  for (const BlockBufPtr& buf : op.data) {
+    bufs.push_back(buf);
+  }
+  for (const BlockBufPtr& buf : op.metadata) {
+    bufs.push_back(buf);
+  }
+  if (bufs.empty()) {
+    return OkStatus();
+  }
+
+  Tracer* tracer = sim_->tracer();
+  const uint64_t lock_begin = sim_->now();
+  SimLockGuard guard(mu_);
+  if (tracer != nullptr) {
+    // Appenders serialize on the single log tail — the NVLog sibling of the
+    // jbd2 handle wait.
+    tracer->WaitEdgeEvent(WaitEdge::kJournalHandle, lock_begin, sim_->now());
+  }
+  const uint64_t tx_id = fs_->AllocTxId();
+  MutableTraceContext().tx_id = tx_id;
+
+  // Freeze the pages for the copy into NVM; writers stall until the entry
+  // is appended (not until it drains — that is the whole point).
+  std::vector<NvLogBlock> blocks;
+  blocks.reserve(bufs.size());
+  for (const BlockBufPtr& buf : bufs) {
+    buf->BeginWriteback();
+    blocks.push_back(NvLogBlock{buf->block_no, buf->data});
+  }
+
+  {
+    ScopedSpan span(tracer, TracePoint::kNvlogAppend);
+    Simulator::Sleep(costs_.fs_journal_desc_ns);  // build the entry header
+    for (size_t pos = 0; pos < blocks.size(); pos += kNvLogMaxBlocksPerEntry) {
+      const size_t n = std::min(kNvLogMaxBlocksPerEntry, blocks.size() - pos);
+      std::vector<NvLogBlock> chunk(blocks.begin() + static_cast<long>(pos),
+                                    blocks.begin() + static_cast<long>(pos + n));
+      const size_t entry_bytes = NvLogEntrySize(n);
+      CCNVME_CHECK(entry_bytes + kNvmWordSize < log_.ring_bytes())
+          << "sync op larger than the whole NVM log";
+      // Log full: the absorb window is exhausted; park until the drainer
+      // frees ring space. This is the back-pressure edge of the
+      // absorb-then-drain design.
+      const uint64_t space_begin = sim_->now();
+      while (!log_.HasSpace(entry_bytes)) {
+        drain_cv_.NotifyOne();
+        space_cv_.Wait(mu_);
+      }
+      if (tracer != nullptr) {
+        tracer->WaitEdgeEvent(WaitEdge::kNvlogDrain, space_begin, sim_->now());
+      }
+      PendingEntry pe;
+      pe.ring_off = log_.tail_off();
+      pe.entry_bytes = entry_bytes;
+      for (const NvLogBlock& b : chunk) {
+        pe.home_lbas.push_back(b.home_lba);
+      }
+      pe.seq = log_.Append(tx_id, chunk);
+      pending_.push_back(std::move(pe));
+      appended_entries_++;
+    }
+  }
+
+  if (!options_.test_skip_fence) {
+    // The durability point of an NVLog fsync: one flush+fence persist
+    // barrier, no disk I/O.
+    ScopedSpan span(tracer, TracePoint::kNvlogFence);
+    const uint64_t fence_begin = sim_->now();
+    log_.Fence();
+    if (tracer != nullptr) {
+      tracer->WaitEdgeEvent(WaitEdge::kNvmFlush, fence_begin, sim_->now());
+    }
+  }
+
+  for (const BlockBufPtr& buf : bufs) {
+    buf->jstate = JournalState::kClean;
+    buf->dirty = false;
+    buf->EndWriteback();
+  }
+  drain_cv_.NotifyOne();
+  Simulator::Sleep(costs_.wakeup_ns);
+  return OkStatus();
+}
+
+void NvLogJournal::DrainLoop() {
+  blk_->BindQueue(0);  // the drainer checkpoints on core 0's queue
+  for (;;) {
+    bool rush;
+    {
+      SimLockGuard guard(mu_);
+      while (pending_.empty()) {
+        idle_cv_.NotifyAll();
+        drain_cv_.Wait(mu_);
+      }
+      rush = drain_all_;
+      draining_ = true;
+    }
+    if (!rush) {
+      Simulator::Sleep(options_.drain_delay_ns);  // absorb window
+    }
+    Status st = DrainBatch(rush);
+    CCNVME_CHECK(st.ok()) << "nvlog drain failed: " << st.ToString();
+    {
+      SimLockGuard guard(mu_);
+      draining_ = false;
+      space_cv_.NotifyAll();
+      if (pending_.empty()) {
+        idle_cv_.NotifyAll();
+      }
+    }
+  }
+}
+
+Status NvLogJournal::DrainBatch(bool rush) {
+  std::vector<PendingEntry> batch;
+  {
+    SimLockGuard guard(mu_);
+    size_t n = rush ? pending_.size()
+                    : std::min<size_t>(pending_.size(), options_.drain_batch);
+    while (n-- > 0) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+  }
+  if (batch.empty()) {
+    return OkStatus();
+  }
+  ScopedSpan span(sim_->tracer(), TracePoint::kNvlogDrain);
+
+  // Read the batch back from NVM, newest write per home block wins — the
+  // coalescing that makes absorb-then-drain cheaper than in-place syncs.
+  std::map<uint64_t, Buffer> writes;
+  size_t logged_blocks = 0;
+  for (const PendingEntry& e : batch) {
+    if (Metrics* m = sim_->metrics()) {
+      // The drain-order invariant: this entry must already be durable in
+      // NVM before any of its blocks is checkpointed to media.
+      m->monitors().OnNvlogCheckpoint(e.seq, log_.durable_seq());
+    }
+    for (size_t b = 0; b < e.home_lbas.size(); ++b) {
+      NvLogBlock blk = log_.LoadBlock(e.ring_off, e.home_lbas.size(), b);
+      writes[blk.home_lba] = std::move(blk.payload);
+      logged_blocks++;
+    }
+  }
+  coalesced_blocks_ += logged_blocks - writes.size();
+
+  std::vector<NvmeDriver::RequestHandle> handles;
+  for (const auto& [lba, payload] : writes) {
+    handles.push_back(blk_->SubmitWrite(lba, &payload, 0));
+  }
+  for (auto& h : handles) {
+    CCNVME_RETURN_IF_ERROR(blk_->Wait(h));
+  }
+  // Checkpointed blocks must be durable before their log space is reused.
+  CCNVME_RETURN_IF_ERROR(blk_->FlushSync());
+
+  const PendingEntry& last = batch.back();
+  size_t freed = 0;
+  for (const PendingEntry& e : batch) {
+    freed += e.entry_bytes;
+  }
+  log_.AdvanceHead(static_cast<uint32_t>((last.ring_off + last.entry_bytes) % log_.ring_bytes()),
+                   last.seq, freed);
+  drained_entries_ += batch.size();
+  drain_batches_++;
+  return OkStatus();
+}
+
+Status NvLogJournal::Recover() {
+  ScopedSpan span(sim_->tracer(), TracePoint::kNvlogRecover);
+  Buffer snap(nvm_->size());
+  nvm_->Load(0, snap);
+  const NvLogScan scan = ScanNvLogImage(snap);
+  if (!scan.ctrl.valid || scan.tail.empty()) {
+    return OkStatus();
+  }
+  // The scan's entries survived the cut with valid checksums — durable.
+  const uint64_t durable_seq = scan.tail.back().seq;
+  size_t freed = 0;
+  for (const NvLogEntryInfo& e : scan.tail) {
+    if (Metrics* m = sim_->metrics()) {
+      m->monitors().OnNvlogCheckpoint(e.seq, durable_seq);
+    }
+    for (size_t b = 0; b < e.home_lbas.size(); ++b) {
+      const Buffer payload = ReadNvLogPayload(snap, e, b);
+      CCNVME_RETURN_IF_ERROR(blk_->WriteSync(e.home_lbas[b], payload));
+    }
+    freed += e.entry_bytes;
+  }
+  CCNVME_RETURN_IF_ERROR(blk_->FlushSync());
+  log_.AdvanceHead(scan.tail_end_off, durable_seq, freed);
+  drained_entries_ += scan.tail.size();
+  drain_batches_++;
+  return OkStatus();
+}
+
+Status NvLogJournal::Shutdown() {
+  SimLockGuard guard(mu_);
+  drain_all_ = true;
+  drain_cv_.NotifyAll();
+  while (!pending_.empty() || draining_) {
+    idle_cv_.Wait(mu_);
+  }
+  drain_all_ = false;
+  return OkStatus();
+}
+
+}  // namespace ccnvme

@@ -22,6 +22,7 @@ enum class TraceLayer : uint8_t {
   kCcNvme,
   kNvme,
   kPcie,
+  kNvm,
   kNumLayers,
 };
 
@@ -75,6 +76,12 @@ enum class TracePoint : uint16_t {
   kDmaData,            // data DMA (arg0=bytes)
   kMsix,               // instant: MSI-X interrupt raised
 
+  // --- NVM tier (NVLog) ---------------------------------------------------
+  kNvlogAppend,        // copy+checksum one log entry into the NVM ring
+  kNvlogFence,         // flush+fence persist barrier (the fsync durability point)
+  kNvlogDrain,         // background checkpoint of a batch to the block stack
+  kNvlogRecover,       // mount-time scan + replay of the undrained tail
+
   kNumPoints,
 };
 
@@ -118,6 +125,10 @@ constexpr const char* TracePointName(TracePoint p) {
     case TracePoint::kDmaQueue: return "pcie.dma_queue";
     case TracePoint::kDmaData: return "pcie.dma_data";
     case TracePoint::kMsix: return "pcie.msix";
+    case TracePoint::kNvlogAppend: return "nvlog.append";
+    case TracePoint::kNvlogFence: return "nvlog.fence";
+    case TracePoint::kNvlogDrain: return "nvlog.drain";
+    case TracePoint::kNvlogRecover: return "nvlog.recover";
     case TracePoint::kNumPoints: break;
   }
   return "?";
@@ -161,6 +172,11 @@ constexpr TraceLayer TracePointLayer(TracePoint p) {
     case TracePoint::kNvmeExecute:
     case TracePoint::kCqePost:
       return TraceLayer::kNvme;
+    case TracePoint::kNvlogAppend:
+    case TracePoint::kNvlogFence:
+    case TracePoint::kNvlogDrain:
+    case TracePoint::kNvlogRecover:
+      return TraceLayer::kNvm;
     case TracePoint::kMmioWrite:
     case TracePoint::kWcFlush:
     case TracePoint::kDmaQueue:
@@ -181,6 +197,7 @@ constexpr const char* TraceLayerName(TraceLayer l) {
     case TraceLayer::kCcNvme: return "ccnvme";
     case TraceLayer::kNvme: return "nvme";
     case TraceLayer::kPcie: return "pcie";
+    case TraceLayer::kNvm: return "nvm";
     case TraceLayer::kNumLayers: break;
   }
   return "?";
@@ -218,6 +235,11 @@ enum class WaitEdge : uint16_t {
   kFsyncLeader,       // follower fsync parked behind the cross-core leader
                       // that is committing its dirty range
 
+  // --- nvm / nvlog ----------------------------------------------------------
+  kNvmFlush,          // fsync blocked on the NVM flush+fence persist barrier
+  kNvlogDrain,        // append parked on a full log ring until the drainer
+                      // checkpointed enough entries to free space
+
   kNumEdges,
 };
 
@@ -237,6 +259,8 @@ constexpr const char* WaitEdgeName(WaitEdge e) {
     case WaitEdge::kVolumeFanout: return "wait.volume_fanout";
     case WaitEdge::kOrderGate: return "wait.order_gate";
     case WaitEdge::kFsyncLeader: return "wait.fsync_leader";
+    case WaitEdge::kNvmFlush: return "wait.nvm_flush";
+    case WaitEdge::kNvlogDrain: return "wait.nvlog_drain";
     case WaitEdge::kNumEdges: break;
   }
   return "?";
@@ -259,6 +283,9 @@ constexpr TraceLayer WaitEdgeLayer(WaitEdge e) {
     case WaitEdge::kPageFrozen:
     case WaitEdge::kFsyncLeader:
       return TraceLayer::kJournal;
+    case WaitEdge::kNvmFlush:
+    case WaitEdge::kNvlogDrain:
+      return TraceLayer::kNvm;
     case WaitEdge::kVolumeFanout:
     case WaitEdge::kNumEdges:
       break;

@@ -291,6 +291,100 @@ TEST(ExhaustiveMultiCoreInjectedBugTest, SkippedCrossCoreOrderIsCaught) {
   EXPECT_FALSE(report.failures.empty());
 }
 
+// --- NVLog (NVM write-ahead log) ---------------------------------------
+//
+// The third durability architecture: fsync's durability point is an NVM
+// flush+fence and the disk checkpoint drains in the background, so the
+// explorer's cuts land inside the absorb-then-drain window — after the
+// fence (facts armed, entries undrained), mid-drain, and across the
+// atomic head-frontier truncation. Unfenced NVM stores are enumerated
+// absent/present/torn at 8-byte-word granularity.
+
+StackConfig NvlogConfig() {
+  StackConfig cfg;
+  cfg.num_queues = 2;
+  cfg.enable_ccnvme = false;
+  cfg.fs.journal = JournalKind::kNvlog;
+  cfg.nvm.size_bytes = 1 << 20;  // small tier keeps per-state image copies cheap
+  return cfg;
+}
+
+class ExhaustiveNvlogTest : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ExhaustiveNvlogTest,
+                         ::testing::Values("nvlog_appends", "nvlog_overwrite_churn",
+                                           "create_delete", "generic_035"),
+                         [](const ::testing::TestParamInfo<const char*>& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '_') {
+                               c = 'X';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST_P(ExhaustiveNvlogTest, AllBoundariesRecover) {
+  ExpectAllPassed(ExploreWorkload(NvlogConfig(), GetParam(), TestOptions()));
+}
+
+// The NVLog recording must contain all three persistence domains, and every
+// NVM persist barrier must open its own consistency boundary — that is what
+// lets the explorer cut between an entry's stores and its fence.
+TEST(ExhaustiveNvlogCoverageTest, NvmFencesAreBoundaries) {
+  Result<CrashWorkload> workload = FindCrashWorkload("nvlog_appends");
+  ASSERT_TRUE(workload.ok());
+  const CrashRecording rec = RecordWorkload(NvlogConfig(), *workload);
+  const std::vector<size_t> boundaries = ConsistencyBoundaries(rec.events);
+  auto has = [&](size_t b) {
+    return std::find(boundaries.begin(), boundaries.end(), b) != boundaries.end();
+  };
+  size_t nvm_writes = 0, nvm_fences = 0, completes = 0;
+  for (size_t i = 0; i < rec.events.size(); ++i) {
+    const BioOp op = rec.events[i].op;
+    if (op == BioOp::kNvmFence) {
+      ++nvm_fences;
+      EXPECT_TRUE(has(i + 1)) << "missing boundary after NVM fence event " << i;
+    }
+    nvm_writes += op == BioOp::kNvmWrite ? 1 : 0;
+    completes += op == BioOp::kComplete ? 1 : 0;
+  }
+  EXPECT_GT(nvm_writes, 0u) << "no NVM stores recorded";
+  EXPECT_GT(nvm_fences, 0u) << "no NVM persist barriers recorded";
+  EXPECT_GT(completes, 0u) << "background drain issued no disk I/O";
+}
+
+// INJECTED BUG: with the persist barrier skipped, fsync arms its fact while
+// the log entry is still volatile — a cut before the drain finds neither the
+// checkpoint on media nor a durable entry to replay. The explorer must
+// report it (the nvm.log_drain_order monitor catches the same bug live;
+// tests/nvm_test.cc).
+TEST(ExhaustiveNvlogInjectedBugTest, SkippedNvlogFenceIsCaught) {
+  StackConfig cfg = NvlogConfig();
+  cfg.fs.test_skip_nvlog_fence = true;
+  ExplorerOptions opt = TestOptions();
+  opt.emit_artifacts = true;
+  opt.artifact_dir = ".";  // the build dir ctest runs in; gitignored
+  const ExplorerReport report = ExploreWorkload(cfg, "nvlog_appends", opt);
+  EXPECT_FALSE(report.AllPassed())
+      << "explorer failed to catch the skipped NVM persist barrier";
+  ASSERT_FALSE(report.failures.empty());
+
+  // The artifact must round-trip the NVM tier config (size, enablement,
+  // the fence-skip knob) and replay to the exact same failure — this is
+  // what makes a CI upload of crash_artifact_nvlog_* actionable.
+  const ExplorerFailure& failure = report.failures[0];
+  ASSERT_FALSE(failure.artifact_path.empty());
+  Result<ReplayArtifact> art = ReplayArtifact::ReadFile(failure.artifact_path);
+  ASSERT_TRUE(art.ok()) << art.status().ToString();
+  EXPECT_TRUE(art->config.nvm.enabled);
+  EXPECT_EQ(art->config.nvm.size_bytes, cfg.nvm.size_bytes);
+  EXPECT_TRUE(art->config.fs.test_skip_nvlog_fence);
+  Result<std::string> replayed = ReplayArtifactCheck(*art);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_EQ(*replayed, failure.message);
+}
+
 // Injected recovery bug: skipping the P-SQ window scan makes recovery
 // trust every journal descriptor without re-validating member checksums,
 // so it replays half-persisted transactions. The explorer must catch it.

@@ -94,7 +94,8 @@ class CrashAllJournalsTest : public ::testing::TestWithParam<JournalKind> {};
 INSTANTIATE_TEST_SUITE_P(Journals, CrashAllJournalsTest,
                          ::testing::Values(JournalKind::kClassic, JournalKind::kHorae,
                                            JournalKind::kCcNvmeJbd2,
-                                           JournalKind::kMultiQueue),
+                                           JournalKind::kMultiQueue,
+                                           JournalKind::kNvlog),
                          [](const ::testing::TestParamInfo<JournalKind>& param_info) {
                            switch (param_info.param) {
                              case JournalKind::kClassic:
@@ -105,6 +106,8 @@ INSTANTIATE_TEST_SUITE_P(Journals, CrashAllJournalsTest,
                                return "Jbd2OverCcNvme";
                              case JournalKind::kMultiQueue:
                                return "MQFS";
+                             case JournalKind::kNvlog:
+                               return "NVLog";
                              default:
                                return "other";
                            }
@@ -118,6 +121,9 @@ TEST_P(CrashAllJournalsTest, RenameOverwrite) {
   cfg.fs.journal = GetParam();
   cfg.fs.journal_areas = GetParam() == JournalKind::kMultiQueue ? 2 : 1;
   cfg.fs.journal_blocks = 2048 * cfg.fs.journal_areas;
+  if (GetParam() == JournalKind::kNvlog) {
+    cfg.nvm.size_bytes = 1 << 20;  // small tier keeps per-state image copies cheap
+  }
   CrashMonkey monkey(cfg, /*seed=*/10);
   ExpectAllPass(monkey.Run(CrashMonkey::Generic035(), 40));
 }

@@ -2,6 +2,7 @@
 //
 //   mkfs_ccnvme <image-path> [--blocks N] [--journal-areas N]
 //               [--journal-blocks N] [--devices N] [--mirror | --chunk N]
+//               [--journal mqfs|nvlog]
 //
 // The image can then be inspected with fsck_ccnvme / journal_inspect or
 // mounted by any program using LoadImage + StorageStack.
@@ -16,7 +17,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <image-path> [--blocks N] [--journal-areas N] "
-                 "[--journal-blocks N] [--devices N] [--mirror | --chunk N]\n",
+                 "[--journal-blocks N] [--devices N] [--mirror | --chunk N] "
+                 "[--journal mqfs|nvlog]\n",
                  argv[0]);
     return 2;
   }
@@ -39,6 +41,18 @@ int main(int argc, char** argv) {
       cfg.volume.chunk_blocks = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--mirror") == 0) {
       cfg.volume.kind = VolumeKind::kMirror;
+    } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+      const char* kind = argv[++i];
+      if (std::strcmp(kind, "nvlog") == 0) {
+        // extfs over the NVM write-ahead log: the image gains an NVM tier
+        // (formatted ring) that nvlog_inspect can dump.
+        cfg.enable_ccnvme = false;
+        cfg.fs.journal = JournalKind::kNvlog;
+        cfg.fs.journal_areas = 1;
+      } else if (std::strcmp(kind, "mqfs") != 0) {
+        std::fprintf(stderr, "unknown --journal kind %s\n", kind);
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return 2;

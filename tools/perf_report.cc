@@ -6,13 +6,16 @@
 // JSON for external viewers.
 //
 // Usage:
-//   perf_report [--mode fsync|fatomic] [--iters N] [--warmup N]
-//               [--top K] [--detail K] [--flame PATH] [--no-histograms]
-//               [--queues N] [--threads N]
+//   perf_report [--stack mqfs|nvlog] [--mode fsync|fatomic] [--iters N]
+//               [--warmup N] [--top K] [--detail K] [--flame PATH]
+//               [--no-histograms] [--queues N] [--threads N]
 //
 // The tool exists to answer one question by name: which edge dominates the
 // end-to-end latency of a durable write. On the default workload that is the
-// device round trip the caller must wait out (wait.tx_durable).
+// device round trip the caller must wait out (wait.tx_durable); with
+// --stack nvlog (extfs over the NVM write-ahead log) it is the NVM persist
+// barrier (wait.nvm_flush), with wait.nvlog_drain surfacing whenever the
+// ring backpressures the absorb path.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -27,14 +30,15 @@ namespace {
 
 int Usage(const char* argv0, int code) {
   std::fprintf(stderr,
-               "usage: %s [--mode fsync|fatomic] [--iters N] [--warmup N]\n"
-               "          [--top K] [--detail K] [--flame PATH] [--no-histograms]\n"
-               "          [--queues N] [--threads N]\n",
+               "usage: %s [--stack mqfs|nvlog] [--mode fsync|fatomic] [--iters N]\n"
+               "          [--warmup N] [--top K] [--detail K] [--flame PATH]\n"
+               "          [--no-histograms] [--queues N] [--threads N]\n",
                argv0);
   return code;
 }
 
 int RunPerfReport(int argc, char** argv) {
+  std::string stack_name = "mqfs";
   std::string mode = "fsync";
   std::string flame_path;
   int iters = 100;
@@ -51,7 +55,9 @@ int RunPerfReport(int argc, char** argv) {
       if (arg == flag && i + 1 < argc) return argv[++i];
       return nullptr;
     };
-    if (const char* mv = value("--mode")) {
+    if (const char* sv = value("--stack")) {
+      stack_name = sv;
+    } else if (const char* mv = value("--mode")) {
       mode = mv;
     } else if (const char* nv = value("--iters")) {
       iters = std::atoi(nv);
@@ -77,14 +83,23 @@ int RunPerfReport(int argc, char** argv) {
     std::fprintf(stderr, "perf_report: unknown --mode '%s'\n", mode.c_str());
     return 2;
   }
+  if (stack_name != "mqfs" && stack_name != "nvlog") {
+    std::fprintf(stderr, "perf_report: unknown --stack '%s'\n", stack_name.c_str());
+    return 2;
+  }
+  const bool nvlog = stack_name == "nvlog";
+  if (nvlog && mode == "fatomic") {
+    std::fprintf(stderr, "perf_report: fatomic needs the MQFS stack\n");
+    return 2;
+  }
   if (threads > queues) queues = threads;
 
   StackConfig cfg;
   cfg.ssd = SsdConfig::Optane905P();
-  cfg.enable_ccnvme = true;
+  cfg.enable_ccnvme = !nvlog;
   cfg.num_queues = static_cast<uint16_t>(queues);
-  cfg.fs.journal = JournalKind::kMultiQueue;
-  cfg.fs.journal_areas = static_cast<uint16_t>(queues);
+  cfg.fs.journal = nvlog ? JournalKind::kNvlog : JournalKind::kMultiQueue;
+  cfg.fs.journal_areas = nvlog ? 1 : static_cast<uint16_t>(queues);
   cfg.fs.journal_blocks = 4096;
 
   StorageStack stack(cfg);
@@ -111,8 +126,8 @@ int RunPerfReport(int argc, char** argv) {
   }
   stack.sim().Run();
 
-  std::printf("workload: MQFS create+write(4K)+%s, %d iter x %d thread (%d warm-up)\n\n",
-              mode.c_str(), iters, threads, warmup);
+  std::printf("workload: %s create+write(4K)+%s, %d iter x %d thread (%d warm-up)\n\n",
+              nvlog ? "NVLog/extfs" : "MQFS", mode.c_str(), iters, threads, warmup);
   std::fputs(FormatBlameReport(profiler, report_opts).c_str(), stdout);
   std::printf("\n%s\n", FormatDominantLine(profiler).c_str());
 

@@ -2,9 +2,14 @@
 // exports it as Chrome trace-event JSON (loadable in Perfetto or
 // chrome://tracing), plus a per-layer aggregation summary on stdout.
 //
-// Usage: trace_dump [append|varmail|minikv] [out.json]
+// Usage: trace_dump [append|varmail|minikv|nvlog] [out.json]
 //                   [--req <id>] [--tx <id>]
 //   (defaults: append, trace.json)
+//
+// "nvlog" runs the append workload on the NVLog/extfs stack instead of
+// MQFS/ccNVMe: the summary then shows the nvm layer's spans (nvlog.append,
+// nvlog.fence, nvlog.drain) and the wait.nvm_flush / wait.nvlog_drain
+// edges in request span trees.
 //
 // --req/--tx restrict the export AND the stdout dump to one request and/or
 // transaction: instead of the whole-run aggregation you get that request's
@@ -34,6 +39,14 @@ StackConfig MqfsConfig() {
   cfg.num_queues = 4;
   cfg.fs.journal = JournalKind::kMultiQueue;
   cfg.fs.journal_areas = 4;
+  return cfg;
+}
+
+StackConfig NvlogConfig() {
+  StackConfig cfg;
+  cfg.ssd = SsdConfig::Optane905P();
+  cfg.num_queues = 4;
+  cfg.fs.journal = JournalKind::kNvlog;  // Build() creates the NVM tier
   return cfg;
 }
 
@@ -103,7 +116,7 @@ void PrintSpanTree(const Tracer& tracer, const TraceFilter& filter) {
 
 int RunDump(const std::string& workload, const std::string& out_path,
             const TraceFilter& filter) {
-  StackConfig cfg = MqfsConfig();
+  StackConfig cfg = workload == "nvlog" ? NvlogConfig() : MqfsConfig();
   StorageStack stack(cfg);
   Tracer& tracer = stack.EnableTracing();
   Status st = stack.MkfsAndMount();
@@ -111,12 +124,12 @@ int RunDump(const std::string& workload, const std::string& out_path,
 
   // Short runs: a few milliseconds of virtual time produce a trace that
   // loads instantly in Perfetto yet covers hundreds of sync calls.
-  if (workload == "append") {
+  if (workload == "append" || workload == "nvlog") {
     FioOptions opts;
     opts.num_threads = 4;
     opts.duration_ns = 2'000'000;
     FioResult r = RunFioAppend(stack, opts);
-    std::printf("append: %llu ops, %.1f KIOPS\n",
+    std::printf("%s: %llu ops, %.1f KIOPS\n", workload.c_str(),
                 static_cast<unsigned long long>(r.ops), r.ThroughputKiops());
   } else if (workload == "varmail") {
     VarmailOptions opts;
@@ -200,7 +213,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "-h" || arg == "--help") {
-      std::printf("usage: trace_dump [append|varmail|minikv] [out.json] "
+      std::printf("usage: trace_dump [append|varmail|minikv|nvlog] [out.json] "
                   "[--req <id>] [--tx <id>]\n");
       return 0;
     }
