@@ -389,9 +389,11 @@ uint64_t TornMask(uint64_t torn_seed, const UncertainItem& item, uint8_t variant
   uint8_t key[32];
   PutU64(key, 0, torn_seed);
   PutU64(key, 8, item.event_index);
-  PutU64(key, 16, (static_cast<uint64_t>(item.block) << 2) | (item.is_nvm ? 2 : 0) |
-                      (item.is_pmr ? 1 : 0));
-  PutU64(key, 24, variant);
+  // is_nvm gets its own key byte rather than widening the block shift, so
+  // media/PMR items keep the pre-NVM-tier key layout and replay artifacts
+  // saved by earlier versions still reproduce the same crash states.
+  PutU64(key, 16, (static_cast<uint64_t>(item.block) << 1) | (item.is_pmr ? 1 : 0));
+  PutU64(key, 24, variant | (item.is_nvm ? 0x100ull : 0));
   const uint64_t h = Fnv1a(key);
   const uint64_t non_trivial = (units == 64 ? ~0ull - 1 : (1ull << units) - 2);
   return 1 + (h % non_trivial);  // in [1, 2^units - 2]: strict, non-empty

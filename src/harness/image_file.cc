@@ -108,7 +108,11 @@ Result<CrashImage> LoadImage(const std::string& path) {
     const uint64_t num_blocks = GetU64(raw, off);
     const uint64_t pmr_size = GetU64(raw, off + 8);
     off += 16;
-    if (off + num_blocks * (8 + kFsBlockSize) + pmr_size > payload_end) {
+    // Divide/subtract instead of adding to |off| — huge u64 counts in a
+    // corrupt header would wrap the sum past the bound check.
+    const uint64_t avail = payload_end - off;
+    if (num_blocks > avail / (8 + kFsBlockSize) ||
+        pmr_size > avail - num_blocks * (8 + kFsBlockSize)) {
       return Corruption("image size inconsistent with header");
     }
     for (uint64_t i = 0; i < num_blocks; ++i) {
@@ -128,7 +132,7 @@ Result<CrashImage> LoadImage(const std::string& path) {
     }
     const uint64_t nvm_size = GetU64(raw, off);
     off += 8;
-    if (off + nvm_size > payload_end) {
+    if (nvm_size > payload_end - off) {
       return Corruption("image truncated in NVM payload");
     }
     image.nvm.assign(raw.begin() + static_cast<long>(off),

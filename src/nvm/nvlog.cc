@@ -90,20 +90,24 @@ void NvLog::AdvanceHead(uint32_t new_off, uint64_t new_seq, size_t freed_bytes) 
   used_bytes_ -= freed_bytes;
 }
 
-NvLogBlock NvLog::LoadBlock(uint32_t entry_ring_off, size_t nblocks, size_t block_index) {
+void NvLog::RingLoad(size_t off, std::span<uint8_t> out) {
   const size_t ring = ring_bytes();
+  off %= ring;
+  const size_t first = std::min(out.size(), ring - off);
+  nvm_->Load(kNvLogCtrlBytes + off, out.first(first));
+  if (first < out.size()) {
+    nvm_->Load(kNvLogCtrlBytes, out.subspan(first));
+  }
+}
+
+NvLogBlock NvLog::LoadBlock(uint32_t entry_ring_off, size_t nblocks, size_t block_index) {
   const size_t header_bytes = NvLogHeaderSize(nblocks);
   uint8_t lba_raw[8];
-  nvm_->Load(kNvLogCtrlBytes + (entry_ring_off + 32 + 16 * block_index) % ring, lba_raw);
+  RingLoad(entry_ring_off + 32 + 16 * block_index, lba_raw);
   NvLogBlock out;
   out.home_lba = GetU64(lba_raw, 0);
   out.payload.resize(kFsBlockSize);
-  const size_t off = (entry_ring_off + header_bytes + block_index * kFsBlockSize) % ring;
-  const size_t first = std::min(out.payload.size(), ring - off);
-  nvm_->Load(kNvLogCtrlBytes + off, std::span<uint8_t>(out.payload).first(first));
-  if (first < out.payload.size()) {
-    nvm_->Load(kNvLogCtrlBytes, std::span<uint8_t>(out.payload).subspan(first));
-  }
+  RingLoad(entry_ring_off + header_bytes + block_index * kFsBlockSize, out.payload);
   return out;
 }
 
@@ -178,6 +182,13 @@ Status NvLogJournal::Sync(const SyncOp& op, SyncMode mode) {
       // absorb-then-drain design.
       const uint64_t space_begin = sim_->now();
       while (!log_.HasSpace(entry_bytes)) {
+        // Earlier chunks of this op already sit in pending_; Wait releases
+        // the mutex, so the drainer could checkpoint them. Fence them first
+        // or a checkpoint block could reach media before its covering log
+        // entry is durable (the log-before-checkpoint invariant).
+        if (!options_.test_skip_fence && log_.durable_seq() + 1 < log_.next_seq()) {
+          log_.Fence();
+        }
         drain_cv_.NotifyOne();
         space_cv_.Wait(mu_);
       }

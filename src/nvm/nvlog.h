@@ -84,6 +84,8 @@ class NvLog {
  private:
   // Wrap-aware ring store at ring-relative |off|.
   void RingStore(size_t off, std::span<const uint8_t> data);
+  // Wrap-aware ring load of |out.size()| bytes at ring-relative |off|.
+  void RingLoad(size_t off, std::span<uint8_t> out);
 
   Simulator* sim_;
   NvmDevice* nvm_;

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/logging.h"
 #include "src/vfs/types.h"
 
 namespace ccnvme {
@@ -63,8 +64,10 @@ struct NvLogBlock {
 // Serializes the header for |blocks| (payload checksums computed here).
 Buffer EncodeNvLogHeader(uint64_t seq, uint64_t tx_id, const std::vector<NvLogBlock>& blocks);
 
-// Packing of the ctrl head word.
+// Packing of the ctrl head word. head_seq must fit its 32-bit half — past
+// 2^32 the shift would silently corrupt the drain frontier.
 constexpr uint64_t PackNvLogHead(uint64_t head_seq, uint32_t head_off) {
+  CCNVME_CHECK_LT(head_seq, 1ull << 32) << "head_seq overflows the 32-bit head-word field";
   return (head_seq << 32) | head_off;
 }
 constexpr uint64_t NvLogHeadSeq(uint64_t word) { return word >> 32; }
