@@ -304,6 +304,85 @@ CrashWorkload CrashMonkey::NvlogOverwriteChurn() {
 }
 
 // ---------------------------------------------------------------------------
+// KV-native (KV-SSD) workloads
+
+CrashWorkload CrashMonkey::KvPutGet() {
+  return [](CrashTestContext& ctx) {
+    KvNvmeDriver& kv = ctx.kv();
+    std::vector<std::string> values;
+    for (int i = 0; i < 5; ++i) {
+      const std::string key = "k" + std::to_string(i);
+      values.push_back(std::string(600 + static_cast<size_t>(i) * 1700,
+                                   static_cast<char>('a' + i)));
+      // The store is about to enter the device-side commit window: a crash
+      // may land before or after the meta word, so either version is legal
+      // — a mix never is.
+      ctx.AddFact(OracleFact::KvOneOf(OracleFact::KvAbsent(key),
+                                      OracleFact::KvValue(key, values.back())));
+      CCNVME_CHECK(kv.Store(0, key, values.back()).ok());
+      ctx.InvalidateFact(key);
+      ctx.AddFact(OracleFact::KvValue(key, values.back()));
+    }
+
+    // Overwrite: the new value lands on fresh flash pages; the old run is
+    // freed only after the meta word flips.
+    const std::string nv(3 * 4096 + 123, 'Z');
+    ctx.InvalidateFact("k2");
+    ctx.AddFact(OracleFact::KvOneOf(OracleFact::KvValue("k2", values[2]),
+                                    OracleFact::KvValue("k2", nv)));
+    CCNVME_CHECK(kv.Store(0, "k2", nv).ok());
+    ctx.InvalidateFact("k2");
+    ctx.AddFact(OracleFact::KvValue("k2", nv));
+
+    // Delete: old value or absent until the tombstone word is durable.
+    ctx.InvalidateFact("k1");
+    ctx.AddFact(OracleFact::KvOneOf(OracleFact::KvValue("k1", values[1]),
+                                    OracleFact::KvAbsent("k1")));
+    CCNVME_CHECK(kv.Delete(0, "k1").ok());
+    ctx.InvalidateFact("k1");
+    ctx.AddFact(OracleFact::KvAbsent("k1"));
+
+    // Survivors double-checked through Exist/Retrieve (adds read traffic —
+    // map demand loads — to the recorded stream without changing facts).
+    auto e = kv.Exist(0, "k0");
+    CCNVME_CHECK(e.ok() && *e);
+    auto got = kv.Retrieve(0, "k2");
+    CCNVME_CHECK(got.ok() && got->size() == nv.size());
+  };
+}
+
+CrashWorkload CrashMonkey::KvOverwriteChurn() {
+  return [](CrashTestContext& ctx) {
+    KvNvmeDriver& kv = ctx.kv();
+    // One hot key + a few cold ones pinning pages so small-geometry configs
+    // hit the GC low-water mark mid-churn.
+    std::vector<std::string> cold;
+    for (int i = 0; i < 3; ++i) {
+      const std::string key = "cold" + std::to_string(i);
+      cold.push_back(std::string(2 * 4096, static_cast<char>('A' + i)));
+      ctx.AddFact(OracleFact::KvOneOf(OracleFact::KvAbsent(key),
+                                      OracleFact::KvValue(key, cold.back())));
+      CCNVME_CHECK(kv.Store(0, key, cold.back()).ok());
+      ctx.InvalidateFact(key);
+      ctx.AddFact(OracleFact::KvValue(key, cold.back()));
+    }
+    std::string prev;
+    for (int round = 0; round < 6; ++round) {
+      const std::string next(3 * 4096 + static_cast<size_t>(round) * 512,
+                             static_cast<char>('a' + round));
+      ctx.InvalidateFact("hot");
+      ctx.AddFact(OracleFact::KvOneOf(
+          round == 0 ? OracleFact::KvAbsent("hot") : OracleFact::KvValue("hot", prev),
+          OracleFact::KvValue("hot", next)));
+      CCNVME_CHECK(kv.Store(0, "hot", next).ok());
+      ctx.InvalidateFact("hot");
+      ctx.AddFact(OracleFact::KvValue("hot", next));
+      prev = next;
+    }
+  };
+}
+
+// ---------------------------------------------------------------------------
 // Multi-core workloads
 
 CrashWorkload CrashMonkey::MultiCoreAppends() {

@@ -68,6 +68,18 @@ class CrashMonkey {
   // drain-batch coalescing and in-order replay decide which content wins.
   static CrashWorkload NvlogOverwriteChurn();
 
+  // --- KV-native (KV-SSD) workloads ---------------------------------------
+  // Keys stored, one overwritten, one deleted through the NVMe KV command
+  // set (config.kv.enabled stacks). Before each Store/Delete returns the
+  // key's fact is a KvOneOf(old, new) — the device-side map+data commit
+  // window the explorer cuts through; after the ack the exact value is
+  // guaranteed (completion = durability, no host flush).
+  static CrashWorkload KvPutGet();
+  // One key overwritten repeatedly with multi-page values: every round
+  // frees the previous flash run, so small-geometry configs run GC
+  // mid-stream and crash cuts land inside migrate/checkpoint/erase.
+  static CrashWorkload KvOverwriteChurn();
+
   // --- Multi-core workloads ----------------------------------------------
   // Two cores append+fsync their own files concurrently (SpawnOnCore), so
   // the recorded stream interleaves both queues' traffic and crash cuts

@@ -82,6 +82,43 @@ OracleFact OracleFact::FileRegion(ExtFs& fs, const std::string& path, uint64_t o
   return f;
 }
 
+OracleFact OracleFact::KvValue(std::string key, std::span<const uint8_t> value) {
+  OracleFact f;
+  f.kind = Kind::kKvValue;
+  f.path = std::move(key);
+  f.size = value.size();
+  f.content_hash = Fnv1a(value);
+  return f;
+}
+
+OracleFact OracleFact::KvValue(std::string key, std::string_view value) {
+  return KvValue(std::move(key),
+                 std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(value.data()),
+                                          value.size()));
+}
+
+OracleFact OracleFact::KvAbsent(std::string key) {
+  OracleFact f;
+  f.kind = Kind::kKvAbsent;
+  f.path = std::move(key);
+  f.size = kKvSizeAbsent;
+  return f;
+}
+
+OracleFact OracleFact::KvOneOf(const OracleFact& before, const OracleFact& after) {
+  CCNVME_CHECK(before.kind == Kind::kKvValue || before.kind == Kind::kKvAbsent);
+  CCNVME_CHECK(after.kind == Kind::kKvValue || after.kind == Kind::kKvAbsent);
+  CCNVME_CHECK(before.path == after.path);
+  OracleFact f;
+  f.kind = Kind::kKvValueOneOf;
+  f.path = before.path;
+  f.size = before.size;
+  f.content_hash = before.content_hash;
+  f.alt_size = after.size;
+  f.alt_content_hash = after.content_hash;
+  return f;
+}
+
 std::string DescribeFact(const OracleFact& f) {
   switch (f.kind) {
     case OracleFact::Kind::kFileExists:
@@ -98,6 +135,16 @@ std::string DescribeFact(const OracleFact& f) {
     case OracleFact::Kind::kFileRegion:
       return "region(" + f.path + ", off=" + std::to_string(f.offset) +
              ", len=" + std::to_string(f.size) + ")";
+    case OracleFact::Kind::kKvValue:
+      return "kv(" + f.path + ", size=" + std::to_string(f.size) + ")";
+    case OracleFact::Kind::kKvAbsent:
+      return "kv-absent(" + f.path + ")";
+    case OracleFact::Kind::kKvValueOneOf: {
+      auto v = [](uint64_t s) {
+        return s == kKvSizeAbsent ? std::string("absent") : std::to_string(s);
+      };
+      return "kv-one-of(" + f.path + ", sizes=" + v(f.size) + "|" + v(f.alt_size) + ")";
+    }
   }
   return "?";
 }
@@ -118,6 +165,10 @@ class ContextImpl : public CrashTestContext {
         live_cv_(&stack.sim()) {}
 
   ExtFs& fs() override { return stack_.fs(); }
+  KvNvmeDriver& kv() override {
+    CCNVME_CHECK(stack_.kv_driver() != nullptr) << "stack built without config.kv.enabled";
+    return *stack_.kv_driver();
+  }
   void AddFact(const OracleFact& fact) override {
     facts_->push_back({events_->size(), false, fact});
   }
@@ -315,7 +366,7 @@ CrashRecording RecordWorkload(const StackConfig& config, const CrashWorkload& wo
   // (simulated) crash. Tracing never perturbs virtual time, so recordings
   // are identical with or without it.
   Tracer& tracer = stack.EnableTracing(/*ring_capacity=*/512);
-  Status st = stack.MkfsAndMount();
+  Status st = config.kv.enabled ? stack.KvFormat() : stack.MkfsAndMount();
   CCNVME_CHECK(st.ok()) << st.ToString();
   rec.base = stack.CaptureCrashImage();
 
@@ -333,6 +384,20 @@ std::vector<size_t> ConsistencyBoundaries(const std::vector<BioEvent>& events) {
     const BioOp op = events[i].op;
     if (op == BioOp::kComplete || op == BioOp::kFlush || op == BioOp::kPmrDoorbell ||
         op == BioOp::kNvmFence) {
+      out.push_back(i + 1);
+    } else if (op == BioOp::kPmrFence && events[i].qid == kFtlQid) {
+      // KV-path persist fence: the device-internal ARM/COMMIT fences of the
+      // KV Store protocol move the preceding WC stores (shadow map-entry,
+      // directory meta word) from uncertain to durable — exactly the
+      // boundaries that bracket the map+data atomicity window.
+      out.push_back(i + 1);
+    } else if (op == BioOp::kPmrWrite && events[i].qid == kFtlQid &&
+               (events[i].flags & kBioPmrWc) != 0) {
+      // Cut INSIDE the KV commit window, right after each WC store and
+      // before its fence: here the key bytes, the shadow map-entry and the
+      // directory meta word are uncertain items, so the explorer enumerates
+      // their absent/present/torn combinations — the map+data atomicity
+      // window itself, not just its fenced edges.
       out.push_back(i + 1);
     } else if (op == BioOp::kPmrWrite && (events[i].flags & kBioPmrWc) == 0) {
       // An uncached P-SQ-head advance moves a transaction OUT of its
@@ -511,6 +576,77 @@ std::string CheckCrashState(const CrashRecording& rec, const CrashPlan& plan,
       *metrics_json = ExportJson(stack.metrics()->TakeSnapshot());
     }
   };
+  if (rec.config.kv.enabled) {
+    // KV-native stack: "mount" = KvSsd attach (shadow replay + liveness
+    // rebuild), "fsck" = the KvSsd structural check, facts = key lookups
+    // through the KV driver.
+    Status attach = stack.KvAttach();
+    if (!attach.ok()) {
+      export_metrics();
+      return "kv attach failed: " + attach.ToString();
+    }
+    std::map<std::string, OracleFact> active;
+    for (const auto& fe : rec.facts) {
+      if (fe.event_index > plan.crash_index) {
+        break;
+      }
+      if (fe.invalidate) {
+        active.erase(fe.fact.path);
+      } else {
+        active[fe.fact.path] = fe.fact;
+      }
+    }
+    std::string failure;
+    stack.Run([&] {
+      Status consistent = stack.kv_ssd()->CheckConsistency();
+      if (!consistent.ok()) {
+        failure = "inconsistent kv-ssd: " + consistent.ToString();
+        return;
+      }
+      for (const auto& [key, fact] : active) {
+        auto got = stack.kv_driver()->Retrieve(0, fact.path);
+        if (!got.ok() && got.status().code() != ErrorCode::kNotFound) {
+          failure = DescribeFact(fact) + " violated: retrieve failed: " +
+                    got.status().ToString();
+          return;
+        }
+        auto matches = [&](uint64_t want_size, uint64_t want_hash) {
+          if (want_size == kKvSizeAbsent) {
+            return !got.ok();
+          }
+          return got.ok() && got->size() == want_size && Fnv1a(*got) == want_hash;
+        };
+        switch (fact.kind) {
+          case OracleFact::Kind::kKvAbsent:
+            if (got.ok()) {
+              failure = DescribeFact(fact) + " violated: key still exists";
+              return;
+            }
+            break;
+          case OracleFact::Kind::kKvValue:
+            if (!matches(fact.size, fact.content_hash)) {
+              failure = DescribeFact(fact) + " violated: value " +
+                        (got.ok() ? "mismatch" : "missing");
+              return;
+            }
+            break;
+          case OracleFact::Kind::kKvValueOneOf:
+            if (!matches(fact.size, fact.content_hash) &&
+                !matches(fact.alt_size, fact.alt_content_hash)) {
+              failure = DescribeFact(fact) + " violated: value matches neither version";
+              return;
+            }
+            break;
+          default:
+            failure = "non-KV fact on a KV stack: " + DescribeFact(fact);
+            return;
+        }
+      }
+    });
+    export_metrics();
+    return failure;
+  }
+
   Status mount = stack.MountExisting();
   if (!mount.ok()) {
     export_metrics();
@@ -624,6 +760,11 @@ std::string CheckCrashState(const CrashRecording& rec, const CrashPlan& plan,
           }
           break;
         }
+        case OracleFact::Kind::kKvValue:
+        case OracleFact::Kind::kKvAbsent:
+        case OracleFact::Kind::kKvValueOneOf:
+          // KV facts only arise on config.kv.enabled stacks (handled above).
+          break;
       }
     }
   });

@@ -47,6 +47,14 @@ struct OracleFact {
     // actors can each arm a fact about their own exclusive region the
     // moment their fsync returns, while other actors keep mutating theirs.
     kFileRegion,
+    // KV-native stacks (config.kv.enabled): |path| holds the key. kKvValue
+    // freezes (size, content_hash) of the value; kKvAbsent asserts the key
+    // does not exist; kKvValueOneOf allows either of two versions (a KV
+    // Store/Delete in flight) — an absent version is encoded as size ==
+    // ~0ull, so "old value or deleted" windows are expressible too.
+    kKvValue,
+    kKvAbsent,
+    kKvValueOneOf,
   };
   Kind kind = Kind::kFileExists;
   std::string path;
@@ -66,7 +74,17 @@ struct OracleFact {
   // Freezes the current bytes of [offset, offset+length) of the file.
   static OracleFact FileRegion(ExtFs& fs, const std::string& path, uint64_t offset,
                                uint64_t length);
+
+  // KV-native facts. |KvOneOf|'s operands must be kKvValue or kKvAbsent
+  // facts for the same key.
+  static OracleFact KvValue(std::string key, std::span<const uint8_t> value);
+  static OracleFact KvValue(std::string key, std::string_view value);
+  static OracleFact KvAbsent(std::string key);
+  static OracleFact KvOneOf(const OracleFact& before, const OracleFact& after);
 };
+
+// kKvValueOneOf encoding of "this version is the key being absent".
+inline constexpr uint64_t kKvSizeAbsent = ~0ull;
 
 std::string DescribeFact(const OracleFact& f);
 
@@ -75,6 +93,9 @@ class CrashTestContext {
  public:
   virtual ~CrashTestContext() = default;
   virtual ExtFs& fs() = 0;
+  // The KV-native driver of a config.kv.enabled stack (CHECK-fails on
+  // block-path stacks).
+  virtual KvNvmeDriver& kv() = 0;
   // Registers a fact that is guaranteed from this moment on (call it right
   // after the corresponding fsync/fdatasync returns).
   virtual void AddFact(const OracleFact& fact) = 0;

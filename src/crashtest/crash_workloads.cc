@@ -18,6 +18,8 @@ const std::map<std::string, CrashWorkload>& CrashWorkloadRegistry() {
           {"nvlog_overwrite_churn", CrashMonkey::NvlogOverwriteChurn()},
           {"multicore_appends", CrashMonkey::MultiCoreAppends()},
           {"multicore_shared_fsync", CrashMonkey::MultiCoreSharedFsync()},
+          {"kv_put_get", CrashMonkey::KvPutGet()},
+          {"kv_overwrite_churn", CrashMonkey::KvOverwriteChurn()},
       };
   return *kRegistry;
 }

@@ -216,6 +216,16 @@ std::string ReplayArtifact::ToJson() const {
   out << "  \"volume_chunk_blocks\": " << config.volume.chunk_blocks << ",\n";
   out << "  \"test_skip_volume_commit_gate\": " << b(config.volume.test_skip_volume_commit_gate)
       << ",\n";
+  out << "  \"kv_enabled\": " << b(config.kv.enabled) << ",\n";
+  out << "  \"kv_dir_slots\": " << config.kv.dir_slots << ",\n";
+  out << "  \"kv_shadow_slots\": " << config.kv.shadow_slots << ",\n";
+  out << "  \"kv_flash_pages\": " << config.kv.flash_pages << ",\n";
+  out << "  \"kv_pages_per_block\": " << config.kv.pages_per_block << ",\n";
+  out << "  \"kv_total_lpns\": " << config.kv.total_lpns << ",\n";
+  out << "  \"kv_map_cache_segments\": " << config.kv.map_cache_segments << ",\n";
+  out << "  \"kv_gc_free_blocks_low\": " << config.kv.gc_free_blocks_low << ",\n";
+  out << "  \"kv_test_skip_ftl_shadow_commit\": " << b(config.kv.test_skip_ftl_shadow_commit)
+      << ",\n";
   out << "  \"torn_seed\": " << torn_seed << ",\n";
   out << "  \"crash_index\": " << plan.crash_index << ",\n";
   out << "  \"choices\": [";
@@ -295,6 +305,34 @@ Result<ReplayArtifact> ReplayArtifact::FromJson(const std::string& json) {
   }
   if (Result<bool> gate = GetBool(json, "test_skip_volume_commit_gate"); gate.ok()) {
     art.config.volume.test_skip_volume_commit_gate = *gate;
+  }
+  // Optional KV-native path (older artifacts predate the KV-SSD).
+  if (Result<bool> ke = GetBool(json, "kv_enabled"); ke.ok()) {
+    art.config.kv.enabled = *ke;
+  }
+  if (Result<uint64_t> v = GetUInt(json, "kv_dir_slots"); v.ok()) {
+    art.config.kv.dir_slots = static_cast<uint32_t>(*v);
+  }
+  if (Result<uint64_t> v = GetUInt(json, "kv_shadow_slots"); v.ok()) {
+    art.config.kv.shadow_slots = static_cast<uint32_t>(*v);
+  }
+  if (Result<uint64_t> v = GetUInt(json, "kv_flash_pages"); v.ok()) {
+    art.config.kv.flash_pages = *v;
+  }
+  if (Result<uint64_t> v = GetUInt(json, "kv_pages_per_block"); v.ok()) {
+    art.config.kv.pages_per_block = static_cast<uint32_t>(*v);
+  }
+  if (Result<uint64_t> v = GetUInt(json, "kv_total_lpns"); v.ok()) {
+    art.config.kv.total_lpns = *v;
+  }
+  if (Result<uint64_t> v = GetUInt(json, "kv_map_cache_segments"); v.ok()) {
+    art.config.kv.map_cache_segments = static_cast<uint32_t>(*v);
+  }
+  if (Result<uint64_t> v = GetUInt(json, "kv_gc_free_blocks_low"); v.ok()) {
+    art.config.kv.gc_free_blocks_low = static_cast<uint32_t>(*v);
+  }
+  if (Result<bool> v = GetBool(json, "kv_test_skip_ftl_shadow_commit"); v.ok()) {
+    art.config.kv.test_skip_ftl_shadow_commit = *v;
   }
   CCNVME_ASSIGN_OR_RETURN(art.torn_seed, GetUInt(json, "torn_seed"));
   CCNVME_ASSIGN_OR_RETURN(art.plan.crash_index, GetUInt(json, "crash_index"));

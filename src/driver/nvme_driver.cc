@@ -112,6 +112,11 @@ NvmeDriver::RequestHandle NvmeDriver::SubmitFlush(uint16_t qid) {
   return SubmitCommand(qid, cmd, nullptr, nullptr, nullptr);
 }
 
+NvmeDriver::RequestHandle NvmeDriver::SubmitRaw(uint16_t qid, const NvmeCommand& cmd,
+                                                const Buffer* data, Buffer* out) {
+  return SubmitCommand(qid, cmd, data, out, nullptr);
+}
+
 Status NvmeDriver::Wait(const RequestHandle& req) {
   req->done.Wait();
   if (req->nvme_status != 0) {
@@ -159,6 +164,7 @@ void NvmeDriver::BottomHalfLoop(QueueState* q) {
       qp->data[cqe.cid] = IoQueuePair::DataRef{};
       q->free_cids.push_back(cqe.cid);
       req->nvme_status = cqe.status;
+      req->result = cqe.result;
 
       q->cq_head = qp->SlotAfter(q->cq_head);
       if (q->cq_head == 0) {

@@ -39,6 +39,7 @@ class NvmeDriver {
     explicit Request(Simulator* sim) : done(sim) {}
     SimCompletion done;
     uint16_t nvme_status = 0;
+    uint32_t result = 0;  // CQE dword 0 (KV Retrieve/List sizes)
     uint16_t cid = 0;
     uint16_t qid = 0;
     // Trace request id of the submitter, restored on the bottom-half actor
@@ -61,6 +62,10 @@ class NvmeDriver {
                             std::function<void()> on_complete = nullptr);
   RequestHandle SubmitRead(uint16_t qid, uint64_t slba, uint32_t num_blocks, Buffer* out);
   RequestHandle SubmitFlush(uint16_t qid);
+  // Raw vendor/KV command submission (KvNvmeDriver): |cmd|'s cid is
+  // assigned here; |data|/|out| become the command's data descriptors.
+  RequestHandle SubmitRaw(uint16_t qid, const NvmeCommand& cmd, const Buffer* data,
+                          Buffer* out);
 
   // Blocks the calling actor until |req| completes.
   Status Wait(const RequestHandle& req);

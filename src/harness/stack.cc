@@ -119,6 +119,14 @@ void StorageStack::Build(const CrashImage* image) {
   }
   fs_ = std::make_unique<ExtFs>(sim_.get(), blk_.get(), config_.costs, config_.fs);
 
+  if (config_.kv.enabled) {
+    CCNVME_CHECK_EQ(n, 1) << "the KV-native path is a single-device architecture";
+    kv_ssd_ = std::make_unique<KvSsd>(sim_.get(), ssds_[0].get(),
+                                      &controllers_[0]->pmr(), config_.kv);
+    controllers_[0]->set_kv_ssd(kv_ssd_.get());
+    kv_driver_ = std::make_unique<KvNvmeDriver>(sim_.get(), nvmes_[0].get());
+  }
+
   if (const char* env = std::getenv("CCNVME_METRICS"); env != nullptr && *env != '\0') {
     metrics_dump_path_ = env;
     EnableMetrics();
@@ -145,6 +153,20 @@ Status StorageStack::MountExisting() {
 Status StorageStack::Unmount() {
   Status result = OkStatus();
   Run([&] { result = fs_->Unmount(); });
+  return result;
+}
+
+Status StorageStack::KvFormat() {
+  CCNVME_CHECK(kv_ssd_ != nullptr) << "stack built without config.kv.enabled";
+  Status result = OkStatus();
+  Run([&] { result = kv_ssd_->Format(); });
+  return result;
+}
+
+Status StorageStack::KvAttach() {
+  CCNVME_CHECK(kv_ssd_ != nullptr) << "stack built without config.kv.enabled";
+  Status result = OkStatus();
+  Run([&] { result = kv_ssd_->Attach(); });
   return result;
 }
 
@@ -182,6 +204,9 @@ void StorageStack::SetRecorder(BioRecorder recorder) {
   }
   if (nvm_ != nullptr) {
     nvm_->set_recorder(recorder);
+  }
+  if (kv_ssd_ != nullptr) {
+    kv_ssd_->set_recorder(recorder);
   }
   if (volume_ != nullptr) {
     // The volume records media events itself (with the member device

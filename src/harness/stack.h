@@ -13,11 +13,13 @@
 #include <vector>
 
 #include "src/block/block_layer.h"
+#include "src/driver/kv_driver.h"
 #include "src/driver/opimq.h"
 #include "src/extfs/extfs.h"
 #include "src/metrics/export.h"
 #include "src/metrics/metrics.h"
 #include "src/nvm/nvm_device.h"
+#include "src/nvme/kv_ssd.h"
 #include "src/pcie/pcie_link.h"
 #include "src/profile/critical_path.h"
 #include "src/trace/tracer.h"
@@ -46,6 +48,10 @@ struct StackConfig {
   // Byte-addressable NVM tier (NVLog). Created when |nvm.enabled| or the
   // file system selects JournalKind::kNvlog.
   NvmConfig nvm;
+  // KV-native device path (demand-paged FTL + NVMe KV command set). When
+  // |kv.enabled| the stack builds a KvSsd over device 0's flash + PMR and a
+  // KvNvmeDriver on top; single-device stacks only.
+  KvSsdConfig kv;
 };
 
 // One member device's durable bytes: media durable view + PMR.
@@ -83,6 +89,11 @@ class StorageStack {
   // Mounts the existing on-media file system (post-crash: runs recovery).
   Status MountExisting();
   Status Unmount();
+
+  // KV-native path equivalents (config().kv.enabled stacks; runs inside an
+  // actor like MkfsAndMount/MountExisting).
+  Status KvFormat();
+  Status KvAttach();
 
   // Captures what a power cut right now would leave behind. With a
   // volatile-cache drive, pending cached writes are LOST (the conservative
@@ -146,6 +157,9 @@ class StorageStack {
   Volume* volume() { return volume_.get(); }
   // The byte-addressable NVM tier, or nullptr when the stack has none.
   NvmDevice* nvm_device() { return nvm_.get(); }
+  // The KV-native device path, or nullptr when config.kv.enabled is false.
+  KvSsd* kv_ssd() { return kv_ssd_.get(); }
+  KvNvmeDriver* kv_driver() { return kv_driver_.get(); }
   BlockLayer& blk() { return *blk_; }
   ExtFs& fs() { return *fs_; }
   const StackConfig& config() const { return config_; }
@@ -171,6 +185,8 @@ class StorageStack {
   std::vector<std::unique_ptr<OpimqDriver>> opimqs_;
   std::unique_ptr<Volume> volume_;
   std::unique_ptr<NvmDevice> nvm_;
+  std::unique_ptr<KvSsd> kv_ssd_;
+  std::unique_ptr<KvNvmeDriver> kv_driver_;
   std::unique_ptr<BlockLayer> blk_;
   std::unique_ptr<ExtFs> fs_;
 };

@@ -229,6 +229,15 @@ void InvariantMonitors::OnNvlogCheckpoint(uint64_t entry_seq, uint64_t durable_s
   }
 }
 
+void InvariantMonitors::OnKvCommit(uint64_t key_hash, bool data_durable, bool shadow_armed) {
+  if (!data_durable || !shadow_armed) {
+    Violate(MonitorId::kFtlMapDataAtomicity,
+            Format("KV Store key=%016llx committed with data_durable=%d shadow_armed=%d",
+                   static_cast<unsigned long long>(key_hash), data_durable ? 1 : 0,
+                   shadow_armed ? 1 : 0));
+  }
+}
+
 uint64_t InvariantMonitors::total_violations() const {
   uint64_t total = 0;
   for (const Stat& s : stats_) {

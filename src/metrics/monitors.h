@@ -44,6 +44,9 @@ enum class MonitorId : uint16_t {
                                // commit covered the caller's registration
   kNvlogDrainOrder,            // checkpoint block issued before its covering
                                // NVM log entry was fenced durable
+  kFtlMapDataAtomicity,        // KV Store committed its map entry while the
+                               // data pages or the fenced shadow were not yet
+                               // durable (map+data atomicity window broken)
   kNumMonitors,
 };
 
@@ -64,6 +67,7 @@ constexpr const char* MonitorName(MonitorId id) {
     case MonitorId::kRecoveryWindowScan: return "recovery.window_scan";
     case MonitorId::kFsyncCrossCoreOrder: return "fs.fsync_cross_core_order";
     case MonitorId::kNvlogDrainOrder: return "nvm.log_drain_order";
+    case MonitorId::kFtlMapDataAtomicity: return "ftl.map_data_atomicity";
     case MonitorId::kNumMonitors: break;
   }
   return "?";
@@ -125,6 +129,14 @@ class InvariantMonitors {
   // must already cover it, or a crash between the two leaves a half-applied
   // sync with no durable log entry to replay it from.
   void OnNvlogCheckpoint(uint64_t entry_seq, uint64_t durable_seq);
+
+  // --- src/nvme/kv_ssd: KV Store map+data atomicity ------------------------
+  // Fired as a KV Store commits its directory meta word: the value's data
+  // pages must be durable on media AND the shadow map-entry must have been
+  // fenced into the PMR — otherwise a crash right after the commit word
+  // lands leaves a mapping pointing at garbage (or a torn window with no
+  // shadow to replay), breaking KV Store atomicity across FTL map + data.
+  void OnKvCommit(uint64_t key_hash, bool data_durable, bool shadow_armed);
 
   // --- Reporting ----------------------------------------------------------
   uint64_t violations(MonitorId id) const { return stats_[Index(id)].count; }

@@ -15,6 +15,10 @@ void NvmeCommand::Serialize(std::span<uint8_t> out) const {
   PutU64(out, 24, prp1);           // CDW6-7: PRP entry 1
   PutU64(out, 40, slba);           // CDW10-11: starting LBA
   PutU32(out, 48, cdw12);          // CDW12: NLB | attrs | FUA
+  // KV key: bytes 32-39 (CDW8-9) and 52-59 (CDW13-14), length at byte 60.
+  std::memcpy(out.data() + 32, key.data(), 8);
+  std::memcpy(out.data() + 52, key.data() + 8, 8);
+  out[60] = key_len;
 }
 
 NvmeCommand NvmeCommand::Parse(std::span<const uint8_t> in) {
@@ -28,6 +32,9 @@ NvmeCommand NvmeCommand::Parse(std::span<const uint8_t> in) {
   cmd.prp1 = GetU64(in, 24);
   cmd.slba = GetU64(in, 40);
   cmd.cdw12 = GetU32(in, 48);
+  std::memcpy(cmd.key.data(), in.data() + 32, 8);
+  std::memcpy(cmd.key.data() + 8, in.data() + 52, 8);
+  cmd.key_len = in[60];
   return cmd;
 }
 

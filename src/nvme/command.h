@@ -12,6 +12,7 @@
 #ifndef SRC_NVME_COMMAND_H_
 #define SRC_NVME_COMMAND_H_
 
+#include <array>
 #include <cstdint>
 #include <span>
 
@@ -27,6 +28,13 @@ enum class NvmeOpcode : uint8_t {
   kFlush = 0x00,
   kWrite = 0x01,
   kRead = 0x02,
+  // KV command set (NVMe-KV TP 4015 opcodes where they exist; List moved
+  // above 0x80 so every KV opcode routes through one dispatch test).
+  kKvStore = 0x81,
+  kKvList = 0x85,
+  kKvRetrieve = 0x90,
+  kKvDelete = 0xA1,
+  kKvExist = 0xB3,
 };
 
 // CDW12 bit layout for I/O commands.
@@ -47,6 +55,11 @@ struct NvmeCommand {
   uint64_t prp1 = 0;   // host data handle (models the PRP list)
   uint64_t slba = 0;
   uint32_t cdw12 = 0;
+  // KV command set: up-to-16-byte key + length. Rides in reserved SQE
+  // bytes ([32,40) and [52,61)) so a KV command is still a well-formed
+  // 64-byte SQE; zero for block commands.
+  std::array<uint8_t, 16> key{};
+  uint8_t key_len = 0;
 
   NvmeOpcode op() const { return static_cast<NvmeOpcode>(opcode); }
   // Number of logical blocks (NLB is 0-based on the wire).
@@ -65,6 +78,15 @@ struct NvmeCommand {
   bool fua() const { return (cdw12 & kCdw12Fua) != 0; }
   bool is_io() const {
     return op() == NvmeOpcode::kWrite || op() == NvmeOpcode::kRead;
+  }
+  bool is_kv() const { return opcode >= 0x80; }
+  std::span<const uint8_t> key_span() const {
+    return std::span<const uint8_t>(key.data(), key_len);
+  }
+  void set_key(std::span<const uint8_t> k) {
+    key.fill(0);
+    std::copy(k.begin(), k.end(), key.begin());
+    key_len = static_cast<uint8_t>(k.size());
   }
 
   void Serialize(std::span<uint8_t> out) const;

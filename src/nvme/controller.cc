@@ -3,6 +3,7 @@
 #include "src/common/logging.h"
 #include "src/metrics/metrics.h"
 #include "src/nvme/admin.h"
+#include "src/nvme/kv_ssd.h"
 #include "src/trace/tracer.h"
 
 namespace ccnvme {
@@ -164,6 +165,11 @@ void NvmeController::WorkerLoop(IoQueuePair* qp) {
 }
 
 void NvmeController::Execute(IoQueuePair* qp, const NvmeCommand& cmd) {
+  if (cmd.is_kv()) {
+    CCNVME_CHECK(kv_ssd_ != nullptr) << "KV opcode on a block-only controller";
+    ExecuteKv(qp, cmd);
+    return;
+  }
   uint16_t status = 0;
   switch (cmd.op()) {
     case NvmeOpcode::kWrite: {
@@ -192,9 +198,58 @@ void NvmeController::Execute(IoQueuePair* qp, const NvmeCommand& cmd) {
       ssd_->MediaFlush();
       break;
     }
+    default:
+      break;  // KV opcodes dispatched above
   }
   commands_executed_++;
   PostCompletion(qp, cmd, status, /*result=*/0);
+}
+
+void NvmeController::ExecuteKv(IoQueuePair* qp, const NvmeCommand& cmd) {
+  uint16_t status = 0;
+  uint32_t result = 0;
+  switch (cmd.op()) {
+    case NvmeOpcode::kKvStore: {
+      // SLBA carries the value length; the payload rides the normal data
+      // descriptor and is DMAed to the device before execution.
+      const IoQueuePair::DataRef& ref = qp->data[cmd.cid];
+      CCNVME_CHECK(ref.write_data != nullptr)
+          << "KV Store cid " << cmd.cid << " without a data descriptor";
+      CCNVME_CHECK_EQ(ref.write_data->size(), cmd.slba);
+      link_->DmaData(ref.write_data->size(), /*to_device=*/true);
+      status = kv_ssd_->ExecStore(cmd.key_span(), *ref.write_data);
+      break;
+    }
+    case NvmeOpcode::kKvRetrieve: {
+      const IoQueuePair::DataRef& ref = qp->data[cmd.cid];
+      CCNVME_CHECK(ref.read_buf != nullptr)
+          << "KV Retrieve cid " << cmd.cid << " without a data descriptor";
+      status = kv_ssd_->ExecRetrieve(cmd.key_span(), ref.read_buf, &result);
+      link_->DmaData(ref.read_buf->size(), /*to_device=*/false);
+      break;
+    }
+    case NvmeOpcode::kKvDelete: {
+      status = kv_ssd_->ExecDelete(cmd.key_span());
+      break;
+    }
+    case NvmeOpcode::kKvExist: {
+      status = kv_ssd_->ExecExist(cmd.key_span());
+      break;
+    }
+    case NvmeOpcode::kKvList: {
+      const IoQueuePair::DataRef& ref = qp->data[cmd.cid];
+      CCNVME_CHECK(ref.read_buf != nullptr)
+          << "KV List cid " << cmd.cid << " without a data descriptor";
+      status = kv_ssd_->ExecList(cmd.cdw10(), cmd.cdw12, ref.read_buf, &result);
+      link_->DmaData(ref.read_buf->size(), /*to_device=*/false);
+      break;
+    }
+    default:
+      status = kKvStatusInvalidField;  // unknown vendor opcode
+      break;
+  }
+  commands_executed_++;
+  PostCompletion(qp, cmd, status, result);
 }
 
 void NvmeController::PostCompletion(IoQueuePair* qp, const NvmeCommand& cmd, uint16_t status,

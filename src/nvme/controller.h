@@ -26,6 +26,8 @@
 
 namespace ccnvme {
 
+class KvSsd;
+
 // Shared queue-pair state. The rings live in host memory (std::vector) or in
 // the PMR; the doorbells are device registers written via modeled MMIO.
 // Plain fields are safe: the simulator guarantees one runner at a time.
@@ -140,11 +142,17 @@ class NvmeController {
   SsdModel& ssd() { return *ssd_; }
   const NvmeControllerConfig& config() const { return config_; }
 
+  // Attaches the KV-SSD front-end: opcodes >= 0x80 dispatch to it instead
+  // of the block command set (see src/nvme/kv_ssd.h).
+  void set_kv_ssd(KvSsd* kv) { kv_ssd_ = kv; }
+  KvSsd* kv_ssd() { return kv_ssd_; }
+
   uint64_t commands_executed() const { return commands_executed_; }
 
  private:
   void WorkerLoop(IoQueuePair* qp);
   void Execute(IoQueuePair* qp, const NvmeCommand& cmd);
+  void ExecuteKv(IoQueuePair* qp, const NvmeCommand& cmd);
   void ExecuteAdmin(IoQueuePair* qp, const NvmeCommand& cmd);
   void PostCompletion(IoQueuePair* qp, const NvmeCommand& cmd, uint16_t status,
                       uint32_t result);
@@ -155,6 +163,7 @@ class NvmeController {
   SsdModel* ssd_;
   NvmeControllerConfig config_;
   Pmr pmr_;
+  KvSsd* kv_ssd_ = nullptr;
   std::vector<std::unique_ptr<IoQueuePair>> queues_;
   uint64_t commands_executed_ = 0;
   // Admin state.

@@ -1,0 +1,260 @@
+// KV-native SSD front-end: the NVMe KV command set executed directly over
+// the FTL, with KV Store made atomic across FTL map + data.
+//
+// This is the repo's fourth durability architecture (next to jbd2, horae
+// and ccnvme on the block path and the NVM write-ahead log): the device
+// itself guarantees that a KV Store is all-or-nothing, so the host needs
+// no journal at all.
+//
+// Persistent state lives in two domains:
+//   * flash (via SsdModel): value pages and the flash copies of L2P map
+//     segments, both written out-of-place by the FTL;
+//   * the controller PMR (capacitor-backed, survives power cuts): a hash
+//     directory of keys, a shadow ring of per-command map entries, the
+//     global translation directory (GTD: map-segment roots) and a
+//     superblock. All laid out top-down from the end of the PMR so the
+//     ccNVMe P-SQ area at the bottom is untouched.
+//
+// KV Store commit protocol (the crash window src/crashtest enumerates):
+//   1. write the value's data pages to flash (out-of-place, blocking);
+//   2. stage the L2P updates in the cached map segments (volatile);
+//   3. ARM: WC-store the key bytes (first insert) and a checksummed
+//      32-byte shadow map-entry {seq, lpn, npages, ppn, slot} into the
+//      PMR shadow ring, then fence — the shadow is now durable;
+//   4. COMMIT: WC-store the slot's single 8-byte meta word (lpn, length,
+//      key length, used bit), then fence.
+// The meta word is the atomicity point. A crash before 4's store leaves
+// the old value (directory unchanged, staged map volatile); a crash after
+// it finds the shadow already durable (any fence ordering the meta word
+// into the PMR also ordered the earlier shadow), so recovery replays the
+// shadow into the map and the new value is complete. Tearing is a
+// non-issue by construction: the meta word is one 8-byte MMIO word, and
+// the key/shadow bytes are fenced before the meta word is stored.
+// Recovery replays crc-clean shadows with consecutive sequence numbers
+// above the checkpoint, then rebuilds physical-page liveness from the
+// directory — a directory entry whose LPNs have no mapping is a
+// consistency violation (exactly what test_skip_ftl_shadow_commit produces).
+//
+// Everything here executes on NvmeController worker actors under one
+// device mutex; media waits and PMR store costs are virtual-time blocking.
+#ifndef SRC_NVME_KV_SSD_H_
+#define SRC_NVME_KV_SSD_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/block/bio_event.h"
+#include "src/common/status.h"
+#include "src/nvme/pmr.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/ssd/ftl.h"
+#include "src/ssd/ssd_model.h"
+
+namespace ccnvme {
+
+// Recorder qid for all KV-path PMR events (the FTL owns no host SQ; the
+// value just namespaces its WC-fence domain away from real queues).
+inline constexpr uint16_t kFtlQid = 0xFFFE;
+
+// NVMe status codes for the KV command set.
+inline constexpr uint16_t kKvStatusNotFound = 0x87;   // key does not exist
+inline constexpr uint16_t kKvStatusCapacity = 0x88;   // device/table full
+inline constexpr uint16_t kKvStatusInvalidField = 0x02;
+inline constexpr uint16_t kKvStatusInternal = 0x06;
+inline constexpr uint16_t kKvStatusMediaError = 0x281;
+
+inline constexpr uint32_t kKvSsdMagic = 0x4b564343;  // "CCKV" little-endian
+inline constexpr uint32_t kKvSsdVersion = 1;
+inline constexpr size_t kKvSuperblockBytes = 128;
+inline constexpr size_t kKvDirSlotBytes = 32;   // 16B key + pad + 8B meta
+inline constexpr size_t kKvShadowBytes = 32;
+inline constexpr uint32_t kKvMaxKeyLen = 16;
+
+struct KvSsdConfig {
+  bool enabled = false;           // StackConfig gate: builds the KV path
+  uint32_t dir_slots = 1024;      // hash directory (linear probing)
+  uint32_t shadow_slots = 64;     // shadow ring; wrap forces a checkpoint
+  uint64_t flash_pages = 4096;    // physical geometry (see FtlConfig)
+  uint32_t pages_per_block = 64;
+  uint64_t total_lpns = 3072;
+  uint32_t map_entries_per_segment = 512;
+  uint32_t map_cache_segments = 4;
+  uint32_t gc_free_blocks_low = 2;
+  uint64_t erase_latency_ns = 2'000'000;
+  uint64_t pmr_store_ns = 100;    // controller-internal PMR store cost
+  uint64_t pmr_fence_ns = 250;    // controller-internal persist fence cost
+  uint32_t max_value_bytes = 64 * 1024;  // <= pages_per_block * 4KB
+  // Injected bug: commit the directory meta word WITHOUT first fencing the
+  // shadow map-entry. Breaks map+data atomicity; must be caught by the
+  // ftl.map_data_atomicity monitor AND the crash explorer.
+  bool test_skip_ftl_shadow_commit = false;
+
+  FtlConfig ToFtlConfig() const {
+    FtlConfig f;
+    f.flash_pages = flash_pages;
+    f.pages_per_block = pages_per_block;
+    f.total_lpns = total_lpns;
+    f.map_entries_per_segment = map_entries_per_segment;
+    f.map_cache_segments = map_cache_segments;
+    f.gc_free_blocks_low = gc_free_blocks_low;
+    return f;
+  }
+};
+
+// PMR layout of the KV metadata, top-down from the end of the region.
+// Self-describing: the superblock records the geometry, so tools can parse
+// a crash image without the run's StackConfig.
+struct KvPmrLayout {
+  size_t sb_off = 0;
+  size_t gtd_off = 0;
+  size_t shadow_off = 0;
+  size_t dir_off = 0;
+  uint32_t num_segments = 0;
+
+  static KvPmrLayout From(uint32_t dir_slots, uint32_t shadow_slots,
+                          uint64_t total_lpns, uint32_t map_entries_per_segment,
+                          size_t pmr_size);
+};
+
+class KvSsd : public FtlEnv {
+ public:
+  KvSsd(Simulator* sim, SsdModel* ssd, Pmr* pmr, const KvSsdConfig& config);
+  ~KvSsd() override;
+
+  void set_recorder(BioRecorder recorder) { recorder_ = std::move(recorder); }
+  void set_device_id(uint16_t id) { device_id_ = id; }
+
+  // Factory-formats the PMR metadata (fresh device; not recorded, like
+  // mkfs). Call from an actor.
+  Status Format();
+  // Mount-time recovery: superblock + GTD + shadow replay + directory walk
+  // rebuilding physical liveness. Call from an actor.
+  Status Attach();
+  bool attached() const { return attached_; }
+  // Structural invariants of the attached state: every live directory entry
+  // maps every LPN, no LPN or PPN claimed twice, fields in range. The
+  // crash explorer calls this on every reconstructed state.
+  Status CheckConsistency();
+
+  // --- KV command execution (NvmeController worker actors) ----------------
+  // Return an NVMe status code; |result| (where present) is CQE dword 0.
+  uint16_t ExecStore(std::span<const uint8_t> key, std::span<const uint8_t> value);
+  uint16_t ExecRetrieve(std::span<const uint8_t> key, Buffer* out, uint32_t* result);
+  uint16_t ExecDelete(std::span<const uint8_t> key);
+  uint16_t ExecExist(std::span<const uint8_t> key);
+  // Cursor scan: starts at directory |start_slot|, emits up to |max_keys|
+  // live keys as [u32 next_slot][u32 count][count x (u8 len + bytes)];
+  // next_slot = 0xFFFFFFFF once the table is exhausted. |result| = count.
+  uint16_t ExecList(uint32_t start_slot, uint32_t max_keys, Buffer* out,
+                    uint32_t* result);
+
+  // --- stats ---------------------------------------------------------------
+  const Ftl& ftl() const { return *ftl_; }
+  const KvSsdConfig& config() const { return config_; }
+  const KvPmrLayout& layout() const { return layout_; }
+  uint64_t stores() const { return stores_; }
+  uint64_t retrieves() const { return retrieves_; }
+  uint64_t deletes() const { return deletes_; }
+  uint64_t last_seq() const { return last_seq_; }
+  uint64_t checkpoint_seq() const { return checkpoint_seq_; }
+  uint64_t live_keys() const { return live_keys_; }
+
+  // --- FtlEnv --------------------------------------------------------------
+  void PersistGtd(uint32_t seg, uint64_t ppn) override;
+  uint64_t LoadGtd(uint32_t seg) override;
+  bool FlashWrite(uint64_t ppn, const Buffer& data) override;
+  bool FlashRead(uint64_t ppn, Buffer* out) override;
+  void EraseWait() override;
+  void OnMapCheckpointed() override;
+
+  // Directory meta-word packing (shared with tools/ftl_inspect).
+  static uint64_t PackMeta(uint64_t lpn, uint32_t value_len, uint32_t key_len);
+  static constexpr uint64_t kMetaUsed = 1ull << 63;
+  static constexpr uint64_t kMetaTomb = 1ull << 62;
+  static uint64_t MetaLpn(uint64_t meta) { return meta & 0x3FFFFFF; }
+  static uint32_t MetaValueLen(uint64_t meta) {
+    return static_cast<uint32_t>((meta >> 26) & 0xFFFFF);
+  }
+  static uint32_t MetaKeyLen(uint64_t meta) {
+    return static_cast<uint32_t>((meta >> 46) & 0x1F);
+  }
+  static bool MetaLive(uint64_t meta) {
+    return (meta & kMetaUsed) != 0 && (meta & kMetaTomb) == 0;
+  }
+  static uint32_t MetaPages(uint64_t meta) {
+    return (MetaValueLen(meta) + 4095) / 4096;
+  }
+
+  KvSsd(const KvSsd&) = delete;
+  KvSsd& operator=(const KvSsd&) = delete;
+
+ private:
+  struct DirEnt {
+    std::array<uint8_t, kKvMaxKeyLen> key{};
+    uint64_t meta = 0;
+  };
+  struct Shadow {
+    uint64_t seq = 0;
+    uint64_t lpn = 0;
+    uint32_t npages = 0;
+    uint32_t ppn = 0;
+    uint32_t slot = 0;
+  };
+
+  // Probing. |found| gets the live slot of |key| or -1; |insert| the first
+  // reusable (tombstone/empty) slot in the chain or -1 (table full).
+  void Probe(std::span<const uint8_t> key, int* found, int* insert) const;
+  bool KeyMatches(const DirEnt& e, std::span<const uint8_t> key) const;
+  void ReleaseValue(uint64_t meta);
+
+  // Publishes the FTL level gauges (ftl.waf, page counts, GC totals) into
+  // the attached metrics engine. Gauges are integral, so ftl.waf is
+  // fixed-point x1000; the exact ratio is recoverable from
+  // ftl.host_pages / ftl.media_pages. No-op without metrics; handles are
+  // interned once so the per-op cost is array stores.
+  void PublishFtlMetrics();
+
+  // Recorded PMR traffic (device-internal engine, qid = kFtlQid).
+  void PmrStoreWc(size_t offset, std::span<const uint8_t> data);
+  void PmrStoreUncached(size_t offset, std::span<const uint8_t> data);
+  void PmrFence();
+
+  uint64_t GeometryHash() const;
+  void WriteSuperblock();  // direct (unrecorded); Format only
+  static uint32_t ShadowCrc(std::span<const uint8_t> rec28);
+
+  Simulator* sim_;
+  SsdModel* ssd_;
+  Pmr* pmr_;
+  KvSsdConfig config_;
+  KvPmrLayout layout_;
+  BioRecorder recorder_;
+  uint16_t device_id_ = 0;
+
+  SimMutex mu_;
+  std::unique_ptr<Ftl> ftl_;
+  std::vector<DirEnt> dir_;
+  bool attached_ = false;
+  uint64_t last_seq_ = 0;
+  uint64_t checkpoint_seq_ = 0;
+  uint64_t media_seq_ = 1ull << 40;  // KV media events; disjoint from bios
+  uint64_t live_keys_ = 0;
+  uint64_t stores_ = 0;
+  uint64_t retrieves_ = 0;
+  uint64_t deletes_ = 0;
+  std::vector<std::string> attach_errors_;
+
+  // Interned gauge handles for PublishFtlMetrics (valid while
+  // metrics_seen_ matches the simulator's current engine).
+  void* metrics_seen_ = nullptr;
+  uint32_t gauge_handles_[8] = {};
+};
+
+}  // namespace ccnvme
+
+#endif  // SRC_NVME_KV_SSD_H_

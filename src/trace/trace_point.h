@@ -23,6 +23,7 @@ enum class TraceLayer : uint8_t {
   kNvme,
   kPcie,
   kNvm,
+  kFtl,
   kNumLayers,
 };
 
@@ -82,6 +83,13 @@ enum class TracePoint : uint16_t {
   kNvlogDrain,         // background checkpoint of a batch to the block stack
   kNvlogRecover,       // mount-time scan + replay of the undrained tail
 
+  // --- KV command set + FTL (KV-SSD path) ---------------------------------
+  kKvTotal,            // one end-to-end KV op, driver submit → CQE return
+  kFtlGc,              // synchronous GC pass: victim select + migrate + erase
+  kFtlMapLoad,         // demand-paging one L2P map segment from flash
+  kFtlMapWriteback,    // writing a dirty L2P map segment back to flash
+  kFtlRecover,         // attach-time directory/GTD scan + shadow replay
+
   kNumPoints,
 };
 
@@ -129,6 +137,11 @@ constexpr const char* TracePointName(TracePoint p) {
     case TracePoint::kNvlogFence: return "nvlog.fence";
     case TracePoint::kNvlogDrain: return "nvlog.drain";
     case TracePoint::kNvlogRecover: return "nvlog.recover";
+    case TracePoint::kKvTotal: return "kv.op";
+    case TracePoint::kFtlGc: return "ftl.gc";
+    case TracePoint::kFtlMapLoad: return "ftl.map_load";
+    case TracePoint::kFtlMapWriteback: return "ftl.map_writeback";
+    case TracePoint::kFtlRecover: return "ftl.recover";
     case TracePoint::kNumPoints: break;
   }
   return "?";
@@ -158,6 +171,7 @@ constexpr TraceLayer TracePointLayer(TracePoint p) {
     case TracePoint::kSqDoorbell:
     case TracePoint::kCqDoorbell:
     case TracePoint::kCqeHandled:
+    case TracePoint::kKvTotal:
       return TraceLayer::kDriver;
     case TracePoint::kTxStage:
     case TracePoint::kTxCommit:
@@ -177,6 +191,11 @@ constexpr TraceLayer TracePointLayer(TracePoint p) {
     case TracePoint::kNvlogDrain:
     case TracePoint::kNvlogRecover:
       return TraceLayer::kNvm;
+    case TracePoint::kFtlGc:
+    case TracePoint::kFtlMapLoad:
+    case TracePoint::kFtlMapWriteback:
+    case TracePoint::kFtlRecover:
+      return TraceLayer::kFtl;
     case TracePoint::kMmioWrite:
     case TracePoint::kWcFlush:
     case TracePoint::kDmaQueue:
@@ -198,6 +217,7 @@ constexpr const char* TraceLayerName(TraceLayer l) {
     case TraceLayer::kNvme: return "nvme";
     case TraceLayer::kPcie: return "pcie";
     case TraceLayer::kNvm: return "nvm";
+    case TraceLayer::kFtl: return "ftl";
     case TraceLayer::kNumLayers: break;
   }
   return "?";
@@ -240,6 +260,12 @@ enum class WaitEdge : uint16_t {
   kNvlogDrain,        // append parked on a full log ring until the drainer
                       // checkpointed enough entries to free space
 
+  // --- ftl (KV-SSD) ---------------------------------------------------------
+  kFtlGc,             // foreground command stalled behind a synchronous GC
+                      // pass (victim migration + map checkpoint + erase)
+  kFtlMapMiss,        // command stalled loading a non-resident L2P map
+                      // segment from flash (demand paging of the map)
+
   kNumEdges,
 };
 
@@ -261,6 +287,8 @@ constexpr const char* WaitEdgeName(WaitEdge e) {
     case WaitEdge::kFsyncLeader: return "wait.fsync_leader";
     case WaitEdge::kNvmFlush: return "wait.nvm_flush";
     case WaitEdge::kNvlogDrain: return "wait.nvlog_drain";
+    case WaitEdge::kFtlGc: return "wait.ftl_gc";
+    case WaitEdge::kFtlMapMiss: return "wait.ftl_map_miss";
     case WaitEdge::kNumEdges: break;
   }
   return "?";
@@ -286,6 +314,9 @@ constexpr TraceLayer WaitEdgeLayer(WaitEdge e) {
     case WaitEdge::kNvmFlush:
     case WaitEdge::kNvlogDrain:
       return TraceLayer::kNvm;
+    case WaitEdge::kFtlGc:
+    case WaitEdge::kFtlMapMiss:
+      return TraceLayer::kFtl;
     case WaitEdge::kVolumeFanout:
     case WaitEdge::kNumEdges:
       break;

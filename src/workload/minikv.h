@@ -14,14 +14,26 @@
 #define SRC_WORKLOAD_MINIKV_H_
 
 #include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "src/common/stats.h"
 #include "src/harness/stack.h"
 
 namespace ccnvme {
 
+// Where MiniKV's durability comes from.
+//   kFs:    the LSM engine above — WAL append + sync (group commit),
+//           memtable, SST flushes — over a mounted file system.
+//   kKvSsd: the device-native path — every operation is ONE NVMe KV
+//           command against the KV-SSD (config.kv.enabled stacks); the
+//           device's shadow-commit protocol replaces WAL, memtable and
+//           SSTs entirely, so completion IS durability.
+enum class MiniKvBackend { kFs, kKvSsd };
+
 struct MiniKvOptions {
+  MiniKvBackend backend = MiniKvBackend::kFs;
   uint32_t value_size = 1024;      // db_bench: 1024-byte values
   uint32_t key_size = 16;          // db_bench: 16-byte keys
   uint64_t memtable_bytes = 1 << 20;
@@ -36,12 +48,20 @@ class MiniKv {
   MiniKv(StorageStack* stack, const MiniKvOptions& options)
       : stack_(stack), options_(options), mu_(&stack->sim()), leader_cv_(&stack->sim()) {}
 
-  // Creates the WAL and directories. Call from an actor.
+  // Creates the WAL and directories (kFs) or checks the KV path (kKvSsd).
+  // Call from an actor.
   Status Open();
-  // Durable write (WAL append + sync via group commit).
+  // Durable write: WAL append + sync via group commit (kFs), or one NVMe
+  // KV Store on the calling actor's queue (kKvSsd).
   Status Put(const std::string& key, const std::string& value);
-  // Reads from the memtable or the SSTs.
+  // Reads from the memtable or the SSTs (kFs) / one KV Retrieve (kKvSsd).
   Result<std::string> Get(const std::string& key);
+  // Durable delete: a tombstone WAL record + memtable tombstone (kFs,
+  // vlen = 0xFFFFFFFF in the on-disk records) or one KV Delete (kKvSsd).
+  Status Delete(const std::string& key);
+  Result<bool> Exist(const std::string& key);
+  // All live keys, sorted (kFs: memtable + SSTs merged, tombstones win).
+  Result<std::vector<std::string>> ListKeys();
 
   uint64_t puts() const { return puts_; }
   uint64_t wal_syncs() const { return wal_syncs_; }
@@ -55,9 +75,13 @@ class MiniKv {
     Status result;
   };
 
+  // Shared fs-backend write path for Put and Delete (tombstone = nullopt).
+  Status WriteFsRecord(const std::string& key, const std::string* value);
   Status AppendWalBatch(const Buffer& batch);
   Status MaybeFlushMemtable();
-  static std::string EncodeRecord(const std::string& key, const std::string& value);
+  // Tombstones encode vlen = kTombstoneLen and carry no value bytes.
+  static constexpr uint32_t kTombstoneLen = 0xFFFFFFFFu;
+  static std::string EncodeRecord(const std::string& key, const std::string* value);
 
   StorageStack* stack_;
   MiniKvOptions options_;
@@ -69,7 +93,8 @@ class MiniKv {
   InodeNum wal_ino_ = kInvalidInode;
   uint64_t wal_offset_ = 0;
   int wal_epoch_ = 0;
-  std::map<std::string, std::string> memtable_;
+  // nullopt = tombstone (the key is deleted; shadows older SST entries).
+  std::map<std::string, std::optional<std::string>> memtable_;
   uint64_t memtable_bytes_ = 0;
   int next_sst_ = 0;
   // Newest SST first: lookup order mirrors LSM level-0.
@@ -85,6 +110,11 @@ struct FillsyncOptions {
   uint64_t duration_ns = 30'000'000;
   MiniKvOptions kv;
   uint64_t seed = 7;
+  // 0 = unbounded random keys (the db_bench default). Non-zero bounds the
+  // key population so capacity-limited backends (the KV-SSD's directory and
+  // LPN space) see overwrite churn instead of unbounded growth — that churn
+  // is what makes GC and write amplification observable.
+  uint64_t key_space = 0;
 };
 
 struct FillsyncResult {

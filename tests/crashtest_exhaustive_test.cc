@@ -457,5 +457,74 @@ TEST(ExhaustiveDeterminismTest, ParallelMatchesSerialByteForByte) {
   EXPECT_EQ(c.Summary(), d.Summary());
 }
 
+// --- KV-SSD path (fourth durability architecture) ---------------------------
+
+// Tight FTL geometry so the recorded streams carry GC migration and map
+// writeback traffic, putting boundaries inside the FTL's own windows — not
+// just between host commands.
+StackConfig ExhaustiveKvConfig() {
+  StackConfig cfg;
+  cfg.num_queues = 1;
+  cfg.enable_ccnvme = false;
+  cfg.kv.enabled = true;
+  cfg.kv.dir_slots = 64;
+  cfg.kv.shadow_slots = 16;
+  cfg.kv.flash_pages = 1024;
+  cfg.kv.pages_per_block = 16;
+  cfg.kv.total_lpns = 768;
+  cfg.kv.map_cache_segments = 2;
+  return cfg;
+}
+
+// Every boundary of both KV workloads must recover: a cut before a Store's
+// COMMIT fence shows the old value, after it the new one, and the
+// shadow-replay + directory-walk attach never reports an inconsistency.
+class ExhaustiveKvTest : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ExhaustiveKvTest,
+                         ::testing::Values("kv_put_get", "kv_overwrite_churn"),
+                         [](const ::testing::TestParamInfo<const char*>& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '_') {
+                               c = 'X';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST_P(ExhaustiveKvTest, AllBoundariesRecover) {
+  ExpectAllPassed(ExploreWorkload(ExhaustiveKvConfig(), GetParam(), TestOptions()));
+}
+
+// INJECTED BUG: committing the directory meta word without first fencing
+// the shadow map-entry breaks map+data atomicity. The explorer must catch
+// it, and the crash_artifact_kv_* files it drops in the build dir (which CI
+// uploads next to the fs/nvlog artifacts) must round-trip the KV geometry
+// and replay to the exact same failure.
+TEST(ExhaustiveKvInjectedBugTest, SkippedShadowCommitEmitsFtlArtifacts) {
+  StackConfig cfg = ExhaustiveKvConfig();
+  cfg.kv.test_skip_ftl_shadow_commit = true;
+  ExplorerOptions opt = TestOptions();
+  opt.emit_artifacts = true;
+  opt.artifact_dir = ".";  // the build dir ctest runs in; gitignored
+  const ExplorerReport report = ExploreWorkload(cfg, "kv_put_get", opt);
+  EXPECT_FALSE(report.AllPassed())
+      << "explorer failed to catch the skipped shadow commit";
+  ASSERT_FALSE(report.failures.empty());
+
+  const ExplorerFailure& failure = report.failures[0];
+  ASSERT_FALSE(failure.artifact_path.empty());
+  Result<ReplayArtifact> art = ReplayArtifact::ReadFile(failure.artifact_path);
+  ASSERT_TRUE(art.ok()) << art.status().ToString();
+  EXPECT_TRUE(art->config.kv.enabled);
+  EXPECT_TRUE(art->config.kv.test_skip_ftl_shadow_commit);
+  EXPECT_EQ(art->config.kv.flash_pages, cfg.kv.flash_pages);
+  EXPECT_EQ(art->config.kv.total_lpns, cfg.kv.total_lpns);
+  Result<std::string> replayed = ReplayArtifactCheck(*art);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_EQ(*replayed, failure.message);
+}
+
 }  // namespace
 }  // namespace ccnvme

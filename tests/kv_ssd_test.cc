@@ -1,0 +1,411 @@
+// Full KV-SSD stack battery (ctest label: "kvssd"): the NVMe KV command
+// set through StorageStack + KvNvmeDriver, crash-image round trips that
+// carry FTL state, the ftl.map_data_atomicity monitor, and systematic
+// crash exploration of the device-side map+data commit window.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/crashtest/crash_explorer.h"
+#include "src/crashtest/crash_workloads.h"
+#include "src/harness/stack.h"
+
+namespace ccnvme {
+namespace {
+
+// Default-geometry KV stack: the block path (file system, ccNVMe) is not
+// built on top — the KV path replaces it, so the ccNVMe driver is off.
+StackConfig KvConfig() {
+  StackConfig cfg;
+  cfg.num_queues = 1;
+  cfg.enable_ccnvme = false;
+  cfg.kv.enabled = true;
+  return cfg;
+}
+
+// Tight geometry: a 128-block device at 8 pages per block with logical
+// space at 75% of physical, a 1-frame map cache over the 2 map segments
+// (demand paging once >512 LPNs are live) and an 8-deep shadow ring
+// (checkpoint every 8 stores). Multi-page overwrite churn runs real GC.
+StackConfig SmallKvConfig() {
+  StackConfig cfg = KvConfig();
+  cfg.kv.dir_slots = 512;
+  cfg.kv.shadow_slots = 8;
+  cfg.kv.flash_pages = 1024;
+  cfg.kv.pages_per_block = 8;
+  cfg.kv.total_lpns = 768;
+  cfg.kv.map_cache_segments = 1;
+  cfg.kv.gc_free_blocks_low = 3;
+  cfg.kv.max_value_bytes = 8 * 4096;  // a value must fit one erase block
+  return cfg;
+}
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+std::string ValueFor(const std::string& key, uint32_t version, size_t len) {
+  std::string v(len, '\0');
+  const uint64_t h = Fnv1a(Bytes(key)) ^ (static_cast<uint64_t>(version) * 0x9E3779B97F4A7C15ull);
+  for (size_t i = 0; i < len; ++i) {
+    v[i] = static_cast<char>('a' + (h + i) % 26);
+  }
+  return v;
+}
+
+std::string AsString(const Buffer& b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+// Randomized store/delete/retrieve/exist churn against a reference map,
+// all through the NVMe KV command set on queue 0.
+TEST(KvSsdTest, RandomizedOpsMatchReferenceMap) {
+  StorageStack stack(KvConfig());
+  ASSERT_TRUE(stack.KvFormat().ok());
+  std::map<std::string, std::string> ref;
+  stack.Run([&] {
+    KvNvmeDriver& kv = *stack.kv_driver();
+    Rng rng(2026);
+    uint32_t version = 0;
+    for (int op = 0; op < 300; ++op) {
+      char name[16];
+      std::snprintf(name, sizeof(name), "key%02llu",
+                    static_cast<unsigned long long>(rng.Uniform(40)));
+      const std::string key(name);
+      const uint64_t action = rng.Uniform(10);
+      if (action < 6) {
+        const size_t len = 1 + rng.Uniform(3 * 4096);
+        const std::string value = ValueFor(key, ++version, len);
+        ASSERT_TRUE(kv.Store(0, key, value).ok());
+        ref[key] = value;
+      } else if (action < 8) {
+        const Status st = kv.Delete(0, key);
+        if (ref.count(key) > 0) {
+          ASSERT_TRUE(st.ok()) << st.message();
+          ref.erase(key);
+        } else {
+          ASSERT_EQ(st.code(), ErrorCode::kNotFound);
+        }
+      } else if (action < 9) {
+        const Result<bool> exist = kv.Exist(0, key);
+        ASSERT_TRUE(exist.ok());
+        EXPECT_EQ(*exist, ref.count(key) > 0);
+      } else {
+        const Result<Buffer> got = kv.Retrieve(0, key);
+        if (ref.count(key) > 0) {
+          ASSERT_TRUE(got.ok()) << got.status().message();
+          EXPECT_EQ(AsString(*got), ref[key]);
+        } else {
+          ASSERT_EQ(got.status().code(), ErrorCode::kNotFound);
+        }
+      }
+    }
+    // Final sweep: every reference entry readable byte-for-byte, and the
+    // cursor scan returns exactly the reference key set.
+    for (const auto& [key, value] : ref) {
+      const Result<Buffer> got = kv.Retrieve(0, key);
+      ASSERT_TRUE(got.ok()) << key << ": " << got.status().message();
+      EXPECT_EQ(AsString(*got), value) << key;
+    }
+    Result<std::vector<std::string>> listed = kv.ListKeys(0);
+    ASSERT_TRUE(listed.ok());
+    std::set<std::string> listed_set(listed->begin(), listed->end());
+    std::set<std::string> ref_set;
+    for (const auto& [key, value] : ref) {
+      (void)value;
+      ref_set.insert(key);
+    }
+    EXPECT_EQ(listed_set, ref_set);
+  });
+  EXPECT_EQ(stack.kv_ssd()->live_keys(), ref.size());
+  EXPECT_GT(stack.kv_ssd()->stores(), 0u);
+}
+
+// Multi-page overwrite churn on the tight geometry: GC must run, migrate
+// live pages and never lose one; the shadow ring must wrap into map
+// checkpoints; and every surviving value must still read back exactly.
+TEST(KvSsdTest, GcRunsUnderChurnAndNoValueIsLost) {
+  StorageStack stack(SmallKvConfig());
+  ASSERT_TRUE(stack.KvFormat().ok());
+  std::map<std::string, std::string> ref;
+  stack.Run([&] {
+    KvNvmeDriver& kv = *stack.kv_driver();
+    Rng rng(4242);
+    uint32_t version = 0;
+    for (int op = 0; op < 1200; ++op) {
+      // Random key order keeps victim blocks mixed-lifetime, so GC has to
+      // migrate live pages instead of erasing fully-dead blocks.
+      const std::string key = "hot" + std::to_string(rng.Uniform(180));
+      const std::string value = ValueFor(key, ++version, 2 * 4096 + 100);
+      ASSERT_TRUE(kv.Store(0, key, value).ok()) << "op " << op;
+      ref[key] = value;
+    }
+    for (const auto& [key, value] : ref) {
+      const Result<Buffer> got = kv.Retrieve(0, key);
+      ASSERT_TRUE(got.ok()) << key;
+      EXPECT_EQ(AsString(*got), value) << key;
+    }
+  });
+  const Ftl& ftl = stack.kv_ssd()->ftl();
+  EXPECT_GT(ftl.gc_runs(), 0u);
+  EXPECT_GT(ftl.gc_migrated_pages(), 0u);
+  EXPECT_GT(ftl.waf(), 1.0);
+  // 1200 stores through an 8-deep shadow ring: the checkpoint horizon moved.
+  EXPECT_GT(stack.kv_ssd()->checkpoint_seq(), 0u);
+  // The split keyspace over a 1-frame map cache really paged the map.
+  EXPECT_GT(ftl.map_loads(), 0u);
+  EXPECT_GT(ftl.map_writebacks(), 0u);
+  stack.Run([&] { ASSERT_TRUE(stack.kv_ssd()->CheckConsistency().ok()); });
+}
+
+struct RunStats {
+  uint64_t now_ns = 0;
+  uint64_t gc_runs = 0;
+  uint64_t map_loads = 0;
+  uint64_t media_pages = 0;
+  uint64_t last_seq = 0;
+  std::map<std::string, std::string> values;
+};
+
+RunStats RunSeededWorkload(const StackConfig& cfg) {
+  StorageStack stack(cfg);
+  CCNVME_CHECK(stack.KvFormat().ok());
+  RunStats out;
+  stack.Run([&] {
+    KvNvmeDriver& kv = *stack.kv_driver();
+    Rng rng(777);
+    uint32_t version = 0;
+    for (int op = 0; op < 200; ++op) {
+      const std::string key = "d" + std::to_string(rng.Uniform(24));
+      if (rng.Uniform(5) < 4) {
+        const std::string value = ValueFor(key, ++version, 1 + rng.Uniform(2 * 4096));
+        CCNVME_CHECK(kv.Store(0, key, value).ok());
+      } else {
+        (void)kv.Delete(0, key);  // NotFound is fine; the pattern is seeded
+      }
+    }
+    Result<std::vector<std::string>> keys = kv.ListKeys(0);
+    CCNVME_CHECK(keys.ok());
+    for (const std::string& key : *keys) {
+      Result<Buffer> got = kv.Retrieve(0, key);
+      CCNVME_CHECK(got.ok());
+      out.values[key] = AsString(*got);
+    }
+  });
+  out.now_ns = stack.sim().now();
+  out.gc_runs = stack.kv_ssd()->ftl().gc_runs();
+  out.map_loads = stack.kv_ssd()->ftl().map_loads();
+  out.media_pages = stack.kv_ssd()->ftl().media_pages_written();
+  out.last_seq = stack.kv_ssd()->last_seq();
+  return out;
+}
+
+// Two independent stacks, same seed: virtual time, FTL stats and the full
+// final key/value state must match bit-for-bit.
+TEST(KvSsdTest, DeterministicAcrossRuns) {
+  const RunStats a = RunSeededWorkload(SmallKvConfig());
+  const RunStats b = RunSeededWorkload(SmallKvConfig());
+  EXPECT_EQ(a.now_ns, b.now_ns);
+  EXPECT_EQ(a.gc_runs, b.gc_runs);
+  EXPECT_EQ(a.map_loads, b.map_loads);
+  EXPECT_EQ(a.media_pages, b.media_pages);
+  EXPECT_EQ(a.last_seq, b.last_seq);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_FALSE(a.values.empty());
+}
+
+// CaptureCrashImage -> boot a new stack from the image -> Attach: the FTL
+// state (GTD, checkpointed map segments, shadow ring) rides the image, the
+// directory walk rebuilds liveness, and every committed value survives.
+TEST(KvSsdTest, CrashImageRoundTripCarriesFtlState) {
+  const StackConfig cfg = SmallKvConfig();
+  std::map<std::string, std::string> ref;
+  CrashImage image;
+  {
+    StorageStack stack(cfg);
+    ASSERT_TRUE(stack.KvFormat().ok());
+    stack.Run([&] {
+      KvNvmeDriver& kv = *stack.kv_driver();
+      uint32_t version = 0;
+      for (int k = 0; k < 20; ++k) {
+        const std::string key = "rt" + std::to_string(k);
+        const std::string value = ValueFor(key, ++version, 700 + k * 800);
+        ASSERT_TRUE(kv.Store(0, key, value).ok());
+        ref[key] = value;
+      }
+      // Overwrites and deletes so recovery sees stale flash runs + tombstones.
+      for (int k = 0; k < 6; ++k) {
+        const std::string key = "rt" + std::to_string(k);
+        const std::string value = ValueFor(key, ++version, 3 * 4096 + k);
+        ASSERT_TRUE(kv.Store(0, key, value).ok());
+        ref[key] = value;
+      }
+      for (int k = 6; k < 9; ++k) {
+        const std::string key = "rt" + std::to_string(k);
+        ASSERT_TRUE(kv.Delete(0, key).ok());
+        ref.erase(key);
+      }
+    });
+    image = stack.CaptureCrashImage();
+  }
+
+  StorageStack stack(cfg, image);
+  ASSERT_TRUE(stack.KvAttach().ok());
+  stack.Run([&] {
+    ASSERT_TRUE(stack.kv_ssd()->CheckConsistency().ok());
+    KvNvmeDriver& kv = *stack.kv_driver();
+    for (const auto& [key, value] : ref) {
+      const Result<Buffer> got = kv.Retrieve(0, key);
+      ASSERT_TRUE(got.ok()) << key << ": " << got.status().message();
+      EXPECT_EQ(AsString(*got), value) << key;
+    }
+    for (int k = 6; k < 9; ++k) {
+      const Result<Buffer> got = kv.Retrieve(0, "rt" + std::to_string(k));
+      EXPECT_EQ(got.status().code(), ErrorCode::kNotFound);
+    }
+    // The attached device keeps working: post-recovery stores + reads.
+    ASSERT_TRUE(kv.Store(0, "post", "recovered-and-writable").ok());
+    const Result<Buffer> got = kv.Retrieve(0, "post");
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(AsString(*got), "recovered-and-writable");
+  });
+  EXPECT_EQ(stack.kv_ssd()->live_keys(), ref.size() + 1);
+}
+
+// The injected bug (commit the meta word without arming the shadow) fires
+// the ftl.map_data_atomicity monitor on every store; a clean stack is quiet.
+TEST(KvSsdTest, MonitorCatchesSkippedShadowCommit) {
+  StackConfig cfg = KvConfig();
+  cfg.kv.test_skip_ftl_shadow_commit = true;
+  StorageStack stack(cfg);
+  Metrics& metrics = stack.EnableMetrics();
+  ASSERT_TRUE(stack.KvFormat().ok());
+  stack.Run([&] {
+    KvNvmeDriver& kv = *stack.kv_driver();
+    for (int k = 0; k < 3; ++k) {
+      ASSERT_TRUE(kv.Store(0, "bug" + std::to_string(k), "payload").ok());
+    }
+  });
+  EXPECT_EQ(metrics.monitors().violations(MonitorId::kFtlMapDataAtomicity), 3u);
+
+  StorageStack clean(KvConfig());
+  Metrics& clean_metrics = clean.EnableMetrics();
+  ASSERT_TRUE(clean.KvFormat().ok());
+  clean.Run([&] {
+    ASSERT_TRUE(clean.kv_driver()->Store(0, "ok", "payload").ok());
+  });
+  EXPECT_EQ(clean_metrics.monitors().violations(MonitorId::kFtlMapDataAtomicity), 0u);
+}
+
+// --- Systematic crash exploration of the KV commit window -----------------
+
+size_t TestThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw < 4 ? 4 : hw;
+}
+
+ExplorerOptions TestOptions() {
+  ExplorerOptions opt;
+  opt.seed = 42;
+  opt.threads = TestThreads();
+  return opt;
+}
+
+void ExpectAllPassed(const ExplorerReport& report) {
+  EXPECT_TRUE(report.AllPassed()) << report.Summary();
+  EXPECT_GT(report.boundaries, 2u);
+  EXPECT_GT(report.states_checked, report.boundaries);
+}
+
+// Geometry for exploration: small enough that each reconstructed crash
+// state boots and attaches quickly, roomy enough for the workload values.
+StackConfig ExplorerKvConfig() {
+  StackConfig cfg = KvConfig();
+  cfg.kv.dir_slots = 64;
+  cfg.kv.shadow_slots = 16;
+  cfg.kv.flash_pages = 1024;
+  cfg.kv.pages_per_block = 16;
+  cfg.kv.total_lpns = 768;
+  cfg.kv.map_cache_segments = 2;
+  return cfg;
+}
+
+// Even tighter: 6 erase blocks of 8 pages, so kv_overwrite_churn's hot-key
+// rounds run GC mid-recording and boundaries land inside migrate/erase.
+StackConfig ExplorerGcKvConfig() {
+  StackConfig cfg = KvConfig();
+  cfg.kv.dir_slots = 32;
+  cfg.kv.shadow_slots = 4;
+  cfg.kv.flash_pages = 48;
+  cfg.kv.pages_per_block = 8;
+  cfg.kv.total_lpns = 32;
+  cfg.kv.map_cache_segments = 1;
+  cfg.kv.gc_free_blocks_low = 2;
+  cfg.kv.max_value_bytes = 8 * 4096;  // a value must fit one erase block
+  return cfg;
+}
+
+// Every boundary of the stores/overwrite/delete workload must recover: a
+// cut before a COMMIT fence shows the old value, after it the new one.
+TEST(KvExplorerTest, PutGetAllBoundariesRecover) {
+  ExpectAllPassed(ExploreWorkload(ExplorerKvConfig(), "kv_put_get", TestOptions()));
+}
+
+// Same guarantee while GC migrates live pages between the cut points.
+TEST(KvExplorerTest, OverwriteChurnWithGcAllBoundariesRecover) {
+  StackConfig cfg = ExplorerGcKvConfig();
+  ExplorerReport report = ExploreWorkload(cfg, "kv_overwrite_churn", TestOptions());
+  ExpectAllPassed(report);
+  // The geometry is tight enough that the recording itself ran GC — the
+  // explored boundaries include cuts inside migrate/checkpoint/erase.
+  StorageStack probe(cfg);
+  ASSERT_TRUE(probe.KvFormat().ok());
+}
+
+// The KV fences are consistency boundaries: every kFtlQid PmrFence in the
+// recorded stream must open its own crash boundary.
+TEST(KvExplorerTest, EveryKvFenceIsABoundary) {
+  Result<CrashWorkload> workload = FindCrashWorkload("kv_put_get");
+  ASSERT_TRUE(workload.ok());
+  const CrashRecording rec = RecordWorkload(ExplorerKvConfig(), *workload);
+  const std::vector<size_t> boundaries = ConsistencyBoundaries(rec.events);
+  auto has = [&](size_t b) {
+    return std::find(boundaries.begin(), boundaries.end(), b) != boundaries.end();
+  };
+  size_t kv_fences = 0;
+  for (size_t i = 0; i < rec.events.size(); ++i) {
+    if (rec.events[i].op == BioOp::kPmrFence && rec.events[i].qid == kFtlQid) {
+      ++kv_fences;
+      EXPECT_TRUE(has(i + 1)) << "missing boundary after KV fence at event " << i;
+    }
+  }
+  // Two fences (ARM + COMMIT) per store, one per delete: plenty recorded.
+  EXPECT_GT(kv_fences, 10u);
+}
+
+// With the shadow commit skipped, some crash states have a committed meta
+// word whose LPNs were never made durable — the explorer must catch it and
+// emit a deterministic replay artifact for each failure.
+TEST(KvExplorerTest, SkippedShadowCommitIsCaught) {
+  StackConfig cfg = ExplorerKvConfig();
+  cfg.kv.test_skip_ftl_shadow_commit = true;
+  ExplorerOptions options = TestOptions();
+  options.emit_artifacts = true;
+  options.artifact_dir = ::testing::TempDir();
+  options.workload_name = "kv_put_get";
+  const ExplorerReport report = ExploreWorkload(cfg, "kv_put_get", options);
+  EXPECT_GT(report.total_failures, 0u);
+  ASSERT_FALSE(report.failures.empty());
+  EXPECT_FALSE(report.failures[0].artifact_path.empty());
+}
+
+}  // namespace
+}  // namespace ccnvme

@@ -2,10 +2,13 @@
 //
 //   mkfs_ccnvme <image-path> [--blocks N] [--journal-areas N]
 //               [--journal-blocks N] [--devices N] [--mirror | --chunk N]
-//               [--journal mqfs|nvlog]
+//               [--journal mqfs|nvlog] [--kv]
 //
 // The image can then be inspected with fsck_ccnvme / journal_inspect or
-// mounted by any program using LoadImage + StorageStack.
+// mounted by any program using LoadImage + StorageStack. With --kv the
+// device is factory-formatted as a KV-SSD instead (no file system): the
+// image carries the KV superblock, directory, shadow ring and GTD that
+// ftl_inspect dumps.
 #include <cstdio>
 #include <cstring>
 
@@ -18,7 +21,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <image-path> [--blocks N] [--journal-areas N] "
                  "[--journal-blocks N] [--devices N] [--mirror | --chunk N] "
-                 "[--journal mqfs|nvlog]\n",
+                 "[--journal mqfs|nvlog] [--kv]\n",
                  argv[0]);
     return 2;
   }
@@ -41,6 +44,11 @@ int main(int argc, char** argv) {
       cfg.volume.chunk_blocks = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--mirror") == 0) {
       cfg.volume.kind = VolumeKind::kMirror;
+    } else if (std::strcmp(argv[i], "--kv") == 0) {
+      // KV-native device: no file system at all; KvFormat writes the
+      // superblock + empty directory/shadow/GTD the tools parse.
+      cfg.enable_ccnvme = false;
+      cfg.kv.enabled = true;
     } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
       const char* kind = argv[++i];
       if (std::strcmp(kind, "nvlog") == 0) {
@@ -60,6 +68,25 @@ int main(int argc, char** argv) {
   }
 
   StorageStack stack(cfg);
+  if (cfg.kv.enabled) {
+    Status st = stack.KvFormat();
+    if (!st.ok()) {
+      std::fprintf(stderr, "kv format failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    st = SaveImage(stack.CaptureCrashImage(), path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "formatted %s as a KV-SSD: %u dir slots, %u shadow slots, %llu flash "
+        "pages (%llu lpns)\n",
+        path.c_str(), cfg.kv.dir_slots, cfg.kv.shadow_slots,
+        static_cast<unsigned long long>(cfg.kv.flash_pages),
+        static_cast<unsigned long long>(cfg.kv.total_lpns));
+    return 0;
+  }
   Status st = stack.MkfsAndMount();
   if (!st.ok()) {
     std::fprintf(stderr, "mkfs failed: %s\n", st.ToString().c_str());
