@@ -189,6 +189,14 @@ void CcNvmeDriver::SubmitTx(uint16_t qid, uint64_t tx_id, uint64_t slba, const B
   q.cid_to_tx[cid] = q.open_tx;
   q.cid_callbacks[cid] = std::move(on_complete);
   q.open_tx->outstanding++;
+
+  if (options_.tx_aware_mmio && options_.doorbell_coalesce_limit > 0 &&
+      q.unrung_cids.size() >= options_.doorbell_coalesce_limit) {
+    // Bounded coalescing window: make the staged members visible now rather
+    // than at commit. The device may start executing them while the host is
+    // still building the rest of the transaction.
+    FlushAndRing(q, tx_id);
+  }
 }
 
 CcNvmeDriver::TxHandle CcNvmeDriver::CommitTx(uint16_t qid, uint64_t tx_id, uint64_t slba,

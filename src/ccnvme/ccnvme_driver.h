@@ -51,6 +51,17 @@ struct CcNvmeOptions {
   // In-order transaction completion (§4.4). Disabling it breaks the
   // recovery contract; the toggle exists so tests can demonstrate that.
   bool in_order_completion = true;
+  // Doorbell coalescing window, in staged member SQEs. 0 = unbounded (the
+  // paper's §4.3 default: ONE flush + ONE ring at commit, so a member stays
+  // invisible to the device until the whole transaction is built). A value
+  // K > 0 flushes + rings after every K staged members, bounding each SQE's
+  // wait.doorbell_coalesce window at the price of extra MMIO flushes — the
+  // real knob behind the what-if engine's virtual-speedup prediction for
+  // that edge. Early rings are protocol-safe: like SealTx, they only widen
+  // the in-doubt window [P-SQ-head, P-SQDB) with uncommitted members, which
+  // recovery already discards (atomicity still hinges solely on the commit
+  // record's doorbell).
+  uint16_t doorbell_coalesce_limit = 0;
 };
 
 class CcNvmeDriver {

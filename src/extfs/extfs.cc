@@ -171,6 +171,7 @@ Status ExtFs::Mount() {
       NvLogOptions nopts;
       nopts.drain_batch = options_.nvlog_drain_batch;
       nopts.drain_delay_ns = options_.nvlog_drain_delay_ns;
+      nopts.drainers = options_.nvlog_drainers;
       nopts.test_skip_fence = options_.test_skip_nvlog_fence;
       journal_ = std::make_unique<NvLogJournal>(sim_, blk_, blk_->nvm(), costs_, this, nopts);
       break;

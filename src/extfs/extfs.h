@@ -58,10 +58,13 @@ struct ExtFsOptions {
   // leader's commit may not include. The fs.fsync_cross_core_order monitor
   // and the multi-core crash exploration must both catch it.
   bool test_skip_cross_core_order = false;
-  // NVLog knobs (kNvlog only): drain batch size and the absorb window the
-  // background drainer waits before checkpointing.
+  // NVLog knobs (kNvlog only): drain batch size, the absorb window the
+  // background drainer waits before checkpointing, and the size of the
+  // drainer pool (extra drainers overlap checkpoint I/O, shrinking the
+  // wait.nvlog_drain backpressure edge when the ring runs full).
   uint32_t nvlog_drain_batch = 8;
   uint64_t nvlog_drain_delay_ns = 30000;
+  uint32_t nvlog_drainers = 1;
   // TEST ONLY: fsync returns without the NVM flush+fence persist barrier,
   // claiming durability the log does not have. The nvm.log_drain_order
   // monitor and the crash explorer must both catch it.

@@ -128,7 +128,10 @@ NvLogJournal::NvLogJournal(Simulator* sim, BlockLayer* blk, NvmDevice* nvm,
       space_cv_(sim),
       idle_cv_(sim) {
   log_.Init();
-  sim_->Spawn("nvlog_draind", [this] { DrainLoop(); });
+  CCNVME_CHECK_GE(options_.drainers, 1u) << "NvLog needs at least one drainer";
+  for (uint32_t i = 0; i < options_.drainers; ++i) {
+    sim_->Spawn("nvlog_draind/" + std::to_string(i), [this] { DrainLoop(); });
+  }
 }
 
 Status NvLogJournal::Sync(const SyncOp& op, SyncMode mode) {
@@ -228,56 +231,98 @@ Status NvLogJournal::Sync(const SyncOp& op, SyncMode mode) {
   return OkStatus();
 }
 
+bool NvLogJournal::CanClaimFront() const {
+  if (pending_.empty()) {
+    return false;
+  }
+  for (uint64_t lba : pending_.front().home_lbas) {
+    if (claimed_lbas_.count(lba) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+NvLogJournal::Batch NvLogJournal::ClaimBatch(bool rush) {
+  Batch batch;
+  const size_t limit = rush ? pending_.size()
+                            : std::min<size_t>(pending_.size(), options_.drain_batch);
+  while (batch.entries.size() < limit && CanClaimFront()) {
+    PendingEntry e = std::move(pending_.front());
+    pending_.pop_front();
+    for (uint64_t lba : e.home_lbas) {
+      claimed_lbas_[lba]++;
+    }
+    batch.freed_bytes += e.entry_bytes;
+    batch.end_off = static_cast<uint32_t>((e.ring_off + e.entry_bytes) % log_.ring_bytes());
+    batch.end_seq = e.seq;
+    batch.entries.push_back(std::move(e));
+  }
+  if (!batch.entries.empty()) {
+    batch.id = next_batch_id_++;
+  }
+  return batch;
+}
+
 void NvLogJournal::DrainLoop() {
-  blk_->BindQueue(0);  // the drainer checkpoints on core 0's queue
+  blk_->BindQueue(0);  // drainers checkpoint on core 0's queue
   for (;;) {
     bool rush;
     {
       SimLockGuard guard(mu_);
-      while (pending_.empty()) {
-        idle_cv_.NotifyAll();
+      while (!CanClaimFront()) {
+        if (pending_.empty() && draining_ == 0) {
+          idle_cv_.NotifyAll();
+        }
         drain_cv_.Wait(mu_);
       }
       rush = drain_all_;
-      draining_ = true;
+      draining_++;
     }
     if (!rush) {
       Simulator::Sleep(options_.drain_delay_ns);  // absorb window
     }
-    Status st = DrainBatch(rush);
+    Batch batch;
+    {
+      // Claim AFTER the absorb window so the batch covers everything that
+      // arrived during it. May come back empty if a sibling drained the
+      // queue (or the front got claimed) while we slept.
+      SimLockGuard guard(mu_);
+      batch = ClaimBatch(drain_all_);
+      if (batch.entries.empty()) {
+        draining_--;
+        if (pending_.empty() && draining_ == 0) {
+          idle_cv_.NotifyAll();
+        }
+        continue;
+      }
+    }
+    Status st = DrainBatch(batch);
     CCNVME_CHECK(st.ok()) << "nvlog drain failed: " << st.ToString();
     {
       SimLockGuard guard(mu_);
-      draining_ = false;
+      RetireBatch(batch);
+      draining_--;
       space_cv_.NotifyAll();
-      if (pending_.empty()) {
+      // A retired batch may unblock a sibling parked on a claimed block.
+      drain_cv_.NotifyAll();
+      if (pending_.empty() && draining_ == 0) {
         idle_cv_.NotifyAll();
       }
     }
   }
 }
 
-Status NvLogJournal::DrainBatch(bool rush) {
-  std::vector<PendingEntry> batch;
-  {
-    SimLockGuard guard(mu_);
-    size_t n = rush ? pending_.size()
-                    : std::min<size_t>(pending_.size(), options_.drain_batch);
-    while (n-- > 0) {
-      batch.push_back(std::move(pending_.front()));
-      pending_.pop_front();
-    }
-  }
-  if (batch.empty()) {
-    return OkStatus();
-  }
+Status NvLogJournal::DrainBatch(const Batch& batch) {
   ScopedSpan span(sim_->tracer(), TracePoint::kNvlogDrain);
 
   // Read the batch back from NVM, newest write per home block wins — the
   // coalescing that makes absorb-then-drain cheaper than in-place syncs.
+  // Across concurrent batches the claim map guarantees disjoint home
+  // blocks, so newest-wins holds globally too.
   std::map<uint64_t, Buffer> writes;
   size_t logged_blocks = 0;
-  for (const PendingEntry& e : batch) {
+  for (const PendingEntry& e : batch.entries) {
     if (Metrics* m = sim_->metrics()) {
       // The drain-order invariant: this entry must already be durable in
       // NVM before any of its blocks is checkpointed to media.
@@ -300,17 +345,50 @@ Status NvLogJournal::DrainBatch(bool rush) {
   }
   // Checkpointed blocks must be durable before their log space is reused.
   CCNVME_RETURN_IF_ERROR(blk_->FlushSync());
-
-  const PendingEntry& last = batch.back();
-  size_t freed = 0;
-  for (const PendingEntry& e : batch) {
-    freed += e.entry_bytes;
-  }
-  log_.AdvanceHead(static_cast<uint32_t>((last.ring_off + last.entry_bytes) % log_.ring_bytes()),
-                   last.seq, freed);
-  drained_entries_ += batch.size();
+  drained_entries_ += batch.entries.size();
   drain_batches_++;
   return OkStatus();
+}
+
+void NvLogJournal::RetireBatch(const Batch& batch) {
+  for (const PendingEntry& e : batch.entries) {
+    for (uint64_t lba : e.home_lbas) {
+      auto it = claimed_lbas_.find(lba);
+      CCNVME_CHECK(it != claimed_lbas_.end());
+      if (--it->second == 0) {
+        claimed_lbas_.erase(it);
+      }
+    }
+  }
+  Batch done;
+  done.id = batch.id;
+  done.end_off = batch.end_off;
+  done.end_seq = batch.end_seq;
+  done.freed_bytes = batch.freed_bytes;
+  completed_.emplace(done.id, std::move(done));
+  // Advance the persistent frontier over the contiguous completed prefix
+  // only: batch k+1 finishing before batch k must NOT truncate k's entries
+  // — a crash would lose their only durable copy while their checkpoint
+  // writes are still in flight.
+  uint32_t adv_off = 0;
+  uint64_t adv_seq = 0;
+  size_t adv_freed = 0;
+  bool any = false;
+  while (true) {
+    auto it = completed_.find(next_retire_id_);
+    if (it == completed_.end()) {
+      break;
+    }
+    adv_off = it->second.end_off;
+    adv_seq = it->second.end_seq;
+    adv_freed += it->second.freed_bytes;
+    completed_.erase(it);
+    next_retire_id_++;
+    any = true;
+  }
+  if (any) {
+    log_.AdvanceHead(adv_off, adv_seq, adv_freed);
+  }
 }
 
 Status NvLogJournal::Recover() {

@@ -26,6 +26,7 @@
 #define SRC_NVM_NVLOG_H_
 
 #include <deque>
+#include <map>
 #include <vector>
 
 #include "src/block/block_layer.h"
@@ -101,6 +102,12 @@ class NvLog {
 struct NvLogOptions {
   uint32_t drain_batch = 8;         // max entries checkpointed per batch
   uint64_t drain_delay_ns = 30000;  // absorb window before a batch starts
+  // Size of the background drainer pool. Batches are claimed in log order
+  // but checkpoint concurrently; the persistent drain frontier still only
+  // ever advances over the contiguous completed prefix, and two in-flight
+  // batches never cover the same home block (a later entry for a claimed
+  // block waits), so newest-wins and log-before-checkpoint both survive.
+  uint32_t drainers = 1;
   // TEST ONLY: fsync returns WITHOUT the flush+fence persist barrier, so
   // the "durable" log entry is still sitting in the cache hierarchy. The
   // nvm.log_drain_order monitor and the crash explorer must both catch it.
@@ -131,9 +138,29 @@ class NvLogJournal : public Journal {
     size_t entry_bytes = 0;
     std::vector<uint64_t> home_lbas;
   };
+  // One claimed batch: contiguous run of pending entries popped by a
+  // drainer. end_off/end_seq are what AdvanceHead gets once every earlier
+  // batch has also completed.
+  struct Batch {
+    uint64_t id = 0;
+    std::vector<PendingEntry> entries;
+    uint32_t end_off = 0;
+    uint64_t end_seq = 0;
+    size_t freed_bytes = 0;
+  };
 
   void DrainLoop();
-  Status DrainBatch(bool rush);
+  // True when the oldest pending entry exists and overlaps no in-flight
+  // batch's home blocks (caller holds mu_).
+  bool CanClaimFront() const;
+  // Pops a conflict-free contiguous run off pending_ and claims its home
+  // blocks (caller holds mu_). Empty batch when nothing is claimable.
+  Batch ClaimBatch(bool rush);
+  // Checkpoints one claimed batch through the block stack.
+  Status DrainBatch(const Batch& batch);
+  // Releases |batch|'s claims, records it completed, and advances the drain
+  // frontier over the contiguous completed prefix (caller holds mu_).
+  void RetireBatch(const Batch& batch);
 
   Simulator* sim_;
   BlockLayer* blk_;
@@ -144,12 +171,19 @@ class NvLogJournal : public Journal {
   NvLog log_;
 
   SimMutex mu_;
-  SimCondVar drain_cv_;  // appended entries are waiting
+  SimCondVar drain_cv_;  // appended entries are waiting / a conflict cleared
   SimCondVar space_cv_;  // a drain batch freed ring space
   SimCondVar idle_cv_;   // nothing pending and no batch in flight
   std::deque<PendingEntry> pending_;
-  bool drain_all_ = false;  // shutdown: skip the absorb window
-  bool draining_ = false;   // a batch is between pop and head advance
+  bool drain_all_ = false;   // shutdown: skip the absorb window
+  uint32_t draining_ = 0;    // batches between claim and retire
+  // Home blocks covered by in-flight batches: a later log entry for one of
+  // these may not be claimed until the earlier batch retires.
+  std::map<uint64_t, uint32_t> claimed_lbas_;
+  uint64_t next_batch_id_ = 0;     // claim order == log order
+  uint64_t next_retire_id_ = 0;    // frontier may advance up to here
+  // Completed batches waiting for an earlier one (keyed by batch id).
+  std::map<uint64_t, Batch> completed_;
 
   uint64_t appended_entries_ = 0;
   uint64_t drained_entries_ = 0;

@@ -257,6 +257,9 @@ void CriticalPathProfiler::Finalize(uint64_t req_id, const TraceEvent& root,
     slowest_ = profile;
     have_slowest_ = true;
   }
+  if (request_observer_ != nullptr) {
+    request_observer_->OnRequestProfile(profile, pending.events);
+  }
   if (samples_.size() < options_.max_samples) {
     samples_.push_back(std::move(profile));
   }
@@ -305,6 +308,9 @@ void CriticalPathProfiler::ResetAggregation() {
   samples_.clear();
   slowest_ = RequestProfile{};
   have_slowest_ = false;
+  if (request_observer_ != nullptr) {
+    request_observer_->OnResetAggregation();
+  }
 }
 
 }  // namespace ccnvme

@@ -85,6 +85,9 @@ struct ProfilerOptions {
 
 class CriticalPathProfiler : public TraceSink {
  public:
+  // Forward declared; see below.
+  class RequestObserver;
+
   explicit CriticalPathProfiler(ProfilerOptions options = {});
 
   // Convenience: tracer->set_sink(this).
@@ -155,10 +158,27 @@ class CriticalPathProfiler : public TraceSink {
 
   // Clears aggregates + retained profiles; keeps in-flight buffers so a
   // warm-up boundary mid-run stays consistent (mirrors
-  // Tracer::ResetAggregation).
+  // Tracer::ResetAggregation). Forwarded to the request observer.
   void ResetAggregation();
 
   const ProfilerOptions& options() const { return options_; }
+
+  // Downstream consumer of finished per-request profiles (the what-if
+  // engine). Receives each profile at finalization together with the
+  // request's raw buffered events, which carry the structure the merged
+  // blame vector has already collapsed: every individual wait interval and
+  // run span with begin/end/device. The tracer-sink contract extends here —
+  // observers must never touch the simulator.
+  class RequestObserver {
+   public:
+    virtual ~RequestObserver() = default;
+    virtual void OnRequestProfile(const RequestProfile& profile,
+                                  const std::vector<TraceEvent>& events) = 0;
+    // The profiler crossed a warm-up boundary; drop aggregated state.
+    virtual void OnResetAggregation() {}
+  };
+  // At most one observer; pass nullptr to detach.
+  void set_request_observer(RequestObserver* observer) { request_observer_ = observer; }
 
  private:
   struct Pending {
@@ -185,6 +205,7 @@ class CriticalPathProfiler : public TraceSink {
   std::deque<RequestProfile> samples_;
   RequestProfile slowest_;
   bool have_slowest_ = false;
+  RequestObserver* request_observer_ = nullptr;
 };
 
 }  // namespace ccnvme

@@ -1,0 +1,165 @@
+// The canonical wait-edge registry.
+//
+// Every causal wait edge in the system — "the current request/transaction
+// was blocked on <resource> from t0 to t1" — is declared exactly once in
+// CCNVME_WAIT_EDGE_LIST below. The enum, the report names, the layer
+// mapping (src/trace/trace_point.h), the per-edge attributes the what-if
+// engine needs, and the AllWaitEdges() iteration helper are all generated
+// from this one list, so monitors, the profiler, perf_report and the
+// what-if frontier always agree on the vocabulary: an edge added here is
+// automatically ranked by `perf_report --whatif-all`, covered by
+// `metrics_report --check`'s schema validation, and iterable by tests.
+//
+// Edges are emitted only when an actual wait occurred (t1 > t0), so edge
+// events are sparse. The critical-path profiler (src/profile) gives wait
+// edges attribution priority over active spans: a nanosecond spent under a
+// wait edge is blamed on the resource, not on whichever span happened to
+// enclose it.
+//
+// Per-edge attributes:
+//   * layer    — TraceLayer token (see trace_point.h), for report grouping.
+//   * batched  — the edge's release is a shared event that is itself gated
+//     by the LAST member: a compound commit, fan-out join, or ordering
+//     epoch releases every member interval ending at that instant, and
+//     cannot fire before its last joiner arrived. The what-if engine must
+//     scale such intervals as one group anchored at the latest member's
+//     begin. NOT set for the visibility windows (doorbell coalescing,
+//     seal/commit gates): their real knobs SPLIT the batch — members ring
+//     early and independently — so each interval scales on its own.
+//   * blocking — the emitting actor was genuinely parked (cv/completion
+//     wait or a timed stall) for the edge's whole window. Non-blocking
+//     edges (doorbell coalescing, seal/commit gates) are retroactive
+//     latency attributions over windows where the host kept running its
+//     own work; a what-if that scales them reclaims host time only where
+//     no run span covers it, and models the real payoff downstream — the
+//     device starts the early-released work sooner, pulling the request's
+//     subsequent same-device blocking waits (e.g. wait.tx_durable) in.
+#ifndef SRC_PROFILE_WAIT_EDGES_H_
+#define SRC_PROFILE_WAIT_EDGES_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ccnvme {
+
+// X(symbol, "report name", layer, batched, blocking)
+// Order is load-bearing: it fixes the enum values and therefore the packed
+// BlameKey order every deterministic report/tie-break iterates in.
+#define CCNVME_WAIT_EDGE_LIST(X)                                            \
+  /* --- pcie ----------------------------------------------------------- */ \
+  /* MMIO write stalled behind the WC-buffer drain backlog */                \
+  X(kWcDrain, "wait.wc_drain", kPcie, false, true)                           \
+  /* read fence held until prior posted writes drained */                    \
+  X(kPostedOrder, "wait.posted_order", kPcie, false, true)                   \
+  /* --- driver / ccnvme ------------------------------------------------ */ \
+  /* submission blocked on a full (P-)SQ slot */                             \
+  X(kSqFull, "wait.sq_full", kDriver, false, true)                           \
+  /* staged SQE invisible to the device until tx commit flushed + rang    */ \
+  /* the doorbell (tx-aware MMIO window); retroactive, host kept running  */ \
+  X(kDoorbellCoalesce, "wait.doorbell_coalesce", kCcNvme, false, false)      \
+  /* sealed transaction waiting for the commit doorbell (volume 2-phase) */  \
+  X(kSealCommitGate, "wait.seal_commit_gate", kCcNvme, false, false)         \
+  /* waiting for in-order transaction durability (CQE + head advance) */     \
+  X(kTxDurable, "wait.tx_durable", kCcNvme, true, true)                      \
+  /* --- jbd2 / mqfs ---------------------------------------------------- */ \
+  /* journal handle wait: per-core build lock / tx join */                   \
+  X(kJournalHandle, "wait.journal_handle", kJournal, false, true)            \
+  /* fsync parked until kjournald committed the compound tx */               \
+  X(kCommitBarrier, "wait.commit_barrier", kJournal, true, true)             \
+  /* page write blocked on in-flight journal writeback */                    \
+  X(kPageFrozen, "wait.page_frozen", kJournal, false, true)                  \
+  /* --- volume --------------------------------------------------------- */ \
+  /* cross-device commit waiting for straggler members */                    \
+  X(kVolumeFanout, "wait.volume_fanout", kBlock, true, true)                 \
+  /* --- opimq / multi-core --------------------------------------------- */ \
+  /* ordered submission held until the predecessor epoch became durable */   \
+  X(kOrderGate, "wait.order_gate", kDriver, true, true)                      \
+  /* follower fsync parked behind the cross-core committing leader */        \
+  X(kFsyncLeader, "wait.fsync_leader", kJournal, true, true)                 \
+  /* --- nvm / nvlog ---------------------------------------------------- */ \
+  /* fsync blocked on the NVM flush+fence persist barrier */                 \
+  X(kNvmFlush, "wait.nvm_flush", kNvm, false, true)                          \
+  /* append parked on a full log ring until the drainer freed space */       \
+  X(kNvlogDrain, "wait.nvlog_drain", kNvm, false, true)                      \
+  /* --- ftl (KV-SSD) --------------------------------------------------- */ \
+  /* foreground command stalled behind a synchronous GC pass */              \
+  X(kFtlGc, "wait.ftl_gc", kFtl, false, true)                                \
+  /* command stalled demand-paging a non-resident L2P map segment */         \
+  X(kFtlMapMiss, "wait.ftl_map_miss", kFtl, false, true)
+
+enum class WaitEdge : uint16_t {
+#define CCNVME_WAIT_EDGE_ENUM(sym, name, layer, batched, blocking) sym,
+  CCNVME_WAIT_EDGE_LIST(CCNVME_WAIT_EDGE_ENUM)
+#undef CCNVME_WAIT_EDGE_ENUM
+      kNumEdges,
+};
+
+inline constexpr size_t kNumWaitEdges = static_cast<size_t>(WaitEdge::kNumEdges);
+
+constexpr const char* WaitEdgeName(WaitEdge e) {
+  switch (e) {
+#define CCNVME_WAIT_EDGE_NAME(sym, name, layer, batched, blocking) \
+  case WaitEdge::sym:                                              \
+    return name;
+    CCNVME_WAIT_EDGE_LIST(CCNVME_WAIT_EDGE_NAME)
+#undef CCNVME_WAIT_EDGE_NAME
+    case WaitEdge::kNumEdges:
+      break;
+  }
+  return "?";
+}
+
+// True when the edge's release is one shared event for every interval that
+// ends at the same instant (see the file comment).
+constexpr bool WaitEdgeBatched(WaitEdge e) {
+  switch (e) {
+#define CCNVME_WAIT_EDGE_BATCHED(sym, name, layer, batched, blocking) \
+  case WaitEdge::sym:                                                 \
+    return batched;
+    CCNVME_WAIT_EDGE_LIST(CCNVME_WAIT_EDGE_BATCHED)
+#undef CCNVME_WAIT_EDGE_BATCHED
+    case WaitEdge::kNumEdges:
+      break;
+  }
+  return false;
+}
+
+// True when the emitting actor was genuinely parked for the whole window;
+// false for retroactive attributions over windows the host spent running.
+constexpr bool WaitEdgeBlocking(WaitEdge e) {
+  switch (e) {
+#define CCNVME_WAIT_EDGE_BLOCKING(sym, name, layer, batched, blocking) \
+  case WaitEdge::sym:                                                  \
+    return blocking;
+    CCNVME_WAIT_EDGE_LIST(CCNVME_WAIT_EDGE_BLOCKING)
+#undef CCNVME_WAIT_EDGE_BLOCKING
+    case WaitEdge::kNumEdges:
+      break;
+  }
+  return true;
+}
+
+// Every registered edge, in declaration (= enum) order. The canonical way
+// to iterate the vocabulary: reports, schema validators and tests that use
+// this cannot silently miss an edge added to the list above.
+constexpr std::array<WaitEdge, kNumWaitEdges> AllWaitEdges() {
+  std::array<WaitEdge, kNumWaitEdges> out{};
+  for (size_t i = 0; i < kNumWaitEdges; ++i) {
+    out[i] = static_cast<WaitEdge>(i);
+  }
+  return out;
+}
+
+// Reverse lookup for CLI flags / schema validation; kNumEdges when unknown.
+inline WaitEdge WaitEdgeFromName(std::string_view name) {
+  for (WaitEdge e : AllWaitEdges()) {
+    if (name == WaitEdgeName(e)) return e;
+  }
+  return WaitEdge::kNumEdges;
+}
+
+}  // namespace ccnvme
+
+#endif  // SRC_PROFILE_WAIT_EDGES_H_

@@ -10,6 +10,11 @@
 
 #include <cstdint>
 
+// The canonical wait-edge registry (enum WaitEdge, names, per-edge
+// attributes, AllWaitEdges()). Header-only; re-exported here so every layer
+// that emits edges keeps including just trace_point.h.
+#include "src/profile/wait_edges.h"
+
 namespace ccnvme {
 
 // Layer a point belongs to; used as the Chrome trace "cat" field and for
@@ -223,101 +228,16 @@ constexpr const char* TraceLayerName(TraceLayer l) {
   return "?";
 }
 
-// Causal wait edges: "the current request/transaction was blocked on
-// <resource> from t0 to t1". Emitted only when an actual wait occurred
-// (t1 > t0), so edge events are sparse. The critical-path profiler
-// (src/profile) gives wait edges attribution priority over active spans:
-// a nanosecond spent under a wait edge is blamed on the resource, not on
-// whichever span happened to enclose it.
-enum class WaitEdge : uint16_t {
-  // --- pcie ---------------------------------------------------------------
-  kWcDrain = 0,       // MMIO write stalled behind the WC-buffer drain backlog
-  kPostedOrder,       // read fence held until prior posted writes drained
-
-  // --- driver / ccnvme ----------------------------------------------------
-  kSqFull,            // submission blocked on a full (P-)SQ slot
-  kDoorbellCoalesce,  // staged SQE invisible to the device until tx commit
-                      // flushed + rang the doorbell (tx-aware MMIO window)
-  kSealCommitGate,    // sealed transaction waiting for the commit doorbell
-  kTxDurable,         // waiting for in-order transaction durability (CQE+head)
-
-  // --- jbd2 / mqfs --------------------------------------------------------
-  kJournalHandle,     // journal handle wait: per-core build lock / tx join
-  kCommitBarrier,     // fsync parked until kjournald committed the compound tx
-  kPageFrozen,        // page write blocked on in-flight journal writeback
-
-  // --- volume -------------------------------------------------------------
-  kVolumeFanout,      // cross-device commit waiting for straggler members
-
-  // --- opimq / multi-core ---------------------------------------------------
-  kOrderGate,         // ordered submission held until the predecessor epoch
-                      // on the same stream became durable (OPIMQ gate)
-  kFsyncLeader,       // follower fsync parked behind the cross-core leader
-                      // that is committing its dirty range
-
-  // --- nvm / nvlog ----------------------------------------------------------
-  kNvmFlush,          // fsync blocked on the NVM flush+fence persist barrier
-  kNvlogDrain,        // append parked on a full log ring until the drainer
-                      // checkpointed enough entries to free space
-
-  // --- ftl (KV-SSD) ---------------------------------------------------------
-  kFtlGc,             // foreground command stalled behind a synchronous GC
-                      // pass (victim migration + map checkpoint + erase)
-  kFtlMapMiss,        // command stalled loading a non-resident L2P map
-                      // segment from flash (demand paging of the map)
-
-  kNumEdges,
-};
-
-inline constexpr size_t kNumWaitEdges = static_cast<size_t>(WaitEdge::kNumEdges);
-
-constexpr const char* WaitEdgeName(WaitEdge e) {
-  switch (e) {
-    case WaitEdge::kWcDrain: return "wait.wc_drain";
-    case WaitEdge::kPostedOrder: return "wait.posted_order";
-    case WaitEdge::kSqFull: return "wait.sq_full";
-    case WaitEdge::kDoorbellCoalesce: return "wait.doorbell_coalesce";
-    case WaitEdge::kSealCommitGate: return "wait.seal_commit_gate";
-    case WaitEdge::kTxDurable: return "wait.tx_durable";
-    case WaitEdge::kJournalHandle: return "wait.journal_handle";
-    case WaitEdge::kCommitBarrier: return "wait.commit_barrier";
-    case WaitEdge::kPageFrozen: return "wait.page_frozen";
-    case WaitEdge::kVolumeFanout: return "wait.volume_fanout";
-    case WaitEdge::kOrderGate: return "wait.order_gate";
-    case WaitEdge::kFsyncLeader: return "wait.fsync_leader";
-    case WaitEdge::kNvmFlush: return "wait.nvm_flush";
-    case WaitEdge::kNvlogDrain: return "wait.nvlog_drain";
-    case WaitEdge::kFtlGc: return "wait.ftl_gc";
-    case WaitEdge::kFtlMapMiss: return "wait.ftl_map_miss";
-    case WaitEdge::kNumEdges: break;
-  }
-  return "?";
-}
-
+// The WaitEdge enum, names and per-edge attributes come from the registry
+// (src/profile/wait_edges.h, included above). Only the layer mapping lives
+// here, generated from the same list, because TraceLayer is this header's.
 constexpr TraceLayer WaitEdgeLayer(WaitEdge e) {
   switch (e) {
-    case WaitEdge::kWcDrain:
-    case WaitEdge::kPostedOrder:
-      return TraceLayer::kPcie;
-    case WaitEdge::kSqFull:
-    case WaitEdge::kOrderGate:
-      return TraceLayer::kDriver;
-    case WaitEdge::kDoorbellCoalesce:
-    case WaitEdge::kSealCommitGate:
-    case WaitEdge::kTxDurable:
-      return TraceLayer::kCcNvme;
-    case WaitEdge::kJournalHandle:
-    case WaitEdge::kCommitBarrier:
-    case WaitEdge::kPageFrozen:
-    case WaitEdge::kFsyncLeader:
-      return TraceLayer::kJournal;
-    case WaitEdge::kNvmFlush:
-    case WaitEdge::kNvlogDrain:
-      return TraceLayer::kNvm;
-    case WaitEdge::kFtlGc:
-    case WaitEdge::kFtlMapMiss:
-      return TraceLayer::kFtl;
-    case WaitEdge::kVolumeFanout:
+#define CCNVME_WAIT_EDGE_LAYER(sym, name, layer, batched, blocking) \
+  case WaitEdge::sym:                                               \
+    return TraceLayer::layer;
+    CCNVME_WAIT_EDGE_LIST(CCNVME_WAIT_EDGE_LAYER)
+#undef CCNVME_WAIT_EDGE_LAYER
     case WaitEdge::kNumEdges:
       break;
   }

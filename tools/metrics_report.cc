@@ -11,6 +11,11 @@
 // deltas and quantile movement. --check exits 1 if any monitor recorded a
 // nonzero violation count (across every snapshot read) — this is what CI
 // runs against clean-run dumps.
+//
+// A file whose top-level object carries "schema": "ccnvme-perf-v1" is a
+// perf_report --json document instead; it gets the structural what-if
+// validation (schema version, frontier covering every registered wait edge,
+// monotone virtual-speedup curves), and --check exits 1 on any violation.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -18,7 +23,9 @@
 #include <string>
 #include <vector>
 
+#include "src/common/json.h"
 #include "src/metrics/export.h"
+#include "src/profile/report.h"
 
 using namespace ccnvme;
 
@@ -161,6 +168,29 @@ int main(int argc, char** argv) {
     if (!ReadFileInto(path, &text)) {
       std::fprintf(stderr, "metrics_report: cannot read %s\n", path);
       return 2;
+    }
+    // perf_report documents route to the what-if structural validation.
+    JsonValue doc;
+    if (JsonParse(text, &doc, nullptr) && doc.type == JsonValue::Type::kObject &&
+        doc.Str("schema") == kPerfReportSchema) {
+      if (files.size() != 1) {
+        std::fprintf(stderr, "metrics_report: cannot diff a %s document\n",
+                     kPerfReportSchema);
+        return 2;
+      }
+      std::string perr;
+      if (!ValidatePerfReportJson(doc, &perr)) {
+        std::fprintf(stderr, "metrics_report: %s: invalid %s document: %s\n", path,
+                     kPerfReportSchema, perr.c_str());
+        return check ? 1 : 2;
+      }
+      const JsonValue* whatif = doc.Find("whatif");
+      const JsonValue* frontier = whatif != nullptr ? whatif->Find("frontier") : nullptr;
+      std::printf("%s: valid %s document (%llu requests, frontier over %zu edges)\n",
+                  path, kPerfReportSchema,
+                  static_cast<unsigned long long>(doc.U64("requests")),
+                  frontier != nullptr ? frontier->arr.size() : 0);
+      return 0;
     }
     std::vector<SnapshotStats> snaps;
     std::string error;

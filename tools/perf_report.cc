@@ -9,6 +9,7 @@
 //   perf_report [--stack mqfs|nvlog] [--mode fsync|fatomic] [--iters N]
 //               [--warmup N] [--top K] [--detail K] [--flame PATH]
 //               [--no-histograms] [--queues N] [--threads N]
+//               [--whatif EDGE] [--whatif-all] [--json PATH]
 //
 // The tool exists to answer one question by name: which edge dominates the
 // end-to-end latency of a durable write. On the default workload that is the
@@ -16,6 +17,14 @@
 // --stack nvlog (extfs over the NVM write-ahead log) it is the NVM persist
 // barrier (wait.nvm_flush), with wait.nvlog_drain surfacing whenever the
 // ring backpressures the absorb path.
+//
+// The what-if flags go one step further: blame says where time went; the
+// causal what-if engine says what you would GET BACK by attacking an edge.
+// --whatif-all prints the optimization frontier (every registered wait edge
+// ranked by predicted causal gain, blame share alongside) plus the
+// mean-vs-p99 tail attribution; --whatif EDGE prints one edge's full
+// virtual-speedup curve; --json writes the machine-readable ccnvme-perf-v1
+// document `metrics_report --check` validates.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -32,7 +41,8 @@ int Usage(const char* argv0, int code) {
   std::fprintf(stderr,
                "usage: %s [--stack mqfs|nvlog] [--mode fsync|fatomic] [--iters N]\n"
                "          [--warmup N] [--top K] [--detail K] [--flame PATH]\n"
-               "          [--no-histograms] [--queues N] [--threads N]\n",
+               "          [--no-histograms] [--queues N] [--threads N]\n"
+               "          [--whatif EDGE] [--whatif-all] [--json PATH]\n",
                argv0);
   return code;
 }
@@ -41,6 +51,9 @@ int RunPerfReport(int argc, char** argv) {
   std::string stack_name = "mqfs";
   std::string mode = "fsync";
   std::string flame_path;
+  std::string json_path;
+  std::string whatif_edge;
+  bool whatif_all = false;
   int iters = 100;
   int warmup = 10;
   int queues = 1;
@@ -71,6 +84,12 @@ int RunPerfReport(int argc, char** argv) {
       flame_path = fv;
     } else if (arg == "--no-histograms") {
       report_opts.show_histograms = false;
+    } else if (const char* wev = value("--whatif")) {
+      whatif_edge = wev;
+    } else if (arg == "--whatif-all") {
+      whatif_all = true;
+    } else if (const char* jv = value("--json")) {
+      json_path = jv;
     } else if (const char* qv = value("--queues")) {
       queues = std::atoi(qv);
     } else if (const char* tv = value("--threads")) {
@@ -94,6 +113,21 @@ int RunPerfReport(int argc, char** argv) {
   }
   if (threads > queues) queues = threads;
 
+  WaitEdge curve_edge = WaitEdge::kNumEdges;
+  if (!whatif_edge.empty()) {
+    curve_edge = WaitEdgeFromName(whatif_edge);
+    if (curve_edge == WaitEdge::kNumEdges) {
+      std::fprintf(stderr, "perf_report: unknown wait edge '%s'; registered edges:\n",
+                   whatif_edge.c_str());
+      for (WaitEdge e : AllWaitEdges()) {
+        std::fprintf(stderr, "  %s\n", WaitEdgeName(e));
+      }
+      return 2;
+    }
+  }
+  const bool want_whatif =
+      whatif_all || curve_edge != WaitEdge::kNumEdges || !json_path.empty();
+
   StackConfig cfg;
   cfg.ssd = SsdConfig::Optane905P();
   cfg.enable_ccnvme = !nvlog;
@@ -104,6 +138,10 @@ int RunPerfReport(int argc, char** argv) {
 
   StorageStack stack(cfg);
   CriticalPathProfiler& profiler = stack.EnableProfiling();
+  WhatIfEngine engine;
+  if (want_whatif) {
+    engine.Attach(&profiler);
+  }
   Status st = stack.MkfsAndMount();
   CCNVME_CHECK(st.ok()) << st.ToString();
 
@@ -130,6 +168,32 @@ int RunPerfReport(int argc, char** argv) {
               nvlog ? "NVLog/extfs" : "MQFS", mode.c_str(), iters, threads, warmup);
   std::fputs(FormatBlameReport(profiler, report_opts).c_str(), stdout);
   std::printf("\n%s\n", FormatDominantLine(profiler).c_str());
+
+  if (whatif_all) {
+    std::printf("\n%s", FormatFrontierTable(engine).c_str());
+    std::printf("\n%s", FormatTailAttribution(engine).c_str());
+  }
+  if (curve_edge != WaitEdge::kNumEdges) {
+    std::printf("\n%s", FormatWhatIfCurve(engine, curve_edge).c_str());
+  }
+  if (!json_path.empty()) {
+    PerfReportInfo info;
+    info.stack = stack_name;
+    info.mode = mode;
+    info.iters = iters;
+    info.warmup = warmup;
+    info.threads = threads;
+    info.queues = queues;
+    const std::string doc = PerfReportJson(profiler, &engine, info, /*pretty=*/true);
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote perf JSON (%s) to %s\n", kPerfReportSchema, json_path.c_str());
+  }
 
   if (!flame_path.empty()) {
     const std::string flame = FlameJson(profiler, /*pretty=*/true);
