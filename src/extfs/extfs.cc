@@ -908,10 +908,17 @@ Status ExtFs::SyncInternal(InodeNum ino, SyncMode mode) {
 
   // Every sync is one attributed request flow: the id is allocated
   // unconditionally (tracing must not change behavior) and follows the
-  // operation down to the SQE and back up through the CQE.
-  ScopedTraceContext trace_ctx({next_req_id_++, 0});
+  // operation down to the SQE and back up through the CQE. When the caller
+  // already opened the request window (Fsync's cross-core gate does, so the
+  // wait.fsync_leader park lands inside the profiled request), reuse it
+  // instead of nesting a second root span.
+  std::optional<ScopedTraceContext> trace_ctx;
+  std::optional<ScopedSpan> total_span;
   Tracer* tracer = sim_->tracer();
-  ScopedSpan total_span(tracer, TracePoint::kSyncTotal);
+  if (CurrentTraceContext().req_id == 0) {
+    trace_ctx.emplace(TraceContext{next_req_id_++, 0});
+    total_span.emplace(tracer, TracePoint::kSyncTotal);
+  }
 
   SyncOp op;
   op.ino = ino;
@@ -985,6 +992,12 @@ Status ExtFs::Fsync(InodeNum ino) {
   // coverage high-water mark BEFORE SyncInternal captures the dirty sets, so
   // every registered caller's completed writes are inside the commit.
   CCNVME_ASSIGN_OR_RETURN(InodePtr inode, GetInode(ino));
+  // The request window opens BEFORE the gate: a follower's entire latency is
+  // the park behind the committing leader, and that wait.fsync_leader edge
+  // must land inside its own profiled request (the commit-convoy signature).
+  // SyncInternal sees the live request id and reuses this window.
+  ScopedTraceContext trace_ctx({next_req_id_++, 0});
+  ScopedSpan total_span(sim_->tracer(), TracePoint::kSyncTotal);
   Inode& node = *inode;
   node.sync_gate_mu.Lock();
   const uint64_t my_epoch = ++node.fsync_requested;

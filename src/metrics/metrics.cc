@@ -109,6 +109,7 @@ Metrics::Metrics(Simulator* sim)
   for (size_t i = 0; i < kNumTraceCounters; ++i) {
     traffic_counter_[i] = registry_.Counter(TraceCounterName(static_cast<TraceCounter>(i)));
   }
+  ring_drop_counter_ = registry_.Counter("trace.ring_dropped_open_req");
 }
 
 Metrics::~Metrics() = default;

@@ -127,6 +127,8 @@ class Metrics {
   void OnTraceCounter(TraceCounter counter, uint64_t delta) {
     registry_.Add(traffic_counter_[static_cast<size_t>(counter)], delta);
   }
+  // Tracer ring wraparound discarded an event of a still-open request.
+  void OnRingDrop(uint64_t delta = 1) { registry_.Add(ring_drop_counter_, delta); }
 
   // Direct access to a phase histogram (bench/fig14 reads these live).
   const Histogram& PhaseHistogram(TracePoint point) const {
@@ -153,6 +155,7 @@ class Metrics {
   MetricsRegistry::Handle phase_histo_[kNumTracePoints];
   MetricsRegistry::Handle event_counter_[kNumTracePoints];
   MetricsRegistry::Handle traffic_counter_[kNumTraceCounters];
+  MetricsRegistry::Handle ring_drop_counter_ = 0;
 };
 
 }  // namespace ccnvme

@@ -257,8 +257,8 @@ void CriticalPathProfiler::Finalize(uint64_t req_id, const TraceEvent& root,
     slowest_ = profile;
     have_slowest_ = true;
   }
-  if (request_observer_ != nullptr) {
-    request_observer_->OnRequestProfile(profile, pending.events);
+  for (RequestObserver* observer : request_observers_) {
+    observer->OnRequestProfile(profile, pending.events);
   }
   if (samples_.size() < options_.max_samples) {
     samples_.push_back(std::move(profile));
@@ -308,8 +308,25 @@ void CriticalPathProfiler::ResetAggregation() {
   samples_.clear();
   slowest_ = RequestProfile{};
   have_slowest_ = false;
-  if (request_observer_ != nullptr) {
-    request_observer_->OnResetAggregation();
+  for (RequestObserver* observer : request_observers_) {
+    observer->OnResetAggregation();
+  }
+}
+
+void CriticalPathProfiler::AddRequestObserver(RequestObserver* observer) {
+  if (observer == nullptr) return;
+  for (RequestObserver* existing : request_observers_) {
+    if (existing == observer) return;
+  }
+  request_observers_.push_back(observer);
+}
+
+void CriticalPathProfiler::RemoveRequestObserver(RequestObserver* observer) {
+  for (auto it = request_observers_.begin(); it != request_observers_.end(); ++it) {
+    if (*it == observer) {
+      request_observers_.erase(it);
+      return;
+    }
   }
 }
 

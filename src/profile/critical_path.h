@@ -164,11 +164,12 @@ class CriticalPathProfiler : public TraceSink {
   const ProfilerOptions& options() const { return options_; }
 
   // Downstream consumer of finished per-request profiles (the what-if
-  // engine). Receives each profile at finalization together with the
-  // request's raw buffered events, which carry the structure the merged
-  // blame vector has already collapsed: every individual wait interval and
-  // run span with begin/end/device. The tracer-sink contract extends here —
-  // observers must never touch the simulator.
+  // engine, the tail-forensics layer). Receives each profile at
+  // finalization together with the request's raw buffered events, which
+  // carry the structure the merged blame vector has already collapsed:
+  // every individual wait interval and run span with begin/end/device. The
+  // tracer-sink contract extends here — observers must never touch the
+  // simulator.
   class RequestObserver {
    public:
     virtual ~RequestObserver() = default;
@@ -177,8 +178,10 @@ class CriticalPathProfiler : public TraceSink {
     // The profiler crossed a warm-up boundary; drop aggregated state.
     virtual void OnResetAggregation() {}
   };
-  // At most one observer; pass nullptr to detach.
-  void set_request_observer(RequestObserver* observer) { request_observer_ = observer; }
+  // Observers are notified in registration order (deterministic). Adding
+  // the same observer twice is a no-op.
+  void AddRequestObserver(RequestObserver* observer);
+  void RemoveRequestObserver(RequestObserver* observer);
 
  private:
   struct Pending {
@@ -205,7 +208,7 @@ class CriticalPathProfiler : public TraceSink {
   std::deque<RequestProfile> samples_;
   RequestProfile slowest_;
   bool have_slowest_ = false;
-  RequestObserver* request_observer_ = nullptr;
+  std::vector<RequestObserver*> request_observers_;
 };
 
 }  // namespace ccnvme

@@ -281,6 +281,22 @@ std::string PerfReportJson(const CriticalPathProfiler& profiler, const WhatIfEng
       w.os << row.blame_ns;
       w.Key("blame_share", false);
       w.os << row.blame_share;
+      // Per-request blame distribution of this edge, so the what-if curve
+      // can be read against TAIL blame, not just the mean: an edge with a
+      // modest mean share but a fat p99.9 is a tail lever.
+      {
+        const auto bit = profiler.blame().find(BlameKey::Wait(row.edge).packed());
+        const Histogram* h =
+            bit == profiler.blame().end() ? nullptr : &bit->second.per_request_ns;
+        w.Key("blame_mean_ns", false);
+        w.os << (h == nullptr || h->count() == 0
+                     ? 0
+                     : static_cast<uint64_t>(h->Mean()));
+        w.Key("blame_p99_ns", false);
+        w.os << (h == nullptr ? 0 : h->Percentile(0.99));
+        w.Key("blame_p999_ns", false);
+        w.os << (h == nullptr ? 0 : h->Percentile(0.999));
+      }
       w.Key("max_gain", false);
       w.os << row.max_gain();
       w.Key("curve", false);
@@ -400,6 +416,16 @@ bool ValidatePerfReportJson(const JsonValue& doc, std::string* error) {
     }
     if (++seen[name] > 1) {
       return Fail(error, "frontier names edge '" + name + "' twice");
+    }
+    // Per-edge tail blame columns: present, non-negative, p99 <= p99.9.
+    const double blame_mean = row.Num("blame_mean_ns", -1.0);
+    const double blame_p99 = row.Num("blame_p99_ns", -1.0);
+    const double blame_p999 = row.Num("blame_p999_ns", -1.0);
+    if (blame_mean < 0 || blame_p99 < 0 || blame_p999 < 0) {
+      return Fail(error, "edge '" + name + "': missing/negative blame percentile fields");
+    }
+    if (blame_p99 > blame_p999 + kEps) {
+      return Fail(error, "edge '" + name + "': blame_p99_ns > blame_p999_ns");
     }
     const JsonValue* curve = row.Find("curve");
     if (curve == nullptr || curve->type != JsonValue::Type::kArray ||

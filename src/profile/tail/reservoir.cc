@@ -1,0 +1,71 @@
+#include "src/profile/tail/reservoir.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace ccnvme {
+
+ExemplarReservoir::ExemplarReservoir(ReservoirOptions options)
+    : options_(options) {
+  CCNVME_CHECK_GT(options_.global_k, 0u);
+  CCNVME_CHECK_GT(options_.per_phase_k, 0u);
+}
+
+bool ExemplarReservoir::Admits(const std::vector<Exemplar>& pool, size_t k,
+                               uint64_t latency_ns) {
+  if (pool.size() < k) return true;
+  // Strictly beat the smallest retained latency: ties keep the earlier
+  // capture, so reruns are byte-identical.
+  return latency_ns > pool.back().latency_ns();
+}
+
+bool ExemplarReservoir::WouldAdmit(uint64_t latency_ns,
+                                   const std::string& phase) const {
+  ++considered_;
+  if (Admits(global_, options_.global_k, latency_ns)) return true;
+  auto it = per_phase_.find(phase);
+  if (it != per_phase_.end()) {
+    return Admits(it->second, options_.per_phase_k, latency_ns);
+  }
+  return per_phase_.size() < options_.max_phases;
+}
+
+void ExemplarReservoir::InsertInto(std::vector<Exemplar>* pool, size_t k,
+                                   const Exemplar& ex) {
+  // Keep latency desc, seq asc: insert before the first strictly-smaller
+  // latency, after any equal one (the earlier capture ranks first).
+  auto pos = std::find_if(pool->begin(), pool->end(), [&](const Exemplar& e) {
+    return e.latency_ns() < ex.latency_ns();
+  });
+  pool->insert(pos, ex);
+  if (pool->size() > k) {
+    pool->pop_back();
+    ++displaced_;
+  }
+}
+
+void ExemplarReservoir::Add(Exemplar exemplar) {
+  ++captured_;
+  if (Admits(global_, options_.global_k, exemplar.latency_ns())) {
+    InsertInto(&global_, options_.global_k, exemplar);
+  }
+  auto it = per_phase_.find(exemplar.phase);
+  if (it == per_phase_.end()) {
+    if (per_phase_.size() >= options_.max_phases) return;
+    it = per_phase_.emplace(exemplar.phase, std::vector<Exemplar>{}).first;
+  }
+  if (Admits(it->second, options_.per_phase_k, exemplar.latency_ns())) {
+    InsertInto(&it->second, options_.per_phase_k, exemplar);
+  }
+}
+
+void ExemplarReservoir::Reset() {
+  global_.clear();
+  per_phase_.clear();
+  considered_ = 0;
+  captured_ = 0;
+  displaced_ = 0;
+}
+
+}  // namespace ccnvme

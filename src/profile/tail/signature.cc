@@ -1,0 +1,40 @@
+#include "src/profile/tail/signature.h"
+
+namespace ccnvme {
+
+std::vector<Verdict> ClassifySignatures(
+    const CriticalPathProfiler::RequestProfile& profile,
+    const std::vector<TraceEvent>& events) {
+  std::vector<Verdict> out;
+  const uint64_t latency = profile.latency_ns();
+  if (latency == 0) return out;
+
+  // Per-edge wait-interval counts over the request's raw event stream.
+  std::array<uint64_t, kNumWaitEdges> edge_events{};
+  for (const TraceEvent& ev : events) {
+    if (ev.is_wait_edge()) {
+      ++edge_events[static_cast<size_t>(ev.edge)];
+    }
+  }
+
+  for (const SignatureRule& rule : AllSignatureRules()) {
+    auto it = profile.blame_ns.find(BlameKey::Wait(rule.culprit).packed());
+    if (it == profile.blame_ns.end() || it->second == 0) continue;
+    const uint64_t blame = it->second;
+    const double share =
+        static_cast<double>(blame) / static_cast<double>(latency);
+    const uint64_t count = edge_events[static_cast<size_t>(rule.culprit)];
+    if (share >= rule.min_share && count >= rule.min_events) {
+      Verdict v;
+      v.pathology = rule.pathology;
+      v.culprit = rule.culprit;
+      v.blame_ns = blame;
+      v.share = share;
+      v.events = count;
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace ccnvme

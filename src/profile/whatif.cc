@@ -30,7 +30,7 @@ WhatIfEngine::WhatIfEngine(WhatIfOptions options) : options_(std::move(options))
 
 void WhatIfEngine::Attach(CriticalPathProfiler* profiler) {
   CCNVME_CHECK(profiler != nullptr);
-  profiler->set_request_observer(this);
+  profiler->AddRequestObserver(this);
 }
 
 void WhatIfEngine::OnRequestProfile(const CriticalPathProfiler::RequestProfile& profile,

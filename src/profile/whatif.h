@@ -65,7 +65,7 @@ class WhatIfEngine : public CriticalPathProfiler::RequestObserver {
  public:
   explicit WhatIfEngine(WhatIfOptions options = {});
 
-  // Convenience: profiler->set_request_observer(this).
+  // Convenience: profiler->AddRequestObserver(this).
   void Attach(CriticalPathProfiler* profiler);
 
   // RequestObserver.

@@ -38,7 +38,36 @@ Tracer::Track& Tracer::CurrentTrack() {
   return *tracks_[it->second];
 }
 
+bool Tracer::RequestIsOpen(uint64_t req_id) const {
+  for (const auto& track : tracks_) {
+    for (const OpenSpan& span : track->stack) {
+      if (span.req_id == req_id) return true;
+    }
+  }
+  return false;
+}
+
 void Tracer::Append(const TraceEvent& ev) {
+  // Wraparound loss used to be silent. Before overwriting, check whether
+  // the victim belonged to a request that is STILL open (some track holds a
+  // span with its id): dropping part of an in-flight request's record means
+  // ring-based exports of that request will be incomplete. Allocation-free
+  // (a read-only scan of the live span stacks) and only on the wrap path.
+  if (total_recorded_ >= ring_.size()) {
+    const TraceEvent& victim = ring_[total_recorded_ % ring_.size()];
+    if (victim.req_id != 0 && RequestIsOpen(victim.req_id)) {
+      ++dropped_open_req_;
+      if (Metrics* m = sim_->metrics()) m->OnRingDrop();
+      if (!warned_dropped_open_) {
+        warned_dropped_open_ = true;
+        CCNVME_LOG(kWarning)
+            << "trace ring (capacity " << ring_.size()
+            << ") overwrote an event of still-open request " << victim.req_id
+            << "; ring exports of in-flight requests are incomplete — raise "
+               "ring_capacity or use the tail-forensics exemplar reservoir";
+      }
+    }
+  }
   ring_[total_recorded_ % ring_.size()] = ev;
   ++total_recorded_;
   if (sink_ != nullptr) sink_->OnTraceEvent(ev);
@@ -151,6 +180,7 @@ std::map<std::string, uint64_t> Tracer::CounterSnapshot() const {
     out[TraceCounterName(static_cast<TraceCounter>(i))] = counters_[i];
   }
   for (const auto& [name, value] : extra_counters_.counters()) out[name] = value;
+  out["trace.ring_dropped_open_req"] = dropped_open_req_;
   return out;
 }
 

@@ -129,6 +129,14 @@ class Tracer {
   uint64_t overwritten() const {
     return total_recorded_ < ring_.size() ? 0 : total_recorded_ - ring_.size();
   }
+  // Overwritten events that belonged to a request with a span still open at
+  // overwrite time: the ring lost part of an in-flight request's record.
+  // A one-shot warning fires on the first such drop, and the count streams
+  // to metrics ("trace.ring_dropped_open_req") and trace_dump. Harmless to
+  // TraceSink consumers (the profiler, tail forensics) — they see every
+  // event in append order — but ring-based exports are incomplete. Not
+  // cleared by ResetAggregation (it describes the ring, like overwritten()).
+  uint64_t dropped_open_req() const { return dropped_open_req_; }
   // i = 0 is the OLDEST retained event.
   const TraceEvent& event(size_t i) const;
 
@@ -166,10 +174,13 @@ class Tracer {
 
   Track& CurrentTrack();
   void Append(const TraceEvent& ev);
+  bool RequestIsOpen(uint64_t req_id) const;
 
   Simulator* sim_;
   std::vector<TraceEvent> ring_;
   uint64_t total_recorded_ = 0;
+  uint64_t dropped_open_req_ = 0;
+  bool warned_dropped_open_ = false;
 
   // Actor -> track. The map is never iterated (iteration order would be
   // nondeterministic); export walks |tracks_| in id order.

@@ -16,6 +16,10 @@
 // perf_report --json document instead; it gets the structural what-if
 // validation (schema version, frontier covering every registered wait edge,
 // monotone virtual-speedup curves), and --check exits 1 on any violation.
+// "schema": "ccnvme-tail-v1" routes to the tail-forensics validation
+// (profiler echo exactly consistent, signature section covering every
+// registered pathology, every exemplar's blame vector summing exactly to
+// its end-to-end latency) the same way.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,6 +30,7 @@
 #include "src/common/json.h"
 #include "src/metrics/export.h"
 #include "src/profile/report.h"
+#include "src/profile/tail/tail.h"
 
 using namespace ccnvme;
 
@@ -190,6 +195,33 @@ int main(int argc, char** argv) {
                   path, kPerfReportSchema,
                   static_cast<unsigned long long>(doc.U64("requests")),
                   frontier != nullptr ? frontier->arr.size() : 0);
+      return 0;
+    }
+    if (JsonParse(text, &doc, nullptr) && doc.type == JsonValue::Type::kObject &&
+        doc.Str("schema") == kTailReportSchema) {
+      if (files.size() != 1) {
+        std::fprintf(stderr, "metrics_report: cannot diff a %s document\n",
+                     kTailReportSchema);
+        return 2;
+      }
+      std::string terr;
+      if (!ValidateTailReportJson(doc, &terr)) {
+        std::fprintf(stderr, "metrics_report: %s: invalid %s document: %s\n", path,
+                     kTailReportSchema, terr.c_str());
+        return check ? 1 : 2;
+      }
+      const JsonValue* exemplars = doc.Find("exemplars");
+      const JsonValue* sigs = doc.Find("signatures");
+      uint64_t signature_total = 0;
+      if (sigs != nullptr) {
+        for (const JsonValue& row : sigs->arr) signature_total += row.U64("count");
+      }
+      std::printf(
+          "%s: valid %s document (%llu requests, %zu exemplar(s), %llu signature "
+          "match(es))\n",
+          path, kTailReportSchema, static_cast<unsigned long long>(doc.U64("requests")),
+          exemplars != nullptr ? exemplars->arr.size() : 0,
+          static_cast<unsigned long long>(signature_total));
       return 0;
     }
     std::vector<SnapshotStats> snaps;

@@ -25,6 +25,17 @@
 // mean-vs-p99 tail attribution; --whatif EDGE prints one edge's full
 // virtual-speedup curve; --json writes the machine-readable ccnvme-perf-v1
 // document `metrics_report --check` validates.
+//
+// The tail flags answer the question the aggregates cannot: why was THIS
+// request 40x slower? --tail attaches the tail-forensics layer
+// (src/profile/tail) and prints the median-vs-p99.9 blame diff, the
+// pathology signature counts and the captured outlier exemplars;
+// --tail-json writes the machine-readable ccnvme-tail-v1 document
+// `metrics_report --check` validates; --pathology NAME deliberately
+// provokes a named pathology (the bench/core_pathologies knobs) so the
+// classifier's positive direction can be exercised from the CLI — the CI
+// gate runs both a clean run (asserting zero signatures) and an injected
+// doorbell herd (asserting it is classified).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -33,6 +44,7 @@
 
 #include "src/harness/stack.h"
 #include "src/profile/report.h"
+#include "src/profile/tail/tail.h"
 
 namespace ccnvme {
 namespace {
@@ -42,7 +54,9 @@ int Usage(const char* argv0, int code) {
                "usage: %s [--stack mqfs|nvlog] [--mode fsync|fatomic] [--iters N]\n"
                "          [--warmup N] [--top K] [--detail K] [--flame PATH]\n"
                "          [--no-histograms] [--queues N] [--threads N]\n"
-               "          [--whatif EDGE] [--whatif-all] [--json PATH]\n",
+               "          [--whatif EDGE] [--whatif-all] [--json PATH]\n"
+               "          [--tail] [--tail-json PATH] [--tail-window NS]\n"
+               "          [--pathology doorbell_herd]\n",
                argv0);
   return code;
 }
@@ -53,7 +67,11 @@ int RunPerfReport(int argc, char** argv) {
   std::string flame_path;
   std::string json_path;
   std::string whatif_edge;
+  std::string tail_json_path;
+  std::string pathology_name;
   bool whatif_all = false;
+  bool tail_report = false;
+  uint64_t tail_window_ns = 0;  // 0 = WindowedOptions default
   int iters = 100;
   int warmup = 10;
   int queues = 1;
@@ -90,6 +108,14 @@ int RunPerfReport(int argc, char** argv) {
       whatif_all = true;
     } else if (const char* jv = value("--json")) {
       json_path = jv;
+    } else if (arg == "--tail") {
+      tail_report = true;
+    } else if (const char* tjv = value("--tail-json")) {
+      tail_json_path = tjv;
+    } else if (const char* twv = value("--tail-window")) {
+      tail_window_ns = static_cast<uint64_t>(std::atoll(twv));
+    } else if (const char* pv = value("--pathology")) {
+      pathology_name = pv;
     } else if (const char* qv = value("--queues")) {
       queues = std::atoi(qv);
     } else if (const char* tv = value("--threads")) {
@@ -127,6 +153,7 @@ int RunPerfReport(int argc, char** argv) {
   }
   const bool want_whatif =
       whatif_all || curve_edge != WaitEdge::kNumEdges || !json_path.empty();
+  const bool want_tail = tail_report || !tail_json_path.empty();
 
   StackConfig cfg;
   cfg.ssd = SsdConfig::Optane905P();
@@ -136,11 +163,52 @@ int RunPerfReport(int argc, char** argv) {
   cfg.fs.journal_areas = nvlog ? 1 : static_cast<uint16_t>(queues);
   cfg.fs.journal_blocks = 4096;
 
+  // Deliberate pathology injection: the same knobs bench/core_pathologies
+  // turns, so the classifier's positive direction is reachable from the CLI.
+  if (!pathology_name.empty()) {
+    const Pathology pathology = PathologyFromName(pathology_name);
+    if (pathology == Pathology::kNumPathologies) {
+      std::fprintf(stderr, "perf_report: unknown pathology '%s'; registered:\n",
+                   pathology_name.c_str());
+      for (const SignatureRule& rule : AllSignatureRules()) {
+        std::fprintf(stderr, "  %s\n", PathologyName(rule.pathology));
+      }
+      return 2;
+    }
+    switch (pathology) {
+      case Pathology::kDoorbellHerd:
+        // Naive per-SQE doorbells against a slow WC drain engine: the
+        // backlog exceeds max_mmio_backlog_ns and wait.wc_drain stalls
+        // every store (the "slow BAR" herd from bench/core_pathologies).
+        cfg.cc_options.tx_aware_mmio = false;
+        cfg.pcie.mmio_write_bytes_per_sec = 2'000'000;
+        cfg.pcie.max_mmio_backlog_ns = 500;
+        break;
+      default:
+        std::fprintf(stderr,
+                     "perf_report: pathology '%s' needs a bench-only stack "
+                     "(see bench/core_pathologies and tests/tail_test.cc); "
+                     "supported here: doorbell_herd\n",
+                     pathology_name.c_str());
+        return 2;
+    }
+  }
+
   StorageStack stack(cfg);
   CriticalPathProfiler& profiler = stack.EnableProfiling();
   WhatIfEngine engine;
   if (want_whatif) {
     engine.Attach(&profiler);
+  }
+  TailOptions tail_opts;
+  if (tail_window_ns != 0) tail_opts.window.window_ns = tail_window_ns;
+  TailForensics tail(tail_opts);
+  if (want_tail) {
+    stack.EnableMetrics();
+    tail.Attach(&profiler);
+    tail.set_tracer(stack.tracer());
+    tail.set_metrics(stack.metrics());
+    tail.BeginPhase("warmup");
   }
   Status st = stack.MkfsAndMount();
   CCNVME_CHECK(st.ok()) << st.ToString();
@@ -151,6 +219,7 @@ int RunPerfReport(int argc, char** argv) {
       for (int i = 0; i < iters; ++i) {
         if (t == 0 && i == warmup) {
           profiler.ResetAggregation();
+          tail.BeginPhase("steady");
         }
         auto ino = stack.fs().Create("/pr_" + std::to_string(t) + "_" +
                                      std::to_string(i));
@@ -168,6 +237,31 @@ int RunPerfReport(int argc, char** argv) {
               nvlog ? "NVLog/extfs" : "MQFS", mode.c_str(), iters, threads, warmup);
   std::fputs(FormatBlameReport(profiler, report_opts).c_str(), stdout);
   std::printf("\n%s\n", FormatDominantLine(profiler).c_str());
+
+  if (tail_report) {
+    std::printf("\n%s", FormatTailReport(tail, profiler).c_str());
+    std::string consistency;
+    CCNVME_CHECK(tail.ConsistentWith(profiler, &consistency)) << consistency;
+  }
+  if (!tail_json_path.empty()) {
+    PerfReportInfo info;
+    info.stack = stack_name;
+    info.mode = mode;
+    info.iters = iters;
+    info.warmup = warmup;
+    info.threads = threads;
+    info.queues = queues;
+    const std::string doc = TailReportJson(tail, profiler, info, /*pretty=*/true);
+    std::FILE* f = std::fopen(tail_json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", tail_json_path.c_str());
+      return 2;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote tail JSON (%s) to %s\n", kTailReportSchema,
+                tail_json_path.c_str());
+  }
 
   if (whatif_all) {
     std::printf("\n%s", FormatFrontierTable(engine).c_str());
